@@ -1,0 +1,387 @@
+// Package axiomcc is a from-scratch Go implementation of the framework in
+// "An Axiomatic Approach to Congestion Control" (Zarchy, Schapira, Mittal,
+// Shenker — HotNets 2017): congestion-control protocols as points in the
+// multidimensional space induced by eight parameterized axioms, the
+// theoretical trade-offs between those axioms, and the simulators and
+// experiment harnesses that reproduce the paper's tables and figures.
+//
+// The package is a facade over the implementation packages; importing it
+// gives access to the entire public API:
+//
+//   - Protocols (§2): AIMD, MIMD, Binomial, Cubic, Robust-AIMD, plus the
+//     PCC stand-in, a Vegas-style latency avoider, and the Claim 1 probe.
+//     All implement the Protocol interface and can be built from textual
+//     specs via ParseProtocol ("aimd:1,0.5", "raimd:1,0.8,0.01", ...).
+//   - The fluid-flow model (§2): LinkConfig + NewLink / RunHomogeneous /
+//     RunMixed simulate synchronized RTT-quantized dynamics on a single
+//     bottleneck, with optional non-congestion loss processes.
+//   - The packet-level testbed (§5.1): PacketConfig + RunPacketLevel give
+//     an event-driven droptail-queue simulation with per-packet ACKs and
+//     monitor intervals — the repository's stand-in for the paper's
+//     Emulab experiments.
+//   - The eight axioms (§3) as empirical estimators: Efficiency,
+//     FastUtilization, LossAvoidance, Fairness, Convergence, Robustness,
+//     Friendliness / TCPFriendliness, LatencyAvoidance, and Characterize
+//     for the full 8-tuple.
+//   - The theory (§4, Table 1): closed-form rows (Table1Rows, FamilyRow)
+//     and theorem bounds (Theorem1Bound, Theorem2Bound, Theorem3Bound).
+//   - Pareto machinery (§5.2, Figure 1): Dominates, Frontier,
+//     Figure1Surface.
+//
+// A minimal session:
+//
+//	cfg := axiomcc.LinkConfig{Bandwidth: axiomcc.MbpsToMSSps(20), PropDelay: 0.021, Buffer: 100}
+//	tr, err := axiomcc.RunHomogeneous(cfg, axiomcc.Reno(), 2, []float64{1, 50}, 4000)
+//	...
+//	scores, err := axiomcc.Characterize(cfg, axiomcc.Reno(), 2, axiomcc.MetricOptions{})
+//
+// The cmd/ tools (axiomsim, axiomscore, paretoexplore, reproduce) and the
+// examples/ programs are thin clients of this facade.
+package axiomcc
+
+import (
+	"repro/internal/axcheck"
+	"repro/internal/axioms"
+	"repro/internal/fluid"
+	"repro/internal/game"
+	"repro/internal/metrics"
+	"repro/internal/multilink"
+	"repro/internal/packetsim"
+	"repro/internal/pareto"
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// ---- Protocols (§2) ----
+
+// Protocol is a congestion-control protocol in the paper's model: a
+// deterministic map from observed (window, RTT, loss) history to the next
+// congestion window.
+type Protocol = protocol.Protocol
+
+// Feedback is the per-step observation a protocol reacts to.
+type Feedback = protocol.Feedback
+
+// Protocol families and comparators.
+type (
+	// AIMD is additive-increase / multiplicative-decrease.
+	AIMD = protocol.AIMD
+	// MIMD is multiplicative-increase / multiplicative-decrease.
+	MIMD = protocol.MIMD
+	// Binomial is the BIN(a,b,k,l) family.
+	Binomial = protocol.Binomial
+	// Cubic is TCP Cubic's window curve.
+	Cubic = protocol.Cubic
+	// RobustAIMD is the paper's §5.2 Robust-AIMD(a,b,ε).
+	RobustAIMD = protocol.RobustAIMD
+	// PCC is the monitor-interval, utility-gradient PCC stand-in.
+	PCC = protocol.PCC
+	// Vegas is the latency-avoiding comparator for Theorem 5.
+	Vegas = protocol.Vegas
+	// ProbeUntilLoss is Claim 1's 0-loss, non-fast-utilizing probe.
+	ProbeUntilLoss = protocol.ProbeUntilLoss
+	// TFRC is the equation-based (TCP-friendly rate control style)
+	// protocol.
+	TFRC = protocol.TFRC
+	// HighSpeed is HighSpeed TCP (RFC 3649).
+	HighSpeed = protocol.HighSpeed
+	// BBRish is the window-based BBR-style model-based protocol.
+	BBRish = protocol.BBRish
+	// ProtocolFunc adapts a stateless update function to Protocol.
+	ProtocolFunc = protocol.Func
+)
+
+// Constructors.
+var (
+	NewAIMD           = protocol.NewAIMD
+	NewMIMD           = protocol.NewMIMD
+	NewBinomial       = protocol.NewBinomial
+	NewCubic          = protocol.NewCubic
+	NewRobustAIMD     = protocol.NewRobustAIMD
+	NewPCC            = protocol.NewPCC
+	NewVegas          = protocol.NewVegas
+	NewProbeUntilLoss = protocol.NewProbeUntilLoss
+	NewTFRC           = protocol.NewTFRC
+	NewHighSpeed      = protocol.NewHighSpeed
+	NewBBRish         = protocol.NewBBRish
+
+	// Reno returns AIMD(1, 0.5), the paper's TCP Reno.
+	Reno = protocol.Reno
+	// Scalable returns MIMD(1.01, 0.875), the paper's TCP Scalable.
+	Scalable = protocol.Scalable
+	// ScalableAIMD returns AIMD(1, 0.875).
+	ScalableAIMD = protocol.ScalableAIMD
+	// CubicLinux returns CUBIC(0.4, 0.8), Linux's TCP Cubic.
+	CubicLinux = protocol.CubicLinux
+	// IIAD returns BIN(1, 1, 1, 0).
+	IIAD = protocol.IIAD
+	// SQRT returns BIN(1, 0.5, 0.5, 0.5).
+	SQRT = protocol.SQRT
+	// DefaultPCC returns the PCC stand-in with loss penalty δ = 20.
+	DefaultPCC = protocol.DefaultPCC
+	// DefaultVegas returns Vegas(2, 4).
+	DefaultVegas = protocol.DefaultVegas
+	// DefaultTFRC returns TFRC with the calibrated EWMA weight 0.01.
+	DefaultTFRC = protocol.DefaultTFRC
+
+	// ParseProtocol builds a Protocol from a spec like "aimd:1,0.5".
+	ParseProtocol = protocol.Parse
+	// MustParseProtocol is ParseProtocol that panics on error.
+	MustParseProtocol = protocol.MustParse
+)
+
+// MinWindow is the window floor applied by both simulators (1 MSS).
+const MinWindow = protocol.MinWindow
+
+// ---- Fluid-flow model (§2) ----
+
+// LinkConfig describes a bottleneck link for the fluid model.
+type LinkConfig = fluid.Config
+
+// Link is a fluid-model bottleneck shared by a set of senders.
+type Link = fluid.Link
+
+// LinkSender pairs a protocol with its initial window.
+type LinkSender = fluid.Sender
+
+// Non-congestion loss processes (Metric VI).
+type (
+	// LossProcess injects non-congestion loss into a fluid link.
+	LossProcess = fluid.LossProcess
+	// ConstantLoss is the deterministic fluid limit of i.i.d. drops.
+	ConstantLoss = fluid.ConstantLoss
+	// PacketLoss samples binomial per-window loss.
+	PacketLoss = fluid.PacketLoss
+	// OnOffLoss alternates lossy bursts with clean periods.
+	OnOffLoss = fluid.OnOffLoss
+)
+
+var (
+	// NewLink builds a fluid link (errors on invalid configs).
+	NewLink = fluid.New
+	// RunHomogeneous simulates n clones of one protocol.
+	RunHomogeneous = fluid.Homogeneous
+	// RunMixed simulates one sender per supplied protocol.
+	RunMixed = fluid.Mixed
+	// MbpsToMSSps converts megabits/s to the model's MSS/s (1500 B MSS).
+	MbpsToMSSps = fluid.MbpsToMSSps
+
+	NewConstantLoss = fluid.NewConstantLoss
+	NewPacketLoss   = fluid.NewPacketLoss
+	NewOnOffLoss    = fluid.NewOnOffLoss
+)
+
+// Trace is the recorded time evolution of a simulated link.
+type Trace = trace.Trace
+
+// ---- Packet-level testbed (§5.1) ----
+
+// PacketConfig describes the event-driven packet-level bottleneck.
+type PacketConfig = packetsim.Config
+
+// PacketFlow is one sender on the packet-level link.
+type PacketFlow = packetsim.Flow
+
+// PacketResult is the outcome of a packet-level run.
+type PacketResult = packetsim.Result
+
+// Queue disciplines for the packet-level bottleneck (§6 extension).
+type (
+	// QueueDiscipline decides packet admission at the bottleneck.
+	QueueDiscipline = packetsim.Discipline
+	// DroptailQueue is the paper's FIFO droptail policy.
+	DroptailQueue = packetsim.Droptail
+	// REDQueue is Random Early Detection AQM.
+	REDQueue = packetsim.RED
+)
+
+var (
+	// RunPacketLevel simulates flows on the packet-level link.
+	RunPacketLevel = packetsim.Run
+	// NewRED builds a RED discipline.
+	NewRED = packetsim.NewRED
+)
+
+// ---- Network-wide model (§6 extension) ----
+
+// Multilink types: the fluid model generalized to a network of links.
+type (
+	// NetLinkSpec describes one link of a multilink network.
+	NetLinkSpec = multilink.LinkSpec
+	// NetFlowSpec is one flow and its path through the network.
+	NetFlowSpec = multilink.FlowSpec
+	// Network is a multilink fluid network.
+	Network = multilink.Network
+	// NetworkResult is a recorded multilink run.
+	NetworkResult = multilink.Result
+	// NetworkOption tweaks network construction.
+	NetworkOption = multilink.Option
+)
+
+var (
+	// NewNetwork builds a multilink network.
+	NewNetwork = multilink.New
+	// ParkingLot builds the canonical k-hop parking-lot scenario.
+	ParkingLot = multilink.ParkingLot
+	// WithStochasticLoss samples per-flow loss observation (needed for
+	// the parking-lot bias of magnitude-insensitive protocols).
+	WithStochasticLoss = multilink.WithStochasticLoss
+	// WithNetMaxWindow caps windows in a multilink network.
+	WithNetMaxWindow = multilink.WithMaxWindow
+)
+
+// ---- Axioms as empirical estimators (§3) ----
+
+// MetricOptions controls horizons, tails and initial configurations.
+type MetricOptions = metrics.Options
+
+// MetricScores is a protocol's measured 8-tuple.
+type MetricScores = metrics.Scores
+
+var (
+	Efficiency       = metrics.Efficiency
+	FastUtilization  = metrics.FastUtilization
+	LossAvoidance    = metrics.LossAvoidance
+	Fairness         = metrics.Fairness
+	Convergence      = metrics.Convergence
+	Robustness       = metrics.Robustness
+	RobustTo         = metrics.RobustTo
+	Friendliness     = metrics.Friendliness
+	TCPFriendliness  = metrics.TCPFriendliness
+	LatencyAvoidance = metrics.LatencyAvoidance
+	// Characterize measures all eight metrics at once.
+	Characterize = metrics.Characterize
+
+	// Extension metrics (§6 "other axioms"): convergence time, RFC-5166
+	// smoothness, and responsiveness to capacity jumps.
+	ConvergenceTime = metrics.ConvergenceTime
+	Smoothness      = metrics.Smoothness
+	Responsiveness  = metrics.Responsiveness
+	CharacterizeExt = metrics.CharacterizeExt
+)
+
+// ExtMetricScores bundles the extension metrics.
+type ExtMetricScores = metrics.ExtScores
+
+// ---- Theory (§4, Table 1) ----
+
+// TheoryLink is the (C, τ, n) triple Table 1's entries depend on.
+type TheoryLink = axioms.Link
+
+// TheoryRow is one Table 1 row: at-link scores plus worst-case bounds.
+type TheoryRow = axioms.Row
+
+// TheoryScores is the per-metric score tuple used in TheoryRow.
+type TheoryScores = axioms.Scores
+
+var (
+	// Table1Rows evaluates the paper's five Table 1 rows at a link.
+	Table1Rows = axioms.Table1
+	// FamilyRow maps a Protocol to its Table 1 row.
+	FamilyRow = axioms.FamilyRow
+	// AIMDRow, MIMDRow, BinRow, CubicRow, RobustAIMDRow evaluate single
+	// family rows at explicit parameters.
+	AIMDRow       = axioms.AIMDRow
+	MIMDRow       = axioms.MIMDRow
+	BinRow        = axioms.BinRow
+	CubicRow      = axioms.CubicRow
+	RobustAIMDRow = axioms.RobustAIMDRow
+
+	// Theorem bounds.
+	Theorem1Bound = axioms.Theorem1Bound
+	Theorem2Bound = axioms.Theorem2Bound
+	Theorem3Bound = axioms.Theorem3Bound
+	// Feasible / FeasibleRobust test points against Theorems 2 / 3.
+	Feasible       = axioms.Feasible
+	FeasibleRobust = axioms.FeasibleRobust
+)
+
+// ---- Pareto machinery (§5.2, Figure 1) ----
+
+// ParetoPoint is a labeled position in (higher-is-better) score space.
+type ParetoPoint = pareto.Point
+
+// SurfacePoint is one point of Figure 1's frontier.
+type SurfacePoint = pareto.SurfacePoint
+
+var (
+	// Dominates tests Pareto dominance between score vectors.
+	Dominates = pareto.Dominates
+	// Frontier extracts the non-dominated subset.
+	Frontier = pareto.Frontier
+	// OnFrontier tests a single point against a set.
+	OnFrontier = pareto.OnFrontier
+	// OrientScores converts MetricScores to higher-is-better coordinates.
+	OrientScores = pareto.OrientScores
+	// Figure1Surface evaluates the Theorem 2 frontier on a grid.
+	Figure1Surface = pareto.Figure1Surface
+	// Grid builds evenly spaced parameter grids.
+	Grid = pareto.Grid
+)
+
+// ---- Falsification (internal/axcheck) ----
+
+// Axiom-claim falsification: adversarial search for counterexamples to
+// "P is α-<claim>" statements, with reproducible witnesses.
+type (
+	// FalsifyClaim names a checkable axiom (ClaimEfficient, ...).
+	FalsifyClaim = axcheck.Claim
+	// FalsifyOptions bounds the counterexample search.
+	FalsifyOptions = axcheck.Options
+	// FalsifyResult reports the search outcome and witness.
+	FalsifyResult = axcheck.Result
+	// LinkPoint identifies a link configuration in worst-case searches.
+	LinkPoint = axcheck.LinkPoint
+)
+
+// The falsifiable claims.
+const (
+	ClaimEfficient      = axcheck.Efficient
+	ClaimLossAvoiding   = axcheck.LossAvoiding
+	ClaimFair           = axcheck.Fair
+	ClaimConvergent     = axcheck.Convergent
+	ClaimFriendlyToReno = axcheck.FriendlyToReno
+)
+
+var (
+	// Falsify searches initial configurations on one link.
+	Falsify = axcheck.Check
+	// FalsifyWorstCase additionally searches link parameters (the
+	// angle-bracket quantifier of Table 1).
+	FalsifyWorstCase = axcheck.CheckWorstCase
+)
+
+// ---- Scenarios (internal/scenario) ----
+
+// JSON-defined experiments across all three simulators; the scenarios/
+// directory ships canonical specs and `axiomsim -scenario` runs them.
+type (
+	// ScenarioSpec is a parsed scenario.
+	ScenarioSpec = scenario.Spec
+	// ScenarioOutcome is the uniform result of running one.
+	ScenarioOutcome = scenario.Outcome
+)
+
+// LoadScenario parses and validates a JSON scenario.
+var LoadScenario = scenario.Load
+
+// ---- Protocol-selection game (internal/game) ----
+
+// Protocol choice as a game: Nash equilibria, best-response dynamics, and
+// the prisoner's dilemma of congestion control (examples/protocolgame).
+type (
+	// SelectionGame is an n-player protocol-selection game.
+	SelectionGame = game.Game
+	// GamePayoff maps simulation outcomes to player utility.
+	GamePayoff = game.Payoff
+)
+
+var (
+	// NewSelectionGame builds a game over a protocol menu.
+	NewSelectionGame = game.New
+	// GoodputPayoff values raw delivered throughput.
+	GoodputPayoff = game.GoodputPayoff
+	// LossSensitivePayoff penalizes delivered-but-lossy service.
+	LossSensitivePayoff = game.LossSensitivePayoff
+)

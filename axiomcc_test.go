@@ -1,0 +1,206 @@
+package axiomcc_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	axiomcc "repro"
+)
+
+// TestEndToEndFluid drives the public API the way the quickstart example
+// does: build a link, run two Reno flows, inspect the trace and score the
+// protocol.
+func TestEndToEndFluid(t *testing.T) {
+	cfg := axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(20),
+		PropDelay: 0.021,
+		Buffer:    50,
+	}
+	tr, err := axiomcc.RunHomogeneous(cfg, axiomcc.Reno(), 2, []float64{1, 40}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2000 || tr.Senders() != 2 {
+		t.Fatalf("trace shape: %d steps, %d senders", tr.Len(), tr.Senders())
+	}
+	// Two Renos converge to a fair split.
+	a, b := tr.AvgWindow(0, 0.75), tr.AvgWindow(1, 0.75)
+	if r := math.Min(a, b) / math.Max(a, b); r < 0.85 {
+		t.Fatalf("fairness ratio = %v", r)
+	}
+	scores, err := axiomcc.Characterize(cfg, axiomcc.Reno(), 2, axiomcc.MetricOptions{Steps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores.Efficiency <= 0 || scores.Fairness < 0.8 {
+		t.Fatalf("scores = %+v", scores)
+	}
+}
+
+// TestEndToEndPacket exercises the packet-level facade.
+func TestEndToEndPacket(t *testing.T) {
+	cfg := axiomcc.PacketConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(20),
+		PropDelay: 0.021,
+		Buffer:    100,
+	}
+	res, err := axiomcc.RunPacketLevel(cfg, []axiomcc.PacketFlow{
+		{Proto: axiomcc.Reno(), Init: 1},
+		{Proto: axiomcc.CubicLinux(), Init: 1},
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Throughput(0, 0.5) + res.Throughput(1, 0.5)
+	if total < 0.8*cfg.Bandwidth {
+		t.Fatalf("aggregate throughput %v too low", total)
+	}
+}
+
+// TestTheoryMatchesFacade cross-checks the re-exported theory functions.
+func TestTheoryMatchesFacade(t *testing.T) {
+	lp := axiomcc.TheoryLink{C: 100, Tau: 20, N: 2}
+	rows := axiomcc.Table1Rows(lp)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if got := axiomcc.Theorem2Bound(1, 0.5); got != 1 {
+		t.Fatalf("Theorem2Bound(1,0.5) = %v", got)
+	}
+	row, err := axiomcc.FamilyRow(axiomcc.Reno(), lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.At.TCPFriendliness != 1 {
+		t.Fatalf("Reno friendliness = %v", row.At.TCPFriendliness)
+	}
+}
+
+// TestParetoFacade exercises dominance and the Figure 1 surface through
+// the facade.
+func TestParetoFacade(t *testing.T) {
+	pts := axiomcc.Figure1Surface(axiomcc.Grid(0.5, 2, 4), axiomcc.Grid(0.2, 0.8, 4))
+	if len(pts) != 16 {
+		t.Fatalf("surface = %d points", len(pts))
+	}
+	generic := make([]axiomcc.ParetoPoint, len(pts))
+	for i, p := range pts {
+		generic[i] = p.Point()
+	}
+	if f := axiomcc.Frontier(generic); len(f) != len(generic) {
+		t.Fatalf("surface not a frontier: %d of %d survive", len(f), len(generic))
+	}
+}
+
+// TestProtocolSpecFacade round-trips the spec parser.
+func TestProtocolSpecFacade(t *testing.T) {
+	p, err := axiomcc.ParseProtocol("raimd:1,0.8,0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "RobustAIMD(1,0.8,0.01)" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	if _, err := axiomcc.ParseProtocol("bogus"); err == nil {
+		t.Fatal("bogus spec accepted")
+	}
+}
+
+// TestFalsifyFacade drives the axiom-falsification layer through the
+// facade: a true claim survives, an overclaim dies with a witness.
+func TestFalsifyFacade(t *testing.T) {
+	cfg := axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(20),
+		PropDelay: 0.021,
+		Buffer:    20,
+	}
+	opt := axiomcc.FalsifyOptions{Steps: 1200, RandomTrials: 4, Seed: 1}
+	res, err := axiomcc.Falsify(cfg, axiomcc.Reno(), axiomcc.ClaimEfficient, 0.9, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated {
+		t.Fatalf("0.9-efficiency survived; worst %v", res.Worst)
+	}
+	res, err = axiomcc.Falsify(cfg, axiomcc.Reno(), axiomcc.ClaimEfficient, 0.5, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violated {
+		t.Fatalf("0.5-efficiency falsified: %v", res.Witness)
+	}
+}
+
+// TestScenarioFacade loads and runs a spec through the facade.
+func TestScenarioFacade(t *testing.T) {
+	spec, err := axiomcc.LoadScenario(strings.NewReader(`{
+		"name": "facade", "model": "fluid", "steps": 800,
+		"link": {"mbps": 20, "rtt_ms": 42, "buffer_mss": 50},
+		"flows": [{"protocol": "reno"}, {"protocol": "reno"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Flows) != 2 || out.Summary["efficiency"] <= 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+// TestSelectionGameFacade plays one defection through the facade.
+func TestSelectionGameFacade(t *testing.T) {
+	cfg := axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(20),
+		PropDelay: 0.021,
+		Buffer:    20,
+	}
+	g, err := axiomcc.NewSelectionGame(cfg, []axiomcc.Protocol{axiomcc.Reno(), axiomcc.Scalable()}, 2, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nash, dev, err := g.IsNash([]int{0, 0}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nash || dev == nil {
+		t.Fatal("all-Reno reported as equilibrium through the facade")
+	}
+}
+
+// TestCustomProtocolViaFunc shows the extension point: a user-defined
+// update rule participates in simulation and metrics.
+func TestCustomProtocolViaFunc(t *testing.T) {
+	// A timid AIMD that adds 0.5 and halves: valid, just slow.
+	timid := &axiomcc.ProtocolFunc{
+		Label: "Timid",
+		Fn: func(fb axiomcc.Feedback) float64 {
+			if fb.Loss > 0 {
+				return fb.Window * 0.5
+			}
+			return fb.Window + 0.5
+		},
+	}
+	cfg := axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(20),
+		PropDelay: 0.021,
+		Buffer:    20,
+	}
+	eff, err := axiomcc.Efficiency(cfg, timid, 1, axiomcc.MetricOptions{Steps: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff < 0.4 {
+		t.Fatalf("timid AIMD efficiency = %v", eff)
+	}
+	fast, err := axiomcc.FastUtilization(timid, axiomcc.MetricOptions{Steps: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast-0.5) > 0.05 {
+		t.Fatalf("timid fast-utilization = %v, want ≈ 0.5", fast)
+	}
+}

@@ -1,0 +1,361 @@
+package axiomcc_test
+
+// One benchmark per table and figure of the paper, plus ablation benches
+// for the design choices DESIGN.md calls out. Each bench both measures the
+// cost of regenerating its artifact and reports the artifact's headline
+// numbers via b.ReportMetric, so `go test -bench=. -benchmem` doubles as a
+// compact reproduction log:
+//
+//	BenchmarkTable1Theory          Table 1 (closed forms)
+//	BenchmarkTable1Empirical       Table 1 validated on the fluid model
+//	BenchmarkEmulabHierarchy       §5.1 ordering experiments (one cell)
+//	BenchmarkTable2Friendliness    Table 2 (one cell; R-AIMD vs PCC)
+//	BenchmarkFigure1Frontier       Figure 1 surface
+//	BenchmarkTheorem1Sweep ...     executable theorem checks
+//	BenchmarkAblation*             design-choice ablations
+//	BenchmarkFluidStep / BenchmarkPacketSimSecond   raw simulator cost
+
+import (
+	"testing"
+
+	axiomcc "repro"
+	"repro/internal/experiment"
+)
+
+var benchOpt = axiomcc.MetricOptions{Steps: 1500}
+
+func link20() axiomcc.LinkConfig {
+	return axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(20),
+		PropDelay: 0.021,
+		Buffer:    100,
+	}
+}
+
+// BenchmarkTable1Theory regenerates Table 1's five closed-form rows.
+func BenchmarkTable1Theory(b *testing.B) {
+	lp := axiomcc.TheoryLink{C: 70, Tau: 100, N: 2}
+	var rows []axiomcc.TheoryRow
+	for i := 0; i < b.N; i++ {
+		rows = axiomcc.Table1Rows(lp)
+	}
+	b.ReportMetric(rows[0].At.Efficiency, "reno-eff")
+	b.ReportMetric(rows[0].At.TCPFriendliness, "reno-friendly")
+}
+
+// BenchmarkTable1Empirical measures one full empirical Table 1 pass on the
+// fluid model (five protocols × eight metrics).
+func BenchmarkTable1Empirical(b *testing.B) {
+	var scores []experiment.ProtocolScores
+	var err error
+	for i := 0; i < b.N; i++ {
+		scores, err = experiment.Table1Empirical(link20(), 2, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(scores[0].Empirical.Efficiency, "reno-eff")
+	b.ReportMetric(scores[4].Empirical.Robustness, "raimd-robust")
+}
+
+// BenchmarkEmulabHierarchy runs one §5.1 grid cell (three protocols on the
+// packet-level link).
+func BenchmarkEmulabHierarchy(b *testing.B) {
+	var res *experiment.HierarchyResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.Hierarchy(experiment.HierarchyConfig{
+			Senders:    []int{2},
+			Bandwidths: []float64{20},
+			Buffers:    []int{100},
+			Duration:   30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Agreement["efficiency"], "eff-agreement")
+	b.ReportMetric(res.Agreement["fairness"], "fair-agreement")
+}
+
+// BenchmarkTable2Friendliness runs one Table 2 cell: Robust-AIMD vs PCC
+// friendliness toward Reno on the 20 Mbps packet link.
+func BenchmarkTable2Friendliness(b *testing.B) {
+	var res *experiment.Table2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiment.Table2(experiment.Table2Config{
+			Senders:    []int{2},
+			Bandwidths: []float64{20},
+			Duration:   30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Cells[0].RAIMD, "raimd-friendliness")
+	b.ReportMetric(res.Cells[0].PCC, "pcc-friendliness")
+	b.ReportMetric(res.Cells[0].Improvement, "improvement-x")
+}
+
+// BenchmarkFigure1Frontier regenerates the Figure 1 surface at the
+// resolution used by cmd/reproduce.
+func BenchmarkFigure1Frontier(b *testing.B) {
+	var pts []axiomcc.SurfacePoint
+	for i := 0; i < b.N; i++ {
+		pts = experiment.Figure1(12, 9)
+	}
+	b.ReportMetric(float64(len(pts)), "points")
+}
+
+// BenchmarkTheorem1Sweep runs the Theorem 1 implication check over its
+// protocol sweep.
+func BenchmarkTheorem1Sweep(b *testing.B) {
+	var checks []experiment.Theorem1Check
+	var err error
+	for i := 0; i < b.N; i++ {
+		checks, err = experiment.CheckTheorem1(benchOpt, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	holds := 0.0
+	for _, c := range checks {
+		if c.Holds {
+			holds++
+		}
+	}
+	b.ReportMetric(holds/float64(len(checks)), "holds-frac")
+}
+
+// BenchmarkTheorem2Sweep measures the Theorem 2 bound's empirical
+// tightness across the AIMD sweep.
+func BenchmarkTheorem2Sweep(b *testing.B) {
+	var checks []experiment.Theorem2Check
+	var err error
+	for i := 0; i < b.N; i++ {
+		checks, err = experiment.CheckTheorem2(nil, benchOpt, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, c := range checks {
+		if c.Tightness > worst {
+			worst = c.Tightness
+		}
+	}
+	b.ReportMetric(worst, "max-tightness")
+}
+
+// BenchmarkTheorem3Sweep runs the ε sweep of the robustness-friendliness
+// trade.
+func BenchmarkTheorem3Sweep(b *testing.B) {
+	var checks []experiment.Theorem3Check
+	var err error
+	for i := 0; i < b.N; i++ {
+		checks, err = experiment.CheckTheorem3(nil, benchOpt, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(checks[len(checks)-1].Measured, "friendliness-at-eps-max")
+}
+
+// BenchmarkRobustnessSweep locates Robust-AIMD's robustness threshold by
+// bisection (Metric VI).
+func BenchmarkRobustnessSweep(b *testing.B) {
+	ra := axiomcc.NewRobustAIMD(1, 0.8, 0.02)
+	var r float64
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = axiomcc.Robustness(ra, 0.5, 2e-3, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r, "threshold")
+}
+
+// BenchmarkAblationEpsilon sweeps Robust-AIMD's ε, the design knob that
+// trades robustness (Metric VI) against TCP-friendliness (Theorem 3):
+// reported metrics show friendliness falling as ε rises.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	cfg := axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(100),
+		PropDelay: 0.021,
+		Buffer:    350,
+	}
+	var lo, hi float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		lo, err = axiomcc.TCPFriendliness(cfg, axiomcc.NewRobustAIMD(1, 0.8, 0.005), 1, 1, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hi, err = axiomcc.TCPFriendliness(cfg, axiomcc.NewRobustAIMD(1, 0.8, 0.02), 1, 1, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lo, "friendly-eps-0.005")
+	b.ReportMetric(hi, "friendly-eps-0.02")
+}
+
+// BenchmarkAblationBufferDepth sweeps τ/C, the knob behind Table 1's
+// efficiency entry min(1, b(1+τ/C)): shallow buffers hurt Reno (b = 0.5)
+// far more than Cubic-style gentle backoff (b = 0.8).
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	var shallowReno, shallowGentle float64
+	for i := 0; i < b.N; i++ {
+		cfg := axiomcc.LinkConfig{
+			Bandwidth: axiomcc.MbpsToMSSps(20),
+			PropDelay: 0.021,
+			Buffer:    5, // τ/C ≈ 0.07
+		}
+		var err error
+		shallowReno, err = axiomcc.Efficiency(cfg, axiomcc.Reno(), 1, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shallowGentle, err = axiomcc.Efficiency(cfg, axiomcc.NewAIMD(1, 0.8), 1, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(shallowReno, "reno-eff-shallow")
+	b.ReportMetric(shallowGentle, "gentle-eff-shallow")
+}
+
+// BenchmarkAblationMonotoneFriendliness tests the paper's §5.2 claim that
+// Robust-AIMD's TCP-friendliness improves as more Robust-AIMD connections
+// share the link.
+func BenchmarkAblationMonotoneFriendliness(b *testing.B) {
+	cfg := experiment.EmulabLink(20, 100)
+	var one, three float64
+	for i := 0; i < b.N; i++ {
+		res1, err := experiment.Table2(experiment.Table2Config{
+			Senders: []int{2}, Bandwidths: []float64{20}, Duration: 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res3, err := experiment.Table2(experiment.Table2Config{
+			Senders: []int{4}, Bandwidths: []float64{20}, Duration: 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		one, three = res1.Cells[0].RAIMD, res3.Cells[0].RAIMD
+	}
+	_ = cfg
+	b.ReportMetric(one, "friendliness-1-raimd")
+	b.ReportMetric(three, "friendliness-3-raimd")
+}
+
+// BenchmarkRobustnessTable regenerates Table 1's robustness column (all
+// protocols' Metric VI thresholds).
+func BenchmarkRobustnessTable(b *testing.B) {
+	var entries []experiment.RobustnessEntry
+	var err error
+	for i := 0; i < b.N; i++ {
+		entries, err = experiment.RobustnessSweep(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, e := range entries {
+		if e.Name == "RobustAIMD(1,0.8,0.05)" {
+			b.ReportMetric(e.Threshold, "raimd-0.05-threshold")
+		}
+		if e.Name == "PCC(δ=20)" {
+			b.ReportMetric(e.Threshold, "pcc-threshold")
+		}
+	}
+}
+
+// BenchmarkParkingLotSweep runs the §6 network-wide extension sweep.
+func BenchmarkParkingLotSweep(b *testing.B) {
+	var entries []experiment.ParkingLotEntry
+	var err error
+	for i := 0; i < b.N; i++ {
+		entries, err = experiment.ParkingLotExperiment([]int{1, 2, 4}, 3000, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(entries[len(entries)-1].WindowRatio, "4hop-window-ratio")
+	b.ReportMetric(entries[len(entries)-1].GoodputRatio, "4hop-goodput-ratio")
+}
+
+// BenchmarkAblationQueueDiscipline compares droptail to RED on the packet
+// link: the AQM trades a little throughput for much lower standing delay.
+func BenchmarkAblationQueueDiscipline(b *testing.B) {
+	base := experiment.EmulabLink(20, 100)
+	red := base
+	red.Queue = axiomcc.NewRED(10, 40, 0.1, 100)
+	flows := []axiomcc.PacketFlow{{Proto: axiomcc.Reno(), Init: 1}}
+	var dtThr, redThr float64
+	for i := 0; i < b.N; i++ {
+		resDT, err := axiomcc.RunPacketLevel(base, flows, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resRED, err := axiomcc.RunPacketLevel(red, flows, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dtThr = resDT.Throughput(0, 0.5)
+		redThr = resRED.Throughput(0, 0.5)
+	}
+	b.ReportMetric(dtThr, "droptail-thr")
+	b.ReportMetric(redThr, "red-thr")
+}
+
+// BenchmarkMultilinkStep measures the raw cost of one network step on a
+// 4-hop parking lot (5 flows, 4 links).
+func BenchmarkMultilinkStep(b *testing.B) {
+	net, err := axiomcc.ParkingLot(4, axiomcc.NetLinkSpec{
+		Bandwidth: 100 / 0.042, PropDelay: 0.021, Buffer: 20,
+	}, axiomcc.Reno(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+// BenchmarkFluidStep measures the raw cost of one fluid-model time step
+// with 4 senders.
+func BenchmarkFluidStep(b *testing.B) {
+	l, err := axiomcc.NewLink(link20(),
+		axiomcc.LinkSender{Proto: axiomcc.Reno(), Init: 1},
+		axiomcc.LinkSender{Proto: axiomcc.CubicLinux(), Init: 10},
+		axiomcc.LinkSender{Proto: axiomcc.Scalable(), Init: 20},
+		axiomcc.LinkSender{Proto: axiomcc.NewRobustAIMD(1, 0.8, 0.01), Init: 30},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step()
+	}
+}
+
+// BenchmarkPacketSimSecond measures the cost of one simulated second on
+// the packet-level 20 Mbps link with two flows (~3.3k packets).
+func BenchmarkPacketSimSecond(b *testing.B) {
+	cfg := experiment.EmulabLink(20, 100)
+	flows := []axiomcc.PacketFlow{
+		{Proto: axiomcc.Reno(), Init: 1},
+		{Proto: axiomcc.CubicLinux(), Init: 1},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := axiomcc.RunPacketLevel(cfg, flows, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command axcheck falsifies axiom claims: it searches initial-window
+// configurations for a counterexample to "protocol P is α-<metric>" on a
+// given link, printing the witness when the claim dies.
+//
+// Examples:
+//
+//	axcheck -protocol reno -claim efficient -alpha 0.9          # dies (witness shown)
+//	axcheck -protocol reno -claim efficient -alpha 0.55         # survives
+//	axcheck -protocol scalable -claim fair -alpha 0.5 -n 2      # dies: MIMD is 0-fair
+//	axcheck -protocol raimd:1,0.8,0.01 -claim friendly -alpha 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	axiomcc "repro"
+	"repro/internal/axcheck"
+)
+
+var claims = map[string]axcheck.Claim{
+	"efficient":     axcheck.Efficient,
+	"loss-avoiding": axcheck.LossAvoiding,
+	"fair":          axcheck.Fair,
+	"convergent":    axcheck.Convergent,
+	"friendly":      axcheck.FriendlyToReno,
+}
+
+func main() {
+	var (
+		spec   = flag.String("protocol", "reno", "protocol spec (see axiomsim -list)")
+		claim  = flag.String("claim", "efficient", "efficient | loss-avoiding | fair | convergent | friendly")
+		alpha  = flag.Float64("alpha", 0.5, "claimed score α")
+		mbps   = flag.Float64("mbps", 20, "link bandwidth in Mbps")
+		rttMS  = flag.Float64("rtt", 42, "round-trip propagation delay in ms")
+		buffer = flag.Float64("buffer", 20, "buffer size in MSS")
+		n      = flag.Int("n", 2, "number of senders")
+		steps  = flag.Int("steps", 3000, "horizon per candidate configuration")
+		trials = flag.Int("trials", 24, "random configurations beyond the corners")
+		seed   = flag.Uint64("seed", 0, "search seed")
+		slack  = flag.Float64("slack", 0.02, "violation tolerance")
+	)
+	flag.Parse()
+
+	p, err := axiomcc.ParseProtocol(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	cl, ok := claims[*claim]
+	if !ok {
+		fatal(fmt.Errorf("unknown claim %q", *claim))
+	}
+	cfg := axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(*mbps),
+		PropDelay: *rttMS / 1000 / 2,
+		Buffer:    *buffer,
+	}
+	res, err := axcheck.Check(cfg, p, cl, *alpha, *n, axcheck.Options{
+		Steps:        *steps,
+		RandomTrials: *trials,
+		Seed:         *seed,
+		Slack:        *slack,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("claim: %s is %.4g-%s on a %.0f Mbps / %.0f ms / %.0f MSS link (%d senders)\n",
+		p.Name(), *alpha, cl, *mbps, *rttMS, *buffer, *n)
+	fmt.Printf("searched %d configurations; worst measurement %.4g at init %v\n",
+		res.Trials, res.Worst, res.WorstInit)
+	if res.Violated {
+		fmt.Printf("verdict: FALSIFIED — %s\n", res.Witness)
+		os.Exit(1)
+	}
+	fmt.Println("verdict: survived (not proven — no counterexample found)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "axcheck:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,99 @@
+// Command axiomscore places a congestion-control protocol in the paper's
+// 8-dimensional metric space: it prints the protocol's theoretical Table 1
+// row (when the protocol belongs to a characterized family) next to its
+// measured scores on a concrete link, one line per axiom.
+//
+// Examples:
+//
+//	axiomscore -protocol reno -mbps 20 -buffer 100 -n 2
+//	axiomscore -protocol raimd:1,0.8,0.01 -mbps 60 -n 3
+//	axiomscore -protocol pcc -steps 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	axiomcc "repro"
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		spec   = flag.String("protocol", "reno", "protocol spec (see axiomsim -list)")
+		mbps   = flag.Float64("mbps", 20, "link bandwidth in Mbps")
+		rttMS  = flag.Float64("rtt", 42, "round-trip propagation delay in ms")
+		buffer = flag.Float64("buffer", 100, "buffer size in MSS")
+		n      = flag.Int("n", 2, "number of senders for the multi-sender axioms")
+		steps  = flag.Int("steps", 4000, "simulation horizon in RTT steps")
+	)
+	flag.Parse()
+
+	p, err := axiomcc.ParseProtocol(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	theta := *rttMS / 1000 / 2
+	cfg := axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(*mbps),
+		PropDelay: theta,
+		Buffer:    *buffer,
+	}
+	lp := experiment.LinkParams(cfg, *n)
+
+	fmt.Printf("%s on a %.0f Mbps / %.0f ms RTT / %.0f MSS buffer link (C=%.1f MSS), %d sender(s)\n\n",
+		p.Name(), *mbps, *rttMS, *buffer, lp.C, *n)
+
+	row, rowErr := axiomcc.FamilyRow(p, lp)
+	scores, err := axiomcc.Characterize(cfg, p, *n, axiomcc.MetricOptions{Steps: *steps})
+	if err != nil {
+		fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	if rowErr == nil {
+		fmt.Fprintln(w, "metric\ttheory@link\ttheory<worst>\tmeasured")
+		line := func(name string, at, worst, meas float64) {
+			fmt.Fprintf(w, "%s\t%s\t<%s>\t%s\n", name, num(at), num(worst), num(meas))
+		}
+		line("efficiency (I)", row.At.Efficiency, row.WorstCase.Efficiency, scores.Efficiency)
+		line("fast-utilization (II)", row.At.FastUtilization, row.WorstCase.FastUtilization, scores.FastUtilization)
+		line("loss-avoidance (III)", row.At.LossAvoidance, row.WorstCase.LossAvoidance, scores.LossAvoidance)
+		line("fairness (IV)", row.At.Fairness, row.WorstCase.Fairness, scores.Fairness)
+		line("convergence (V)", row.At.Convergence, row.WorstCase.Convergence, scores.Convergence)
+		line("robustness (VI)", row.At.Robustness, row.At.Robustness, scores.Robustness)
+		line("tcp-friendliness (VII)", row.At.TCPFriendliness, row.WorstCase.TCPFriendliness, scores.TCPFriendliness)
+		fmt.Fprintf(w, "latency-avoidance (VIII)\tunbounded\t<unbounded>\t%s\n", num(scores.LatencyAvoidance))
+	} else {
+		fmt.Fprintf(os.Stdout, "(no Table 1 row: %v)\n\n", rowErr)
+		fmt.Fprintln(w, "metric\tmeasured")
+		fmt.Fprintf(w, "efficiency (I)\t%s\n", num(scores.Efficiency))
+		fmt.Fprintf(w, "fast-utilization (II)\t%s\n", num(scores.FastUtilization))
+		fmt.Fprintf(w, "loss-avoidance (III)\t%s\n", num(scores.LossAvoidance))
+		fmt.Fprintf(w, "fairness (IV)\t%s\n", num(scores.Fairness))
+		fmt.Fprintf(w, "convergence (V)\t%s\n", num(scores.Convergence))
+		fmt.Fprintf(w, "robustness (VI)\t%s\n", num(scores.Robustness))
+		fmt.Fprintf(w, "tcp-friendliness (VII)\t%s\n", num(scores.TCPFriendliness))
+		fmt.Fprintf(w, "latency-avoidance (VIII)\t%s\n", num(scores.LatencyAvoidance))
+	}
+	w.Flush()
+}
+
+func num(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "∞"
+	case math.IsNaN(v):
+		return "-"
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "axiomscore:", err)
+	os.Exit(1)
+}

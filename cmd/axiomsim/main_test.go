@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	axiomcc "repro"
+)
+
+func TestParseProtocolsSimple(t *testing.T) {
+	ps, err := parseProtocols("reno,cubic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Name() != "AIMD(1,0.5)" || ps[1].Name() != "CUBIC(0.4,0.8)" {
+		t.Fatalf("parsed %v", names(ps))
+	}
+}
+
+func TestParseProtocolsWithParameters(t *testing.T) {
+	// Parameter commas must not split protocols.
+	ps, err := parseProtocols("aimd:1,0.5,raimd:1,0.8,0.01,reno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"AIMD(1,0.5)", "RobustAIMD(1,0.8,0.01)", "AIMD(1,0.5)"}
+	got := names(ps)
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseProtocolsErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		errPart string
+	}{
+		{"", "no protocols"},
+		{"0.5,reno", "dangling parameter"},
+		{"nosuch", "unknown protocol"},
+		{"aimd:1", "want 2 parameters"},
+	}
+	for _, c := range cases {
+		_, err := parseProtocols(c.in)
+		if err == nil {
+			t.Errorf("parseProtocols(%q): expected error", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("parseProtocols(%q) error = %v, want substring %q", c.in, err, c.errPart)
+		}
+	}
+}
+
+func TestParseProtocolsWhitespace(t *testing.T) {
+	ps, err := parseProtocols(" reno , vegas ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("parsed %v", names(ps))
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("1, 2.5 ,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 2.5 {
+		t.Fatalf("parsed %v", got)
+	}
+	if got, err := parseFloats(""); err != nil || got != nil {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	if _, err := parseFloats("1,x"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func names(ps []axiomcc.Protocol) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name()
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Command paretoexplore navigates the Pareto frontier of Section 5.2:
+// it prints Figure 1's frontier surface (fast-utilization × efficiency ×
+// TCP-friendliness), tests user-supplied points for feasibility against
+// Theorems 2 and 3, and spot-checks that AIMD(α, β) empirically attains
+// frontier points.
+//
+// Examples:
+//
+//	paretoexplore -surface -alphas 10 -betas 10          # Figure 1 data
+//	paretoexplore -point 1,0.5,1                          # feasible? on frontier?
+//	paretoexplore -point 1,0.8,0.9                        # infeasible point
+//	paretoexplore -check "1,0.5;2,0.5;1,0.8"              # empirical AIMD spot checks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	axiomcc "repro"
+	"repro/internal/experiment"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	var (
+		surface = flag.Bool("surface", false, "print Figure 1's frontier surface as TSV")
+		alphaN  = flag.Int("alphas", 12, "surface grid size for α (fast-utilization)")
+		betaN   = flag.Int("betas", 9, "surface grid size for β (efficiency)")
+		point   = flag.String("point", "", "test a fast,eff,friendly point against Theorem 2")
+		eps     = flag.Float64("eps", 0, "robustness ε for the -point test (engages Theorem 3)")
+		cap     = flag.Float64("capacity", 100, "link capacity C in MSS for Theorem 3")
+		tau     = flag.Float64("tau", 20, "buffer τ in MSS for Theorem 3")
+		check   = flag.String("check", "", "semicolon-separated a,b pairs: empirically verify AIMD(a,b) attains its frontier point")
+		steps   = flag.Int("steps", 3000, "simulation horizon for -check")
+		svgPath = flag.String("svg", "", "with -surface: also write a friendliness heatmap SVG to this file")
+	)
+	flag.Parse()
+
+	did := false
+	if *surface {
+		did = true
+		pts := experiment.Figure1(*alphaN, *betaN)
+		fmt.Print(experiment.RenderFigure1(pts))
+		if *svgPath != "" {
+			if err := writeSurfaceSVG(*svgPath, pts, *alphaN, *betaN); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *svgPath)
+		}
+	}
+	if *point != "" {
+		did = true
+		coords, err := parseTriple(*point)
+		if err != nil {
+			fatal(err)
+		}
+		fast, eff, friendly := coords[0], coords[1], coords[2]
+		bound := axiomcc.Theorem2Bound(fast, eff)
+		fmt.Printf("point: fast-utilization=%g efficiency=%g tcp-friendliness=%g\n", fast, eff, friendly)
+		fmt.Printf("Theorem 2 ceiling at (α=%g, β=%g): %.4f\n", fast, eff, bound)
+		if *eps > 0 {
+			b3 := axiomcc.Theorem3Bound(fast, eff, *eps, *cap, *tau)
+			fmt.Printf("Theorem 3 ceiling with ε=%g on C=%g τ=%g: %.6f\n", *eps, *cap, *tau, b3)
+			fmt.Printf("feasible (Theorem 3): %v\n", axiomcc.FeasibleRobust(fast, eff, *eps, friendly, *cap, *tau))
+		} else {
+			switch {
+			case !axiomcc.Feasible(fast, eff, friendly):
+				fmt.Println("verdict: INFEASIBLE — no loss-based protocol can attain this point")
+			case friendly >= bound-1e-9:
+				fmt.Println("verdict: ON the Pareto frontier — attained by AIMD(α, β)")
+			default:
+				fmt.Println("verdict: feasible but DOMINATED — raising friendliness to the ceiling improves it")
+			}
+		}
+	}
+	if *check != "" {
+		did = true
+		var pairs [][2]float64
+		for _, part := range strings.Split(*check, ";") {
+			fs := strings.Split(part, ",")
+			if len(fs) != 2 {
+				fatal(fmt.Errorf("bad -check pair %q", part))
+			}
+			a, err1 := strconv.ParseFloat(strings.TrimSpace(fs[0]), 64)
+			b, err2 := strconv.ParseFloat(strings.TrimSpace(fs[1]), 64)
+			if err1 != nil || err2 != nil {
+				fatal(fmt.Errorf("bad -check pair %q", part))
+			}
+			pairs = append(pairs, [2]float64{a, b})
+		}
+		checks, err := experiment.Figure1SpotChecks(pairs, axiomcc.MetricOptions{Steps: *steps})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiment.RenderFigure1Checks(checks))
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeSurfaceSVG renders Figure 1's frontier as a heatmap: friendliness
+// over the (α, β) grid.
+func writeSurfaceSVG(path string, pts []axiomcc.SurfacePoint, alphaN, betaN int) error {
+	// pts iterate α-major (β fastest); build grid[βIdx][αIdx].
+	grid := make([][]float64, betaN)
+	for y := range grid {
+		grid[y] = make([]float64, alphaN)
+	}
+	var xs, ys []float64
+	for i, p := range pts {
+		a, b := i/betaN, i%betaN
+		grid[b][a] = p.Friendliness
+		if b == 0 {
+			xs = append(xs, p.FastUtilization)
+		}
+		if a == 0 {
+			ys = append(ys, p.Efficiency)
+		}
+	}
+	svg := svgplot.Heatmap(grid, svgplot.HeatmapOptions{
+		Title:   "Figure 1: TCP-friendliness frontier 3(1−β)/(α(1+β))",
+		XLabel:  "fast-utilization α",
+		YLabel:  "efficiency β",
+		XValues: xs,
+		YValues: ys,
+	})
+	return os.WriteFile(path, []byte(svg), 0o644)
+}
+
+func parseTriple(s string) ([3]float64, error) {
+	var out [3]float64
+	fs := strings.Split(s, ",")
+	if len(fs) != 3 {
+		return out, fmt.Errorf("want fast,eff,friendly — got %q", s)
+	}
+	for i, f := range fs {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return out, fmt.Errorf("bad coordinate %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paretoexplore:", err)
+	os.Exit(1)
+}

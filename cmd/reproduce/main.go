@@ -1,0 +1,228 @@
+// Command reproduce regenerates every table and figure of "An Axiomatic
+// Approach to Congestion Control" (HotNets 2017) from this repository's
+// simulators:
+//
+//	reproduce -exp table1        Table 1's closed forms at a chosen link
+//	reproduce -exp table1-sim    Table 1 validated on the fluid model
+//	reproduce -exp hierarchy     §5.1 Emulab protocol-ordering experiments
+//	reproduce -exp table2        Table 2: Robust-AIMD vs PCC friendliness
+//	reproduce -exp figure1       Figure 1's frontier surface + spot checks
+//	reproduce -exp claim1        Claim 1's probe demonstration
+//	reproduce -exp theorem1..5   executable checks of Theorems 1-5
+//	reproduce -exp robustness    Metric VI sweep (Table 1's robustness column)
+//	reproduce -exp parkinglot    §6 network-wide extension (multilink parking lot)
+//	reproduce -exp all           everything above
+//
+// -quick shrinks grids and horizons for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	axiomcc "repro"
+	"repro/internal/experiment"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id (see package comment)")
+		quick     = flag.Bool("quick", false, "reduced grids and horizons")
+		mbps      = flag.Float64("mbps", 20, "link bandwidth for table1/table1-sim")
+		buf       = flag.Float64("buffer", 100, "buffer for table1/table1-sim (MSS)")
+		n         = flag.Int("n", 2, "senders for table1/table1-sim")
+		reportDir = flag.String("report", "", "write a full Markdown+SVG reproduction report into this directory and exit")
+		seed      = flag.Uint64("seed", 0, "seed for randomized components")
+	)
+	flag.Parse()
+
+	if *reportDir != "" {
+		path, err := report.Write(*reportDir, report.Config{Quick: *quick, Seed: *seed}, time.Now())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		return
+	}
+
+	run := func(id string, f func() error) {
+		if *exp != "all" && *exp != id {
+			return
+		}
+		fmt.Printf("==== %s ====\n", id)
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	steps := 4000
+	dur := 60.0
+	if *quick {
+		steps = 1200
+		dur = 20
+	}
+	opt := axiomcc.MetricOptions{Steps: steps}
+
+	run("table1", func() error {
+		cfg := experiment.FluidLink(*mbps, *buf)
+		lp := experiment.LinkParams(cfg, *n)
+		fmt.Printf("link: C=%.1f MSS, τ=%.0f MSS, n=%d\n\n", lp.C, lp.Tau, lp.N)
+		fmt.Print(experiment.RenderTable1Theory(experiment.Table1Theory(lp)))
+		return nil
+	})
+
+	run("table1-sim", func() error {
+		cfg := experiment.FluidLink(*mbps, *buf)
+		scores, err := experiment.Table1Empirical(cfg, *n, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderTable1Empirical(scores))
+		return nil
+	})
+
+	run("hierarchy", func() error {
+		hc := experiment.HierarchyConfig{Duration: dur}
+		if *quick {
+			hc.Senders = []int{2}
+			hc.Bandwidths = []float64{20, 60}
+			hc.Buffers = []int{100}
+		}
+		res, err := experiment.Hierarchy(hc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+
+	run("table2", func() error {
+		tc := experiment.Table2Config{Duration: dur}
+		if *quick {
+			tc.Senders = []int{2, 3}
+			tc.Bandwidths = []float64{20, 60}
+		}
+		res, err := experiment.Table2(tc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+
+	run("figure1", func() error {
+		pts := experiment.Figure1(12, 9)
+		fmt.Print(experiment.RenderFigure1(pts))
+		fmt.Println()
+		checks, err := experiment.Figure1SpotChecks([][2]float64{{1, 0.5}, {2, 0.5}, {1, 0.8}, {0.5, 0.5}}, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderFigure1Checks(checks))
+		return nil
+	})
+
+	run("claim1", func() error {
+		ev, err := experiment.CheckClaim1(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("probe-until-loss on a finite link:\n  tail loss      = %.6f (0-loss)\n  tail efficiency = %.3f\n  fast-utilization = %.6f (not α-fast-utilizing for any α>0)\n  claim holds    = %v\n",
+			ev.TailLoss, ev.Efficiency, ev.FastUtil, ev.Holds)
+		return nil
+	})
+
+	run("theorem1", func() error {
+		checks, err := experiment.CheckTheorem1(opt, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderChecks("α-convergent ∧ β-fast-utilizing ⇒ α/(2−α)-efficient", checks,
+			func(c experiment.Theorem1Check) string {
+				return fmt.Sprintf("%s\tconv=%.3f\tfast=%.3f\teff=%.3f\tbound=%.3f\tholds=%v",
+					c.Name, c.Convergence, c.FastUtil, c.Efficiency, c.Bound, c.Holds)
+			}))
+		return nil
+	})
+
+	run("theorem2", func() error {
+		checks, err := experiment.CheckTheorem2(nil, opt, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderChecks("TCP-friendliness ≤ 3(1−β)/(α(1+β)), tight for AIMD(α,β)", checks,
+			func(c experiment.Theorem2Check) string {
+				return fmt.Sprintf("AIMD(%g,%g)\tbound=%.3f\tmeasured=%.3f\ttightness=%.2f\tholds=%v",
+					c.A, c.B, c.Bound, c.Measured, c.Tightness, c.Holds)
+			}))
+		return nil
+	})
+
+	run("theorem3", func() error {
+		checks, err := experiment.CheckTheorem3(nil, opt, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderChecks("ε-robustness caps TCP-friendliness (Theorem 3)", checks,
+			func(c experiment.Theorem3Check) string {
+				return fmt.Sprintf("ε=%g\tceiling=%.5f\tnon-robust ceiling=%.3f\tmeasured=%.4f\tholds=%v",
+					c.Eps, c.Bound, c.NonRobustCeiling, c.Measured, c.Holds)
+			}))
+		return nil
+	})
+
+	run("theorem4", func() error {
+		checks, err := experiment.CheckTheorem4(opt, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderChecks("α-TCP-friendly ⇒ α-friendly to protocols more aggressive than Reno", checks,
+			func(c experiment.Theorem4Check) string {
+				return fmt.Sprintf("P=%s\tQ=%s\tQ-more-aggressive=%v\tfriendly-to-Reno=%.3f\tfriendly-to-Q=%.3f\tholds=%v",
+					c.P, c.Q, c.QMoreAggressive, c.FriendlyToReno, c.FriendlyToQ, c.Holds)
+			}))
+		return nil
+	})
+
+	run("robustness", func() error {
+		entries, err := experiment.RobustnessSweep(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderRobustness(entries))
+		return nil
+	})
+
+	run("parkinglot", func() error {
+		hops := []int{1, 2, 3, 4}
+		if *quick {
+			hops = []int{1, 3}
+		}
+		entries, err := experiment.ParkingLotExperiment(hops, steps, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderParkingLot(entries))
+		return nil
+	})
+
+	run("theorem5", func() error {
+		checks, err := experiment.CheckTheorem5(opt, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderChecks("efficient loss-based protocols starve latency avoiders", checks,
+			func(c experiment.Theorem5Check) string {
+				return fmt.Sprintf("%s vs %s\teff=%.3f\tavoider-latency=%.4f\tfriendliness=%.4f\tholds=%v",
+					c.LossBased, c.LatencyAvoider, c.LossBasedEff, c.AvoiderLatency, c.Friendliness, c.Holds)
+			}))
+		return nil
+	})
+}

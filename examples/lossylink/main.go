@@ -1,0 +1,65 @@
+// Lossylink reproduces the scenario that motivates both PCC and the
+// paper's robustness axiom (Metric VI): a link whose packets are dropped
+// at random — wireless corruption, a flaky middlebox — independent of
+// congestion. Loss-based TCP collapses because it reads every drop as
+// congestion; protocols that tolerate a bounded loss *rate* (Robust-AIMD,
+// PCC) keep the pipe full.
+//
+// The example runs at packet granularity on the event-driven testbed, then
+// cross-checks with the fluid model's robustness scores.
+//
+//	go run ./examples/lossylink
+package main
+
+import (
+	"fmt"
+	"log"
+
+	axiomcc "repro"
+)
+
+func main() {
+	const mbps = 20.0
+	cfg := axiomcc.PacketConfig{
+		Bandwidth:  axiomcc.MbpsToMSSps(mbps),
+		PropDelay:  0.021,
+		Buffer:     100,
+		RandomLoss: 0.005, // 0.5% of packets vanish at random
+		Seed:       42,
+	}
+	fmt.Printf("20 Mbps link, 42 ms RTT, 0.5%% random (non-congestion) packet loss\n\n")
+
+	contenders := []axiomcc.Protocol{
+		axiomcc.Reno(),
+		axiomcc.CubicLinux(),
+		axiomcc.NewRobustAIMD(1, 0.8, 0.05),
+		axiomcc.DefaultPCC(),
+	}
+	fmt.Println("each protocol alone on the lossy link (60 s):")
+	for _, p := range contenders {
+		res, err := axiomcc.RunPacketLevel(cfg, []axiomcc.PacketFlow{{Proto: p, Init: 1}}, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		thr := res.Throughput(0, 0.5)
+		fmt.Printf("  %-24s %8.1f MSS/s  (%5.1f%% of link)\n", p.Name(), thr, 100*thr/cfg.Bandwidth)
+	}
+
+	// The same story in the fluid model, as Metric VI scores: the largest
+	// constant loss rate each protocol tolerates while still growing.
+	fmt.Println("\nMetric VI robustness scores (largest tolerated constant loss rate):")
+	for _, p := range contenders {
+		r, err := axiomcc.Robustness(p, 0.5, 1e-3, axiomcc.MetricOptions{Steps: 2000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-24s %.3f\n", p.Name(), r)
+	}
+	fmt.Println("\nPlain AIMD/Cubic score 0 on Metric VI — under a persistent loss RATE their")
+	fmt.Println("windows cannot grow without bound — while Robust-AIMD(·,·,ε) is ε-robust and")
+	fmt.Println("PCC tolerates ≈1/(1+δ). Note the packet-level table above is gentler than the")
+	fmt.Println("axiom: at this small BDP (~70 pkts), fast recovery plus Cubic's quick regrowth")
+	fmt.Println("to its last maximum ride out 0.5% loss, whereas Reno's halvings do not; the")
+	fmt.Println("axiom's infinite-capacity scenario is where both collapse. Theorem 3 prices")
+	fmt.Println("robustness in TCP-friendliness; see examples/friendliness for that trade.")
+}

@@ -1,0 +1,81 @@
+// Paretodesign walks the protocol-design workflow of Section 5.2: treat
+// candidate protocols as points in the axiom space, prune the dominated
+// ones, and pick a Pareto-optimal design matching your priorities — here,
+// "as TCP-friendly as possible subject to utilizing spare bandwidth at
+// ≥ 1 MSS/RTT and ≥ 60% efficiency".
+//
+//	go run ./examples/paretodesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	axiomcc "repro"
+)
+
+func main() {
+	cfg := axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(20),
+		PropDelay: 0.021,
+		Buffer:    20,
+	}
+	opt := axiomcc.MetricOptions{Steps: 2500}
+
+	// Candidate designs: a spread of AIMD parameterizations plus the
+	// paper's named protocols.
+	candidates := []axiomcc.Protocol{
+		axiomcc.Reno(),
+		axiomcc.NewAIMD(2, 0.5),
+		axiomcc.NewAIMD(1, 0.8),
+		axiomcc.NewAIMD(0.5, 0.7),
+		axiomcc.Scalable(),
+		axiomcc.CubicLinux(),
+		axiomcc.SQRT(),
+		axiomcc.NewRobustAIMD(1, 0.8, 0.01),
+	}
+
+	// Measure every candidate's full 8-tuple and embed it as a point in
+	// the (higher-is-better) oriented score space.
+	fmt.Println("measuring candidates on a 20 Mbps / 42 ms / 20-MSS-buffer link...")
+	var points []axiomcc.ParetoPoint
+	byName := map[string]axiomcc.MetricScores{}
+	for _, p := range candidates {
+		s, err := axiomcc.Characterize(cfg, p, 2, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		byName[p.Name()] = s
+		points = append(points, axiomcc.ParetoPoint{Label: p.Name(), Coords: axiomcc.OrientScores(s)})
+		fmt.Printf("  %-24s %s\n", p.Name(), s)
+	}
+
+	// Prune dominated designs.
+	frontier := axiomcc.Frontier(points)
+	fmt.Printf("\nPareto frontier (%d of %d candidates survive):\n", len(frontier), len(points))
+	for _, p := range frontier {
+		fmt.Printf("  %s\n", p.Label)
+	}
+
+	// Apply the design constraints and pick the friendliest survivor.
+	fmt.Println("\nconstraints: fast-utilization ≥ 1, efficiency ≥ 0.6; objective: max TCP-friendliness")
+	best := ""
+	bestFriendly := -1.0
+	for _, p := range frontier {
+		s := byName[p.Label]
+		if s.FastUtilization >= 0.95 && s.Efficiency >= 0.6 && s.TCPFriendliness > bestFriendly {
+			best, bestFriendly = p.Label, s.TCPFriendliness
+		}
+	}
+	if best == "" {
+		fmt.Println("no candidate satisfies the constraints")
+		return
+	}
+	fmt.Printf("selected design: %s (measured TCP-friendliness %.3f)\n", best, bestFriendly)
+
+	// Theorem 2 tells us how much friendliness the constraints leave on
+	// the table.
+	fmt.Printf("Theorem 2 ceiling at (α=1, β=0.6): %.3f — the selected design %s it\n",
+		axiomcc.Theorem2Bound(1, 0.6),
+		map[bool]string{true: "attains", false: "approaches"}[bestFriendly >= axiomcc.Theorem2Bound(1, 0.6)*0.9])
+}

@@ -1,0 +1,57 @@
+// Parkinglot demonstrates the network-wide extension of the framework
+// (§6's "generalizing our model to capture network-wide protocol
+// interaction"): a long flow crosses k congested links, each of which also
+// carries a dedicated one-hop flow. Under per-flow (stochastic) loss
+// observation, the long flow is beaten below the short flows' share, and
+// the bias deepens with the hop count — the classic "parking lot" result,
+// here derived from nothing but the paper's §2 window-update rules.
+//
+//	go run ./examples/parkinglot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	axiomcc "repro"
+)
+
+func main() {
+	link := axiomcc.NetLinkSpec{
+		Bandwidth: 100 / 0.042, // C = 100 MSS per link
+		PropDelay: 0.021,
+		Buffer:    20,
+	}
+
+	fmt.Println("parking lot: one k-hop Reno flow vs one 1-hop Reno flow per link")
+	fmt.Printf("%4s | %18s | %18s | %9s\n", "k", "long/short window", "long/short goodput", "link util")
+	for _, k := range []int{1, 2, 3, 4} {
+		net, err := axiomcc.ParkingLot(k, link, axiomcc.Reno(), 1, axiomcc.WithStochasticLoss(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := net.Run(6000)
+
+		shortW, shortG := 0.0, 0.0
+		for i := 1; i <= k; i++ {
+			shortW += res.AvgWindow(i, 0.75)
+			shortG += res.AvgGoodput(i, 0.75)
+		}
+		shortW /= float64(k)
+		shortG /= float64(k)
+		util := 0.0
+		for l := 0; l < k; l++ {
+			util += res.LinkUtilization(l, 0.75)
+		}
+		fmt.Printf("%4d | %18.3f | %18.3f | %9.3f\n",
+			k,
+			res.AvgWindow(0, 0.75)/shortW,
+			res.AvgGoodput(0, 0.75)/shortG,
+			util/float64(k))
+	}
+
+	fmt.Println("\nthe long flow pays twice: it sees the union of all links' loss (window")
+	fmt.Println("ratio < 1, worsening with k) AND the sum of their delays (goodput ratio")
+	fmt.Println("falls even faster). Custom topologies: axiomcc.NewNetwork with explicit")
+	fmt.Println("NetLinkSpec / NetFlowSpec lists — any protocol mix, any paths.")
+}

@@ -1,0 +1,59 @@
+// Quickstart: simulate two TCP Reno flows sharing a 20 Mbps bottleneck in
+// the paper's fluid-flow model, watch them converge to a fair share, and
+// score the protocol on all eight axioms.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	axiomcc "repro"
+)
+
+func main() {
+	// A 20 Mbps link with 42 ms RTT: capacity C = B·2Θ = 70 MSS, plus a
+	// 100-MSS droptail buffer — one of the paper's Emulab settings.
+	cfg := axiomcc.LinkConfig{
+		Bandwidth: axiomcc.MbpsToMSSps(20), // B in MSS/s
+		PropDelay: 0.021,                   // Θ: 21 ms each way
+		Buffer:    100,                     // τ in MSS
+	}
+	fmt.Printf("link capacity C = %.1f MSS, buffer τ = %.0f MSS\n\n", cfg.Capacity(), cfg.Buffer)
+
+	// Start maximally unfair: one flow holds the pipe, the other joins
+	// with a single segment.
+	tr, err := axiomcc.RunHomogeneous(cfg, axiomcc.Reno(), 2, []float64{170, 1}, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("window evolution (steps are RTTs):")
+	for _, step := range []int{0, 50, 200, 1000, 3999} {
+		fmt.Printf("  t=%4d   flow0=%7.1f  flow1=%7.1f\n",
+			step, tr.Window(0)[step], tr.Window(1)[step])
+	}
+
+	fmt.Printf("\ntail averages: flow0=%.1f flow1=%.1f — AIMD converges to fairness\n",
+		tr.AvgWindow(0, 0.75), tr.AvgWindow(1, 0.75))
+	fmt.Println(tr.Summary(0.75))
+
+	// Score Reno on all eight axioms of §3.
+	scores, err := axiomcc.Characterize(cfg, axiomcc.Reno(), 2, axiomcc.MetricOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReno's empirical 8-tuple (§3 metrics):")
+	fmt.Printf("  %s\n", scores)
+
+	// And the matching theory row from Table 1.
+	row, err := axiomcc.FamilyRow(axiomcc.Reno(), axiomcc.TheoryLink{C: cfg.Capacity(), Tau: cfg.Buffer, N: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTable 1 (theory) for AIMD(1, 0.5) on this link:")
+	fmt.Printf("  efficiency=%.3f loss=%.4f fast=%.0f friendly=%.2f fair=%.0f conv=%.3f\n",
+		row.At.Efficiency, row.At.LossAvoidance, row.At.FastUtilization,
+		row.At.TCPFriendliness, row.At.Fairness, row.At.Convergence)
+}

@@ -1,0 +1,28 @@
+package axioms_test
+
+import (
+	"fmt"
+
+	"repro/internal/axioms"
+)
+
+// ExampleTheorem2Bound evaluates the paper's central trade-off: a
+// loss-based protocol that is α-fast-utilizing and β-efficient can be at
+// most 3(1−β)/(α(1+β))-TCP-friendly. TCP Reno's own parameters sit
+// exactly at friendliness 1.
+func ExampleTheorem2Bound() {
+	fmt.Printf("%.4f\n", axioms.Theorem2Bound(1, 0.5)) // Reno's point
+	fmt.Printf("%.4f\n", axioms.Theorem2Bound(1, 0.8)) // more efficient ⇒ less friendly
+	// Output:
+	// 1.0000
+	// 0.3333
+}
+
+// ExampleAIMDRow evaluates one Table 1 row at a concrete link.
+func ExampleAIMDRow() {
+	row := axioms.AIMDRow(1, 0.5, axioms.Link{C: 100, Tau: 20, N: 2})
+	fmt.Printf("efficiency %.2f, convergence %.3f, worst-case efficiency <%.1f>\n",
+		row.At.Efficiency, row.At.Convergence, row.WorstCase.Efficiency)
+	// Output:
+	// efficiency 0.60, convergence 0.667, worst-case efficiency <0.5>
+}

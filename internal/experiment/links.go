@@ -1,0 +1,65 @@
+// Package experiment contains the scenario builders, parameter sweeps and
+// renderers that regenerate every table and figure in "An Axiomatic
+// Approach to Congestion Control" (HotNets 2017):
+//
+//   - Table 1 (theory):     Table1Theory — the closed-form protocol rows
+//   - Table 1 (validation): Table1Empirical — fluid-model measurements
+//   - §5.1 experiments:     Hierarchy — packet-level protocol orderings
+//     across (n, bandwidth, buffer) grids
+//   - Table 2:              Table2 — Robust-AIMD vs PCC TCP-friendliness
+//   - Figure 1:             Figure1 + Figure1SpotChecks — the Pareto
+//     frontier surface and AIMD's attainment of it
+//   - Claim 1, Theorems 1-5: CheckClaim1, CheckTheorem1 … CheckTheorem5
+//
+// The paper ran its validation on Emulab with a fixed 42 ms RTT and
+// bandwidths quoted in Mbps; the builders here reproduce that setup on the
+// packet-level simulator (internal/packetsim) and its fluid-model analogue
+// (internal/fluid), converting Mbps to the model's MSS/s with 1500-byte
+// segments.
+package experiment
+
+import (
+	"repro/internal/axioms"
+	"repro/internal/fluid"
+	"repro/internal/packetsim"
+)
+
+// PaperRTT is the fixed round-trip time of the paper's Emulab experiments:
+// 42 ms, i.e. Θ = 21 ms each way.
+const PaperRTT = 0.042
+
+// PaperBandwidthsMbps are the link bandwidths of the §5.1 and Table 2
+// experiments.
+var PaperBandwidthsMbps = []float64{20, 30, 60, 100}
+
+// PaperBuffersMSS are the §5.1 buffer sizes.
+var PaperBuffersMSS = []int{10, 100}
+
+// PaperSenderCounts are the §5.1 / Table 2 connection counts.
+var PaperSenderCounts = []int{2, 3, 4}
+
+// EmulabLink returns the packet-level configuration for one of the
+// paper's Emulab settings: the given bandwidth in Mbps, a 42 ms RTT and
+// the given buffer in MSS.
+func EmulabLink(mbps float64, bufferMSS int) packetsim.Config {
+	return packetsim.Config{
+		Bandwidth: fluid.MbpsToMSSps(mbps),
+		PropDelay: PaperRTT / 2,
+		Buffer:    bufferMSS,
+	}
+}
+
+// FluidLink returns the fluid-model configuration matching EmulabLink.
+func FluidLink(mbps float64, bufferMSS float64) fluid.Config {
+	return fluid.Config{
+		Bandwidth: fluid.MbpsToMSSps(mbps),
+		PropDelay: PaperRTT / 2,
+		Buffer:    bufferMSS,
+	}
+}
+
+// LinkParams converts a fluid configuration into the axioms package's
+// (C, τ, n) triple.
+func LinkParams(cfg fluid.Config, n int) axioms.Link {
+	return axioms.Link{C: cfg.Capacity(), Tau: cfg.Buffer, N: n}
+}

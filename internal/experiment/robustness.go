@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/fluid"
+	"repro/internal/metrics"
+	"repro/internal/multilink"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// withDefaultsForSweep fills the horizon the sweep's lossy run uses.
+func optSteps(o metrics.Options) int {
+	if o.Steps == 0 {
+		return 4000
+	}
+	return o.Steps
+}
+
+// RobustnessEntry is one protocol's Metric VI score alongside its lossy-
+// link throughput share.
+type RobustnessEntry struct {
+	Name string
+	// Threshold is the largest constant loss rate tolerated (Metric VI).
+	Threshold float64
+	// UtilAtHalfPercent is the fluid-model utilization the protocol
+	// sustains under 0.5% constant non-congestion loss on a finite link.
+	UtilAtHalfPercent float64
+}
+
+// RobustnessSweep scores the paper's protocol set (plus the PCC stand-in
+// and TFRC) on Metric VI: Table 1's claim is that every family scores 0
+// except Robust-AIMD, which scores its ε, while PCC tolerates ≈ 1/(1+δ).
+func RobustnessSweep(opt metrics.Options) ([]RobustnessEntry, error) {
+	protos := []protocol.Protocol{
+		protocol.Reno(),
+		protocol.Scalable(),
+		protocol.SQRT(),
+		protocol.CubicLinux(),
+		protocol.NewRobustAIMD(1, 0.8, 0.01),
+		protocol.NewRobustAIMD(1, 0.8, 0.05),
+		protocol.DefaultPCC(),
+		protocol.DefaultTFRC(),
+		protocol.NewBBRish(),
+	}
+	var out []RobustnessEntry
+	for _, p := range protos {
+		thr, err := metrics.Robustness(p, 0.5, 1e-3, opt)
+		if err != nil {
+			return nil, err
+		}
+		cfg := FluidLink(20, 100)
+		cfg.Loss = fluid.NewConstantLoss(0.005)
+		tr, err := fluid.Homogeneous(cfg, p, 1, []float64{1}, optSteps(opt))
+		if err != nil {
+			return nil, err
+		}
+		util := stats.Mean(stats.Tail(tr.Utilization(), 0.75))
+		out = append(out, RobustnessEntry{
+			Name:              p.Name(),
+			Threshold:         thr,
+			UtilAtHalfPercent: util,
+		})
+	}
+	return out, nil
+}
+
+// RenderRobustness formats the sweep.
+func RenderRobustness(entries []RobustnessEntry) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\tMetric VI threshold\tutilization @0.5% loss")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\n", e.Name, e.Threshold, e.UtilAtHalfPercent)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// ParkingLotEntry is one hop-count's outcome in the network-wide
+// experiment.
+type ParkingLotEntry struct {
+	Hops int
+	// WindowRatio is long flow avg window / short flows' avg window
+	// under stochastic loss observation.
+	WindowRatio float64
+	// GoodputRatio is the same for goodput (RTT-weighted).
+	GoodputRatio float64
+	// LinkUtil is the mean per-link utilization.
+	LinkUtil float64
+}
+
+// ParkingLotExperiment sweeps parking-lot sizes for the §6 network-wide
+// extension: the long flow's share decays with hop count.
+func ParkingLotExperiment(hops []int, steps int, seed uint64) ([]ParkingLotEntry, error) {
+	if len(hops) == 0 {
+		hops = []int{1, 2, 3, 4}
+	}
+	if steps == 0 {
+		steps = 6000
+	}
+	link := multilink.LinkSpec{
+		Bandwidth: 100 / 0.042,
+		PropDelay: 0.021,
+		Buffer:    20,
+	}
+	var out []ParkingLotEntry
+	for _, k := range hops {
+		net, err := multilink.ParkingLot(k, link, protocol.Reno(), 1, multilink.WithStochasticLoss(seed))
+		if err != nil {
+			return nil, err
+		}
+		res := net.Run(steps)
+		shortW, shortG := 0.0, 0.0
+		for i := 1; i <= k; i++ {
+			shortW += res.AvgWindow(i, 0.75)
+			shortG += res.AvgGoodput(i, 0.75)
+		}
+		shortW /= float64(k)
+		shortG /= float64(k)
+		util := 0.0
+		for l := 0; l < k; l++ {
+			util += res.LinkUtilization(l, 0.75)
+		}
+		out = append(out, ParkingLotEntry{
+			Hops:         k,
+			WindowRatio:  res.AvgWindow(0, 0.75) / shortW,
+			GoodputRatio: res.AvgGoodput(0, 0.75) / shortG,
+			LinkUtil:     util / float64(k),
+		})
+	}
+	return out, nil
+}
+
+// RenderParkingLot formats the sweep.
+func RenderParkingLot(entries []ParkingLotEntry) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "hops\tlong/short window\tlong/short goodput\tlink util")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\n", e.Hops, e.WindowRatio, e.GoodputRatio, e.LinkUtil)
+	}
+	w.Flush()
+	return sb.String()
+}

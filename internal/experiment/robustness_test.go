@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestRobustnessSweep(t *testing.T) {
+	entries, err := RobustnessSweep(metrics.Options{Steps: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RobustnessEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	// Table 1's robustness column: plain families score 0.
+	for _, name := range []string{"AIMD(1,0.5)", "MIMD(1.01,0.875)", "BIN(1,0.5,0.5,0.5)", "CUBIC(0.4,0.8)"} {
+		if e := byName[name]; e.Threshold != 0 {
+			t.Errorf("%s threshold = %v, want 0", name, e.Threshold)
+		}
+	}
+	// Robust-AIMD scores ≈ ε.
+	if e := byName["RobustAIMD(1,0.8,0.05)"]; e.Threshold < 0.03 || e.Threshold > 0.07 {
+		t.Errorf("R-AIMD(ε=0.05) threshold = %v, want ≈ 0.05", e.Threshold)
+	}
+	// PCC tolerates ≈ 1/(1+δ) = 0.048.
+	if e := byName["PCC(δ=20)"]; e.Threshold < 0.02 || e.Threshold > 0.09 {
+		t.Errorf("PCC threshold = %v, want ≈ 0.05", e.Threshold)
+	}
+	// Under 0.5% loss the robust protocols keep the link busy while Reno
+	// collapses.
+	if reno, ra := byName["AIMD(1,0.5)"], byName["RobustAIMD(1,0.8,0.01)"]; ra.UtilAtHalfPercent <= reno.UtilAtHalfPercent {
+		t.Errorf("R-AIMD util %v ≤ Reno util %v under 0.5%% loss",
+			ra.UtilAtHalfPercent, reno.UtilAtHalfPercent)
+	}
+	out := RenderRobustness(entries)
+	if !strings.Contains(out, "Metric VI") || !strings.Contains(out, "PCC") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestParkingLotExperiment(t *testing.T) {
+	entries, err := ParkingLotExperiment([]int{1, 3}, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// One hop: long and short flows are symmetric.
+	if e := entries[0]; e.WindowRatio < 0.8 || e.WindowRatio > 1.25 {
+		t.Errorf("1-hop window ratio = %v, want ≈ 1", e.WindowRatio)
+	}
+	// Three hops: the long flow is beaten down, in goodput even more than
+	// in windows (triple RTT).
+	e3 := entries[1]
+	if e3.WindowRatio >= entries[0].WindowRatio {
+		t.Errorf("window ratio did not fall with hops: %v -> %v",
+			entries[0].WindowRatio, e3.WindowRatio)
+	}
+	if e3.GoodputRatio >= e3.WindowRatio {
+		t.Errorf("goodput ratio %v ≥ window ratio %v; RTT penalty missing",
+			e3.GoodputRatio, e3.WindowRatio)
+	}
+	out := RenderParkingLot(entries)
+	if !strings.Contains(out, "hops") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestParkingLotExperimentDefaults(t *testing.T) {
+	entries, err := ParkingLotExperiment(nil, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("default hops = %d entries, want 4", len(entries))
+	}
+}

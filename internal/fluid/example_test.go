@@ -1,0 +1,35 @@
+package fluid_test
+
+import (
+	"fmt"
+
+	"repro/internal/fluid"
+	"repro/internal/protocol"
+)
+
+// Example simulates the paper's basic scenario: two TCP Reno senders on a
+// single bottleneck, converging to a fair share from a skewed start.
+func Example() {
+	cfg := fluid.Config{
+		Bandwidth: fluid.MbpsToMSSps(20), // B in MSS/s
+		PropDelay: 0.021,                 // Θ: C = B·2Θ = 70 MSS
+		Buffer:    100,                   // τ
+	}
+	tr, err := fluid.Homogeneous(cfg, protocol.Reno(), 2, []float64{170, 1}, 4000)
+	if err != nil {
+		panic(err)
+	}
+	a := tr.AvgWindow(0, 0.75)
+	b := tr.AvgWindow(1, 0.75)
+	fmt.Printf("fair split: %v\n", a == b)
+	// Output:
+	// fair split: true
+}
+
+// ExampleConfig_Capacity shows the paper's capacity definition C = B·2Θ.
+func ExampleConfig_Capacity() {
+	cfg := fluid.Config{Bandwidth: fluid.MbpsToMSSps(20), PropDelay: 0.021}
+	fmt.Printf("%.1f MSS\n", cfg.Capacity())
+	// Output:
+	// 70.0 MSS
+}

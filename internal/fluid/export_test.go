@@ -1,0 +1,6 @@
+package fluid
+
+import "repro/internal/rand64"
+
+// newTestRNG exposes a deterministic RNG to the package tests.
+func newTestRNG() *rand64.Source { return rand64.New(12345) }

@@ -1,0 +1,340 @@
+// Package fluid implements the discrete-time fluid-flow model of Section 2
+// of "An Axiomatic Approach to Congestion Control": n senders share a
+// single bottleneck link with FIFO (droptail) queuing; time advances in
+// synchronized RTT-sized steps; at each step every sender's protocol maps
+// its observed window/RTT/loss history to its next congestion window.
+//
+// The model's quantities follow the paper exactly:
+//
+//   - B   link bandwidth in MSS/s
+//   - Θ   propagation delay in seconds; C = B·2Θ is the link "capacity"
+//   - τ   buffer size in MSS
+//   - RTT(t) = max(2Θ, (X−C)/B + 2Θ)  if X(t) < C+τ,  Δ otherwise   (eq. 1)
+//   - L(t)  = 1 − (C+τ)/X(t)          if X(t) > C+τ,  0 otherwise
+//
+// where X(t) = Σᵢ xᵢ(t). B, Θ and τ are never revealed to the senders.
+//
+// Non-congestion loss (Metric VI) is modeled by a LossProcess layered on
+// top of the congestion loss; infinite-capacity links for the robustness
+// scenario set Infinite in the Config.
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/protocol"
+	"repro/internal/rand64"
+	"repro/internal/trace"
+)
+
+// MSSBytes is the segment size used when converting real-world bandwidths
+// into the model's MSS/s unit.
+const MSSBytes = 1500
+
+// MbpsToMSSps converts a bandwidth in megabits per second into MSS/s
+// assuming 1500-byte segments.
+func MbpsToMSSps(mbps float64) float64 {
+	return mbps * 1e6 / 8 / MSSBytes
+}
+
+// Config describes a bottleneck link. The zero value is not valid; fill in
+// Bandwidth, PropDelay and Buffer (or set Infinite) and leave the rest to
+// defaults.
+type Config struct {
+	Bandwidth float64 // B, MSS/s (> 0 unless Infinite)
+	PropDelay float64 // Θ, seconds (> 0)
+	Buffer    float64 // τ, MSS (≥ 0)
+
+	// MaxWindow is M, the largest window a sender may select. It defaults
+	// to 1e9 MSS, effectively unconstrained, matching the paper's 1 << M.
+	MaxWindow float64
+
+	// TimeoutRTT is Δ, the timeout-triggered RTT cap applied on steps with
+	// packet loss (eq. 1's "otherwise" branch). It defaults to twice the
+	// full-queue RTT, 2·(2Θ + τ/B).
+	TimeoutRTT float64
+
+	// Infinite removes the capacity constraint entirely: no congestion
+	// loss ever occurs and RTT is pinned at 2Θ. This is the Metric VI
+	// (robustness) scenario: "a single sender sends on a link of infinite
+	// capacity so as to remove from consideration congestion-based loss".
+	Infinite bool
+
+	// Loss is an optional non-congestion loss process (nil means none).
+	Loss LossProcess
+
+	// BandwidthSchedule, when non-nil, overrides Bandwidth per time step,
+	// modeling links whose capacity varies (handover, cross traffic,
+	// cellular fades) — a §6 "more realistic network model" extension.
+	// The returned value must stay positive; Bandwidth remains the
+	// nominal value used for Capacity() and trace normalization.
+	BandwidthSchedule func(step int) float64
+
+	// Seed seeds any randomized LossProcess; runs are deterministic for a
+	// fixed seed.
+	Seed uint64
+}
+
+// Capacity returns C = B·2Θ, or +Inf for an infinite link.
+func (c Config) Capacity() float64 {
+	if c.Infinite {
+		return math.Inf(1)
+	}
+	return c.Bandwidth * 2 * c.PropDelay
+}
+
+// BaseRTT returns 2Θ, the minimum possible RTT.
+func (c Config) BaseRTT() float64 { return 2 * c.PropDelay }
+
+func (c Config) withDefaults() Config {
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 1e9
+	}
+	if c.TimeoutRTT == 0 {
+		full := c.BaseRTT()
+		if !c.Infinite && c.Bandwidth > 0 {
+			full += c.Buffer / c.Bandwidth
+		}
+		c.TimeoutRTT = 2 * full
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.PropDelay <= 0 {
+		return fmt.Errorf("fluid: propagation delay must be positive, got %v", c.PropDelay)
+	}
+	if !c.Infinite && c.Bandwidth <= 0 {
+		return fmt.Errorf("fluid: bandwidth must be positive, got %v", c.Bandwidth)
+	}
+	if c.Buffer < 0 {
+		return fmt.Errorf("fluid: buffer must be non-negative, got %v", c.Buffer)
+	}
+	return nil
+}
+
+// Sender pairs a protocol instance with its initial congestion window.
+// Axioms quantify over "any initial configuration of senders' window
+// sizes"; estimators exercise several initial vectors through this field.
+type Sender struct {
+	Proto protocol.Protocol
+	Init  float64 // initial window in MSS; clamped to [MinWindow, M]
+
+	// Period and Phase desynchronize feedback (§6's "unsynchronized
+	// network feedback" extension): the sender applies its protocol
+	// update only on steps t with t ≡ Phase (mod Period), holding its
+	// window in between. While waiting it still *observes* the link —
+	// the update sees the epoch's aggregated loss (1 − Π(1−L_t)) and
+	// mean RTT, as a real sender reacting once per epoch would. Period
+	// 0 or 1 restores the paper's fully synchronized dynamics.
+	Period int
+	Phase  int
+}
+
+// Link is a single bottleneck shared by a fixed set of senders. Create
+// with New, advance with Step or Run.
+type Link struct {
+	cfg     Config
+	senders []Sender
+	x       []float64 // current windows
+	step    int
+	rng     *rand64.Source
+
+	// Per-sender epoch accumulators for unsynchronized feedback.
+	epochSurvive []float64 // Π(1−loss) since the sender's last update
+	epochRTTSum  []float64
+	epochSteps   []int
+}
+
+// New returns a link with the given configuration and senders. It returns
+// an error for invalid configurations or an empty sender set.
+func New(cfg Config, senders ...Sender) (*Link, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(senders) == 0 {
+		return nil, fmt.Errorf("fluid: at least one sender required")
+	}
+	cfg = cfg.withDefaults()
+	l := &Link{
+		cfg:          cfg,
+		senders:      senders,
+		x:            make([]float64, len(senders)),
+		rng:          rand64.New(cfg.Seed),
+		epochSurvive: make([]float64, len(senders)),
+		epochRTTSum:  make([]float64, len(senders)),
+		epochSteps:   make([]int, len(senders)),
+	}
+	for i, s := range senders {
+		if s.Proto == nil {
+			return nil, fmt.Errorf("fluid: sender %d has nil protocol", i)
+		}
+		if s.Period < 0 || s.Phase < 0 {
+			return nil, fmt.Errorf("fluid: sender %d has negative period or phase", i)
+		}
+		if s.Period > 1 && s.Phase >= s.Period {
+			return nil, fmt.Errorf("fluid: sender %d phase %d ≥ period %d", i, s.Phase, s.Period)
+		}
+		l.x[i] = protocol.Clamp(s.Init, cfg.MaxWindow)
+		l.epochSurvive[i] = 1
+	}
+	return l, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config, senders ...Sender) *Link {
+	l, err := New(cfg, senders...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Config returns the link's (defaulted) configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Windows returns a copy of the current window vector.
+func (l *Link) Windows() []float64 {
+	return append([]float64(nil), l.x...)
+}
+
+// StepResult reports what happened during one time step.
+type StepResult struct {
+	Step     int       // the step index that was just executed
+	Windows  []float64 // windows during the step (before updates)
+	RTT      float64   // RTT(t) per eq. 1, in seconds
+	CongLoss float64   // congestion loss rate L(t)
+	Loss     []float64 // per-sender total loss (congestion ⊕ random)
+}
+
+// congestion returns (RTT, loss) for aggregate window x per the paper's
+// model, honoring a bandwidth schedule when present.
+func (l *Link) congestion(x float64) (rtt, loss float64) {
+	if l.cfg.Infinite {
+		return l.cfg.BaseRTT(), 0
+	}
+	b := l.cfg.Bandwidth
+	if l.cfg.BandwidthSchedule != nil {
+		if v := l.cfg.BandwidthSchedule(l.step); v > 0 {
+			b = v
+		}
+	}
+	c := b * 2 * l.cfg.PropDelay
+	tau := l.cfg.Buffer
+	if x < c+tau {
+		// eq. 1's queueing branch; loss needs X > C+τ, so none here.
+		rtt = math.Max(l.cfg.BaseRTT(), (x-c)/b+l.cfg.BaseRTT())
+		return rtt, 0
+	}
+	// X ≥ C+τ: timeout-capped RTT; loss only for strict overflow.
+	if x > c+tau {
+		loss = 1 - (c+tau)/x
+	}
+	return l.cfg.TimeoutRTT, loss
+}
+
+// Step advances the model one time step: it computes RTT(t) and L(t) from
+// the current windows, lets every protocol observe its feedback, and
+// installs the clamped next windows.
+func (l *Link) Step() StepResult {
+	x := 0.0
+	for _, w := range l.x {
+		x += w
+	}
+	rtt, congLoss := l.congestion(x)
+
+	res := StepResult{
+		Step:     l.step,
+		Windows:  append([]float64(nil), l.x...),
+		RTT:      rtt,
+		CongLoss: congLoss,
+		Loss:     make([]float64, len(l.x)),
+	}
+	for i := range l.senders {
+		loss := congLoss
+		if l.cfg.Loss != nil {
+			r := l.cfg.Loss.Rate(l.step, i, l.x[i], l.rng)
+			loss = 1 - (1-loss)*(1-r)
+		}
+		res.Loss[i] = loss
+		l.epochSurvive[i] *= 1 - loss
+		l.epochRTTSum[i] += rtt
+		l.epochSteps[i]++
+
+		period := l.senders[i].Period
+		if period > 1 && l.step%period != l.senders[i].Phase {
+			continue // window held until this sender's update step
+		}
+		next := l.senders[i].Proto.Next(protocol.Feedback{
+			Step:   l.step,
+			Window: l.x[i],
+			RTT:    l.epochRTTSum[i] / float64(l.epochSteps[i]),
+			Loss:   1 - l.epochSurvive[i],
+		})
+		if math.IsNaN(next) {
+			next = protocol.MinWindow
+		}
+		l.x[i] = protocol.Clamp(next, l.cfg.MaxWindow)
+		l.epochSurvive[i] = 1
+		l.epochRTTSum[i] = 0
+		l.epochSteps[i] = 0
+	}
+	l.step++
+	return res
+}
+
+// Run advances the model for steps time steps and returns the recorded
+// trace. The trace stores, per step, the windows in effect during the
+// step, the step's RTT and the congestion loss rate (per-sender random
+// loss is a sender-local observation, not a link property, and is not
+// recorded).
+func (l *Link) Run(steps int) *trace.Trace {
+	tr := trace.New(len(l.senders), l.cfg.Capacity(), l.cfg.BaseRTT(), steps)
+	for i := 0; i < steps; i++ {
+		res := l.Step()
+		tr.Append(res.Windows, res.RTT, res.CongLoss)
+	}
+	return tr
+}
+
+// Homogeneous builds and runs a link where all n senders use clones of
+// proto, starting from the given initial windows (init is cycled if
+// shorter than n). It is the workhorse for the all-senders-run-P axioms.
+func Homogeneous(cfg Config, proto protocol.Protocol, n int, init []float64, steps int) (*trace.Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fluid: need at least one sender, got %d", n)
+	}
+	senders := make([]Sender, n)
+	for i := range senders {
+		w := protocol.MinWindow
+		if len(init) > 0 {
+			w = init[i%len(init)]
+		}
+		senders[i] = Sender{Proto: proto.Clone(), Init: w}
+	}
+	l, err := New(cfg, senders...)
+	if err != nil {
+		return nil, err
+	}
+	return l.Run(steps), nil
+}
+
+// Mixed builds and runs a link with one sender per protocol in protos,
+// using the matching entry of init (cycled) as initial window. It is the
+// workhorse for the friendliness axioms.
+func Mixed(cfg Config, protos []protocol.Protocol, init []float64, steps int) (*trace.Trace, error) {
+	senders := make([]Sender, len(protos))
+	for i, p := range protos {
+		w := protocol.MinWindow
+		if len(init) > 0 {
+			w = init[i%len(init)]
+		}
+		senders[i] = Sender{Proto: p.Clone(), Init: w}
+	}
+	l, err := New(cfg, senders...)
+	if err != nil {
+		return nil, err
+	}
+	return l.Run(steps), nil
+}

@@ -1,0 +1,96 @@
+package fluid
+
+import (
+	"fmt"
+
+	"repro/internal/rand64"
+)
+
+// LossProcess models non-congestion loss (Metric VI): loss that occurs
+// regardless of the senders' aggregate window, e.g. wireless corruption.
+// Rate returns the loss fraction experienced by the given sender at the
+// given step; implementations may use the supplied deterministic RNG.
+type LossProcess interface {
+	Rate(step, sender int, window float64, rng *rand64.Source) float64
+}
+
+// ConstantLoss is the deterministic fluid limit of i.i.d. per-packet loss:
+// every sender loses exactly fraction R of its traffic every step. This is
+// the paper's "constant random packet loss rate" in the limit of large
+// windows.
+type ConstantLoss struct {
+	R float64 // loss rate in [0, 1)
+}
+
+// NewConstantLoss returns a ConstantLoss. It panics if r is outside [0, 1).
+func NewConstantLoss(r float64) ConstantLoss {
+	if r < 0 || r >= 1 {
+		panic(fmt.Sprintf("fluid: invalid constant loss rate %v", r))
+	}
+	return ConstantLoss{R: r}
+}
+
+// Rate implements LossProcess.
+func (c ConstantLoss) Rate(step, sender int, window float64, rng *rand64.Source) float64 {
+	return c.R
+}
+
+// PacketLoss samples the loss fraction a finite window actually observes
+// under i.i.d. per-packet drops with probability R: the number of lost
+// segments is Binomial(⌈window⌉, R), so small windows see bursty, quantized
+// loss (often 0%, sometimes ≫R) while large windows concentrate near R.
+// This is the faithful discretization of the paper's random-loss scenario.
+type PacketLoss struct {
+	R float64 // per-packet drop probability in [0, 1)
+}
+
+// NewPacketLoss returns a PacketLoss. It panics if r is outside [0, 1).
+func NewPacketLoss(r float64) PacketLoss {
+	if r < 0 || r >= 1 {
+		panic(fmt.Sprintf("fluid: invalid packet loss rate %v", r))
+	}
+	return PacketLoss{R: r}
+}
+
+// Rate implements LossProcess.
+func (p PacketLoss) Rate(step, sender int, window float64, rng *rand64.Source) float64 {
+	if p.R == 0 || window < 1 {
+		return 0
+	}
+	n := int(window + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	lost := 0
+	for i := 0; i < n; i++ {
+		if rng.Bernoulli(p.R) {
+			lost++
+		}
+	}
+	return float64(lost) / float64(n)
+}
+
+// OnOffLoss alternates between loss-free periods and lossy bursts with a
+// fixed cycle, modeling interference bursts: steps in [0, OnSteps) of each
+// cycle of length Period experience rate R, the rest none.
+type OnOffLoss struct {
+	R       float64 // loss rate during the on-phase, [0, 1)
+	OnSteps int     // lossy steps per cycle (> 0)
+	Period  int     // cycle length (≥ OnSteps)
+}
+
+// NewOnOffLoss returns an OnOffLoss. It panics on invalid parameters.
+func NewOnOffLoss(r float64, onSteps, period int) OnOffLoss {
+	if r < 0 || r >= 1 || onSteps <= 0 || period < onSteps {
+		panic(fmt.Sprintf("fluid: invalid on-off loss (%v,%d,%d)", r, onSteps, period))
+	}
+	return OnOffLoss{R: r, OnSteps: onSteps, Period: period}
+}
+
+// Rate implements LossProcess.
+func (o OnOffLoss) Rate(step, sender int, window float64, rng *rand64.Source) float64 {
+	if step%o.Period < o.OnSteps {
+		return o.R
+	}
+	return 0
+}

@@ -1,0 +1,29 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/fluid"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+)
+
+// ExampleCharacterize scores TCP Reno on the eight axioms of §3.
+func ExampleCharacterize() {
+	cfg := fluid.Config{
+		Bandwidth: fluid.MbpsToMSSps(20),
+		PropDelay: 0.021,
+		Buffer:    20,
+	}
+	s, err := metrics.Characterize(cfg, protocol.Reno(), 2, metrics.Options{Steps: 2000})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fast-utilization ≈ a: %v\n", s.FastUtilization > 0.9 && s.FastUtilization < 1.1)
+	fmt.Printf("fair: %v\n", s.Fairness > 0.85)
+	fmt.Printf("0-robust (plain AIMD): %v\n", s.Robustness == 0)
+	// Output:
+	// fast-utilization ≈ a: true
+	// fair: true
+	// 0-robust (plain AIMD): true
+}

@@ -1,0 +1,168 @@
+package metrics
+
+// Extension metrics beyond the paper's eight axioms, following its §6 call
+// to "propose and investigate other metrics" (with pointers to RFC 5166's
+// catalogue of congestion-control evaluation criteria): convergence time,
+// throughput smoothness, and responsiveness to capacity changes. Each is
+// parameterized like the §3 axioms so protocols remain comparable points
+// in an (extended) metric space.
+
+import (
+	"fmt"
+
+	"repro/internal/fluid"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// ConvergenceTime estimates how quickly the protocol reaches its long-run
+// operating region: the smallest step T such that, for every sender i and
+// every t ≥ T, the window stays within a (1±band) envelope of the sender's
+// tail mean. It runs the most adversarial default initial configuration
+// (maximal skew) and returns the worst case across configurations, in RTT
+// steps. A return of -1 means some sender never settles within the
+// horizon. Lower is better. band must be in (0, 1).
+func ConvergenceTime(cfg fluid.Config, p protocol.Protocol, n int, band float64, opt Options) (int, error) {
+	if band <= 0 || band >= 1 {
+		return 0, fmt.Errorf("metrics: band must be in (0,1), got %v", band)
+	}
+	o := opt.withDefaults()
+	worst := 0
+	for _, init := range o.initConfigs(cfg, n) {
+		tr, err := fluid.Homogeneous(cfg, p, n, init, o.Steps)
+		if err != nil {
+			return 0, err
+		}
+		t := convergenceStep(tr.Window, tr.Senders(), tr.Len(), band, o.TailFrac)
+		if t < 0 {
+			return -1, nil
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}
+
+// convergenceStep finds the earliest step from which every sender's window
+// stays inside (1±band) of its tail mean forever (within the trace).
+func convergenceStep(window func(int) []float64, senders, length int, band, tailFrac float64) int {
+	worst := 0
+	for i := 0; i < senders; i++ {
+		w := window(i)
+		star := stats.Mean(stats.Tail(w, tailFrac))
+		if star <= 0 {
+			return -1
+		}
+		lo, hi := star*(1-band), star*(1+band)
+		// Scan backwards for the last violation.
+		last := -1
+		for t := length - 1; t >= 0; t-- {
+			if w[t] < lo || w[t] > hi {
+				last = t
+				break
+			}
+		}
+		if last == length-1 {
+			return -1 // still violating at the end
+		}
+		if last+1 > worst {
+			worst = last + 1
+		}
+	}
+	return worst
+}
+
+// Smoothness measures the largest relative single-step window reduction a
+// sender inflicts on itself in steady state (RFC 5166's smoothness
+// criterion): 0.5 for Reno's halving, 0.2 for CUBIC(·, 0.8), near 0 for
+// protocols that only ever decrease gently. Lower is smoother.
+func Smoothness(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
+	o := opt.withDefaults()
+	worst := 0.0
+	for _, init := range o.initConfigs(cfg, n) {
+		tr, err := fluid.Homogeneous(cfg, p, n, init, o.Steps)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < tr.Senders(); i++ {
+			w := stats.Tail(tr.Window(i), o.TailFrac)
+			for t := 0; t+1 < len(w); t++ {
+				if w[t] <= 0 {
+					continue
+				}
+				if drop := (w[t] - w[t+1]) / w[t]; drop > worst {
+					worst = drop
+				}
+			}
+		}
+	}
+	return worst, nil
+}
+
+// Responsiveness measures adaptation to a capacity *increase*: the link's
+// bandwidth doubles halfway through the run (spare capacity appears), and
+// the score is the number of steps after the jump until the aggregate
+// window first reaches utilization frac of the new capacity. Fast-
+// utilizing protocols score low; a protocol that stalls scores -1. frac
+// must be in (0, 1].
+func Responsiveness(cfg fluid.Config, p protocol.Protocol, n int, frac float64, opt Options) (int, error) {
+	if frac <= 0 || frac > 1 {
+		return 0, fmt.Errorf("metrics: frac must be in (0,1], got %v", frac)
+	}
+	if cfg.Infinite {
+		return 0, fmt.Errorf("metrics: responsiveness needs a finite link")
+	}
+	o := opt.withDefaults()
+	jump := o.Steps / 2
+	base := cfg.Bandwidth
+	sched := cfg
+	sched.BandwidthSchedule = func(step int) float64 {
+		if step >= jump {
+			return 2 * base
+		}
+		return base
+	}
+	tr, err := fluid.Homogeneous(sched, p, n, nil, o.Steps)
+	if err != nil {
+		return 0, err
+	}
+	target := frac * 2 * base * 2 * cfg.PropDelay // frac of the new C
+	for t := jump; t < tr.Len(); t++ {
+		if tr.Total()[t] >= target {
+			return t - jump, nil
+		}
+	}
+	return -1, nil
+}
+
+// ExtScores bundles the extension metrics alongside the standard 8-tuple.
+type ExtScores struct {
+	ConvergenceTime int     // steps; -1 = never settled
+	Smoothness      float64 // worst relative self-inflicted drop
+	Responsiveness  int     // steps to claim doubled capacity; -1 = never
+}
+
+// CharacterizeExt measures the extension metrics for p with n senders.
+// Convergence uses a ±25% band; responsiveness targets 80% of the doubled
+// capacity.
+func CharacterizeExt(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (ExtScores, error) {
+	var out ExtScores
+	var err error
+	if out.ConvergenceTime, err = ConvergenceTime(cfg, p, n, 0.25, opt); err != nil {
+		return out, err
+	}
+	if out.Smoothness, err = Smoothness(cfg, p, n, opt); err != nil {
+		return out, err
+	}
+	if out.Responsiveness, err = Responsiveness(cfg, p, n, 0.8, opt); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// String renders the extension tuple.
+func (s ExtScores) String() string {
+	return fmt.Sprintf("convtime=%d smooth=%.3f responsive=%d",
+		s.ConvergenceTime, s.Smoothness, s.Responsiveness)
+}

@@ -1,0 +1,363 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fluid"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options controls how the scenario-level estimators realize the axioms'
+// quantifiers. The zero value selects sensible defaults.
+type Options struct {
+	// Steps is the simulation horizon in RTT-sized steps (default 4000).
+	Steps int
+	// TailFrac is the fraction of the run treated as "from T onwards"
+	// (default DefaultTailFrac).
+	TailFrac float64
+	// InitConfigs are the initial window vectors over which worst cases
+	// are taken. Vectors shorter than the sender count are cycled. When
+	// empty, DefaultInitConfigs supplies them from the link capacity.
+	InitConfigs [][]float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Steps == 0 {
+		o.Steps = 4000
+	}
+	if o.TailFrac == 0 {
+		o.TailFrac = DefaultTailFrac
+	}
+	return o
+}
+
+// DefaultInitConfigs returns the initial-window vectors the estimators
+// exercise when none are supplied: everyone at the floor, everyone at the
+// fair share, and a maximally skewed start in which one sender holds the
+// whole capacity. The skewed start is what distinguishes protocols that
+// *converge* to fairness from protocols that merely *preserve* an equal
+// start (MIMD preserves ratios, so it only looks fair from equal starts).
+func DefaultInitConfigs(cfg fluid.Config, n int) [][]float64 {
+	c := cfg.Capacity()
+	if math.IsInf(c, 1) {
+		c = 1000
+	}
+	fair := math.Max(c/float64(n), protocol.MinWindow)
+	skew := make([]float64, n)
+	for i := range skew {
+		skew[i] = protocol.MinWindow
+	}
+	skew[0] = c
+	return [][]float64{
+		allOf(n, protocol.MinWindow),
+		allOf(n, fair),
+		skew,
+	}
+}
+
+func allOf(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func (o Options) initConfigs(cfg fluid.Config, n int) [][]float64 {
+	if len(o.InitConfigs) > 0 {
+		return o.InitConfigs
+	}
+	return DefaultInitConfigs(cfg, n)
+}
+
+// runHomogeneous runs one trace per initial configuration.
+func runHomogeneous(cfg fluid.Config, p protocol.Protocol, n int, o Options) ([]*trace.Trace, error) {
+	var traces []*trace.Trace
+	for _, init := range o.initConfigs(cfg, n) {
+		tr, err := fluid.Homogeneous(cfg, p, n, init, o.Steps)
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+// Efficiency estimates Metric I for n senders all running p on cfg: the
+// worst case over initial configurations of the tail's minimum X(t)/C.
+func Efficiency(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
+	o := opt.withDefaults()
+	traces, err := runHomogeneous(cfg, p, n, o)
+	if err != nil {
+		return 0, err
+	}
+	worst := math.Inf(1)
+	for _, tr := range traces {
+		if e := EfficiencyFromTrace(tr, o.TailFrac); e < worst {
+			worst = e
+		}
+	}
+	return worst, nil
+}
+
+// LossAvoidance estimates Metric III: the worst case over initial
+// configurations of the tail's maximum loss rate. Lower is better.
+func LossAvoidance(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
+	o := opt.withDefaults()
+	traces, err := runHomogeneous(cfg, p, n, o)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, tr := range traces {
+		if l := LossAvoidanceFromTrace(tr, o.TailFrac); l > worst {
+			worst = l
+		}
+	}
+	return worst, nil
+}
+
+// Fairness estimates Metric IV: the worst case over initial configurations
+// of the minimum pairwise ratio of average tail windows.
+func Fairness(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("metrics: fairness needs ≥ 2 senders, got %d", n)
+	}
+	o := opt.withDefaults()
+	traces, err := runHomogeneous(cfg, p, n, o)
+	if err != nil {
+		return 0, err
+	}
+	worst := math.Inf(1)
+	for _, tr := range traces {
+		if f := FairnessFromTrace(tr, o.TailFrac); f < worst {
+			worst = f
+		}
+	}
+	return worst, nil
+}
+
+// Convergence estimates Metric V: the worst case over initial
+// configurations of the tail's containment around each sender's fixed
+// point.
+func Convergence(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
+	o := opt.withDefaults()
+	traces, err := runHomogeneous(cfg, p, n, o)
+	if err != nil {
+		return 0, err
+	}
+	worst := math.Inf(1)
+	for _, tr := range traces {
+		if c := ConvergenceFromTrace(tr, o.TailFrac); c < worst {
+			worst = c
+		}
+	}
+	return worst, nil
+}
+
+// FastUtilization estimates Metric II by running a single p-sender on an
+// infinite-capacity, loss-free link — the regime the metric's definition
+// isolates ("does not experience loss, nor increased RTT") — and scoring
+// the window-growth sums per FastUtilizationFromSeries.
+func FastUtilization(p protocol.Protocol, opt Options) (float64, error) {
+	o := opt.withDefaults()
+	cfg := fluid.Config{Infinite: true, PropDelay: 0.021, MaxWindow: math.Inf(1)}
+	tr, err := fluid.Homogeneous(cfg, p, 1, []float64{protocol.MinWindow}, o.Steps)
+	if err != nil {
+		return 0, err
+	}
+	return FastUtilizationFromSeries(tr.Window(0)), nil
+}
+
+// RobustTo reports whether p is robust to constant non-congestion loss of
+// rate r (Metric VI): on an infinite-capacity link with loss rate r, the
+// window must keep growing past any bound — detected as the final window
+// reaching at least half of the loss-free additive growth a 1-MSS/RTT
+// prober would achieve, and the last quarter trending upward.
+func RobustTo(p protocol.Protocol, r float64, opt Options) (bool, error) {
+	o := opt.withDefaults()
+	// A finite (huge) cap keeps multiplicative growers — BBRish's startup
+	// doubles every step — inside float64 range; 2^1024 would overflow to
+	// +Inf and poison the slope fit.
+	const cap = 1e12
+	cfg := fluid.Config{
+		Infinite:  true,
+		PropDelay: 0.021,
+		MaxWindow: cap,
+		Loss:      fluid.NewConstantLoss(r),
+	}
+	tr, err := fluid.Homogeneous(cfg, p, 1, []float64{protocol.MinWindow}, o.Steps)
+	if err != nil {
+		return false, err
+	}
+	w := tr.Window(0)
+	last := w[len(w)-1]
+	if last < float64(o.Steps)/20 {
+		return false, nil
+	}
+	// Saturating the cap is unambiguous growth; otherwise require an
+	// upward trend in the tail.
+	if last >= cap/2 {
+		return true, nil
+	}
+	slope, _ := stats.LinearFit(stats.Tail(w, 0.75))
+	return slope > 0, nil
+}
+
+// Robustness estimates Metric VI's α: the largest constant loss rate the
+// protocol tolerates while still utilizing spare capacity, located by
+// bisection on [0, maxRate] to within tol. A protocol that collapses under
+// any positive loss rate (e.g. plain AIMD) scores 0.
+func Robustness(p protocol.Protocol, maxRate, tol float64, opt Options) (float64, error) {
+	if maxRate <= 0 || maxRate >= 1 {
+		return 0, fmt.Errorf("metrics: maxRate must be in (0,1), got %v", maxRate)
+	}
+	if tol <= 0 {
+		return 0, fmt.Errorf("metrics: tol must be positive, got %v", tol)
+	}
+	// Quick exit: not robust to even a tiny rate.
+	if ok, err := RobustTo(p, tol, opt); err != nil {
+		return 0, err
+	} else if !ok {
+		return 0, nil
+	}
+	lo, hi := tol, maxRate
+	if ok, err := RobustTo(p, maxRate, opt); err != nil {
+		return 0, err
+	} else if ok {
+		return maxRate, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, err := RobustTo(p, mid, opt)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// Friendliness estimates Metric VII: nP senders run p against nQ senders
+// running q on cfg; the score is the worst case over initial
+// configurations of the weakest q-sender's average tail window relative to
+// the strongest p-sender's.
+func Friendliness(cfg fluid.Config, p, q protocol.Protocol, nP, nQ int, opt Options) (float64, error) {
+	if nP <= 0 || nQ <= 0 {
+		return 0, fmt.Errorf("metrics: friendliness needs senders on both sides (nP=%d nQ=%d)", nP, nQ)
+	}
+	o := opt.withDefaults()
+	n := nP + nQ
+	protos := make([]protocol.Protocol, 0, n)
+	pIdx := make([]int, 0, nP)
+	qIdx := make([]int, 0, nQ)
+	for i := 0; i < nP; i++ {
+		pIdx = append(pIdx, len(protos))
+		protos = append(protos, p)
+	}
+	for i := 0; i < nQ; i++ {
+		qIdx = append(qIdx, len(protos))
+		protos = append(protos, q)
+	}
+	worst := math.Inf(1)
+	for _, init := range o.initConfigs(cfg, n) {
+		tr, err := fluid.Mixed(cfg, protos, init, o.Steps)
+		if err != nil {
+			return 0, err
+		}
+		if f := FriendlinessFromTrace(tr, pIdx, qIdx, o.TailFrac); f < worst {
+			worst = f
+		}
+	}
+	return worst, nil
+}
+
+// TCPFriendliness estimates the paper's Metric VII specialization: p's
+// friendliness toward AIMD(1, 0.5), i.e. TCP Reno.
+func TCPFriendliness(cfg fluid.Config, p protocol.Protocol, nP, nReno int, opt Options) (float64, error) {
+	return Friendliness(cfg, p, protocol.Reno(), nP, nReno, opt)
+}
+
+// LatencyAvoidance estimates Metric VIII: the worst case over initial
+// configurations of the tail's RTT inflation over 2Θ. The metric's
+// definition asks for "sufficiently large link capacity and buffer"; pass
+// a suitably provisioned cfg. Lower is better.
+func LatencyAvoidance(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
+	o := opt.withDefaults()
+	traces, err := runHomogeneous(cfg, p, n, o)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, tr := range traces {
+		if l := LatencyAvoidanceFromTrace(tr, o.TailFrac); l > worst {
+			worst = l
+		}
+	}
+	return worst, nil
+}
+
+// Scores is a protocol's empirical position in the paper's 8-dimensional
+// metric space.
+type Scores struct {
+	Efficiency       float64 // Metric I: higher is better
+	FastUtilization  float64 // Metric II: higher is better
+	LossAvoidance    float64 // Metric III: lower is better
+	Fairness         float64 // Metric IV: higher is better
+	Convergence      float64 // Metric V: higher is better
+	Robustness       float64 // Metric VI: higher is better
+	TCPFriendliness  float64 // Metric VII: higher is better
+	LatencyAvoidance float64 // Metric VIII: lower is better
+}
+
+// String renders the 8-tuple compactly.
+func (s Scores) String() string {
+	return fmt.Sprintf("eff=%.3f fast=%.3f loss=%.4f fair=%.3f conv=%.3f robust=%.3f tcpf=%.3f lat=%.3f",
+		s.Efficiency, s.FastUtilization, s.LossAvoidance, s.Fairness,
+		s.Convergence, s.Robustness, s.TCPFriendliness, s.LatencyAvoidance)
+}
+
+// Characterize measures all eight metrics for protocol p with n senders on
+// cfg, the empirical analogue of one row of the paper's Table 1.
+// Fast-utilization and robustness use the metric-specific infinite-link
+// scenarios; TCP-friendliness runs one p-sender against one Reno sender.
+func Characterize(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (Scores, error) {
+	var s Scores
+	var err error
+	if s.Efficiency, err = Efficiency(cfg, p, n, opt); err != nil {
+		return s, err
+	}
+	if s.FastUtilization, err = FastUtilization(p, opt); err != nil {
+		return s, err
+	}
+	if s.LossAvoidance, err = LossAvoidance(cfg, p, n, opt); err != nil {
+		return s, err
+	}
+	if n >= 2 {
+		if s.Fairness, err = Fairness(cfg, p, n, opt); err != nil {
+			return s, err
+		}
+	} else {
+		s.Fairness = math.NaN()
+	}
+	if s.Convergence, err = Convergence(cfg, p, n, opt); err != nil {
+		return s, err
+	}
+	if s.Robustness, err = Robustness(p, 0.5, 1e-3, opt); err != nil {
+		return s, err
+	}
+	if s.TCPFriendliness, err = TCPFriendliness(cfg, p, 1, 1, opt); err != nil {
+		return s, err
+	}
+	if s.LatencyAvoidance, err = LatencyAvoidance(cfg, p, n, opt); err != nil {
+		return s, err
+	}
+	return s, nil
+}

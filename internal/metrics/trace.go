@@ -1,0 +1,175 @@
+// Package metrics turns the eight axioms of Section 3 of "An Axiomatic
+// Approach to Congestion Control" into measurable quantities.
+//
+// Each axiom is parameterized ("a protocol is α-efficient", "α-fair", …)
+// and quantified over initial window configurations and over "some time T
+// onwards". The estimators here realize those quantifiers empirically:
+// trace-level functions score a single finished run over its tail window,
+// and the scenario-level functions in scenario.go take worst cases across
+// a set of initial configurations, exactly as the axioms demand.
+//
+// Scores follow the paper's orientation for each metric: for efficiency,
+// fast-utilization, fairness, convergence, robustness and friendliness a
+// larger α is better; for loss-avoidance and latency-avoidance a smaller
+// α is better.
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// DefaultTailFrac is the fraction of a trace treated as "from some time T
+// onwards": estimators evaluate the last quarter of the run by default.
+const DefaultTailFrac = 0.75
+
+// EfficiencyFromTrace estimates Metric I (link-utilization) on a finished
+// run: the largest α such that X(t) ≥ αC throughout the tail, i.e.
+// min over the tail of X(t)/C. Returns 0 for an infinite-capacity link.
+func EfficiencyFromTrace(tr *trace.Trace, tailFrac float64) float64 {
+	c := tr.Capacity()
+	if math.IsInf(c, 1) || c <= 0 {
+		return 0
+	}
+	return stats.Min(stats.Tail(tr.Total(), tailFrac)) / c
+}
+
+// LossAvoidanceFromTrace estimates Metric III (loss-avoidance) on a
+// finished run: the smallest α such that L(t) ≤ α throughout the tail,
+// i.e. max over the tail of L(t). Lower is better; 0 means "0-loss".
+func LossAvoidanceFromTrace(tr *trace.Trace, tailFrac float64) float64 {
+	return stats.Max(stats.Tail(tr.Loss(), tailFrac))
+}
+
+// FairnessFromTrace estimates Metric IV (fairness) on a finished run of a
+// homogeneous sender population: the largest α such that every sender's
+// average tail window is at least an α-fraction of every other sender's,
+// i.e. min over senders of avg window divided by max over senders.
+func FairnessFromTrace(tr *trace.Trace, tailFrac float64) float64 {
+	avgs := make([]float64, tr.Senders())
+	for i := range avgs {
+		avgs[i] = tr.AvgWindow(i, tailFrac)
+	}
+	return stats.MinOverMax(avgs)
+}
+
+// ConvergenceFromTrace estimates Metric V (convergence) on a finished run:
+// the largest α ∈ [0, 1] such that, taking x*ᵢ to be sender i's average
+// tail window, every tail sample satisfies αx*ᵢ ≤ xᵢ(t) ≤ (2−α)x*ᵢ. A
+// perfectly constant tail scores 1; wild oscillation around the mean
+// scores near 0.
+func ConvergenceFromTrace(tr *trace.Trace, tailFrac float64) float64 {
+	alpha := 1.0
+	for i := 0; i < tr.Senders(); i++ {
+		tail := stats.Tail(tr.Window(i), tailFrac)
+		star := stats.Mean(tail)
+		if star <= 0 {
+			return 0
+		}
+		for _, x := range tail {
+			r := x / star
+			// αx* ≤ x ⇒ α ≤ r; x ≤ (2−α)x* ⇒ α ≤ 2−r.
+			a := math.Min(r, 2-r)
+			if a < alpha {
+				alpha = a
+			}
+		}
+	}
+	return math.Max(alpha, 0)
+}
+
+// FriendlinessFromTrace estimates Metric VII (friendliness) on a finished
+// mixed run: with pIdx the indices of P-senders and qIdx the indices of
+// Q-senders, P is α-friendly to Q for
+//
+//	α = min over (i ∈ P, j ∈ Q) of avgWindow(j) / avgWindow(i)
+//
+// over the tail. A score of 1 means Q-senders keep up with P-senders; 0
+// means P starves Q. The result may exceed 1 if Q outcompetes P.
+func FriendlinessFromTrace(tr *trace.Trace, pIdx, qIdx []int, tailFrac float64) float64 {
+	if len(pIdx) == 0 || len(qIdx) == 0 {
+		return math.NaN()
+	}
+	worstP := math.Inf(-1) // largest P window (the strongest competitor)
+	for _, i := range pIdx {
+		if a := tr.AvgWindow(i, tailFrac); a > worstP {
+			worstP = a
+		}
+	}
+	worstQ := math.Inf(1) // smallest Q window (the weakest victim)
+	for _, j := range qIdx {
+		if a := tr.AvgWindow(j, tailFrac); a < worstQ {
+			worstQ = a
+		}
+	}
+	if worstP <= 0 {
+		return 1
+	}
+	return worstQ / worstP
+}
+
+// LatencyAvoidanceFromTrace estimates Metric VIII (latency-avoidance) on a
+// finished run: the smallest α such that RTT(t) < (1+α)·2Θ throughout the
+// tail, i.e. max over the tail of RTT/2Θ − 1. Lower is better; 0 means the
+// link stays at its propagation delay.
+func LatencyAvoidanceFromTrace(tr *trace.Trace, tailFrac float64) float64 {
+	base := tr.BaseRTT()
+	if base <= 0 {
+		return math.NaN()
+	}
+	return math.Max(0, stats.Max(stats.Tail(tr.RTT(), tailFrac))/base-1)
+}
+
+// FastUtilizationFromSeries estimates Metric II (fast-utilization) from a
+// window series known to be free of loss and of RTT increases. The axiom
+// says P is α-fast-utilizing when there EXISTS a T > 0 such that for ALL
+// spans Δt ≥ T starting at t₁,
+//
+//	Σ_{t=t₁}^{t₁+Δt} (x(t) − x(t₁)) ≥ α·Δt²/2
+//
+// With g(Δt) = 2·S(Δt)/Δt² for t₁ = 0, the estimate realizes both
+// quantifiers on the finite horizon H:
+//
+//	α̂ = max over T ∈ [1, H/2] of ( min over Δt ∈ [T, H] of g(Δt) )
+//
+// i.e. the protocol may pick its favorite T (the ∃), but must then sustain
+// the growth for every longer span (the ∀). T is capped at H/2 so that the
+// inner minimum always covers a non-trivial range of spans. AIMD(a,·)
+// scores ≈ a; MIMD's exponential growth makes the suffix minima explode,
+// matching its ∞ score in Table 1; sublinear protocols (BIN with k > 0)
+// decay toward 0 as the horizon grows.
+//
+// The series should start from the protocol's minimum window — the hardest
+// starting point for growth-accelerating protocols — which is how
+// FastUtilization produces it.
+func FastUtilizationFromSeries(window []float64) float64 {
+	h := len(window) - 1
+	if h < 2 {
+		return math.NaN()
+	}
+	x0 := window[0]
+	// g[dt] = 2·S(dt)/dt² for dt = 1..h.
+	g := make([]float64, h+1)
+	sum := window[0] - x0
+	for dt := 1; dt <= h; dt++ {
+		sum += window[dt] - x0
+		g[dt] = 2 * sum / (float64(dt) * float64(dt))
+	}
+	// Suffix minima, then maximize over T ≤ h/2.
+	suffixMin := math.Inf(1)
+	alpha := math.Inf(-1)
+	for dt := h; dt >= 1; dt-- {
+		if g[dt] < suffixMin {
+			suffixMin = g[dt]
+		}
+		if dt <= h/2 && suffixMin > alpha {
+			alpha = suffixMin
+		}
+	}
+	if alpha < 0 {
+		return 0
+	}
+	return alpha
+}

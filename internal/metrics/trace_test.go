@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// synthTrace builds a 2-sender trace with hand-chosen columns.
+func synthTrace() *trace.Trace {
+	tr := trace.New(2, 100, 0.042, 8)
+	// steps 0-3: warmup garbage; steps 4-7 form the tail at TailFrac 0.5.
+	tr.Append([]float64{1, 1}, 0.042, 0)
+	tr.Append([]float64{5, 50}, 0.042, 0.5)
+	tr.Append([]float64{5, 50}, 0.042, 0)
+	tr.Append([]float64{5, 50}, 0.042, 0)
+	tr.Append([]float64{40, 40}, 0.042, 0)    // X=80, util 0.8
+	tr.Append([]float64{50, 40}, 0.050, 0.02) // X=90, util 0.9
+	tr.Append([]float64{60, 40}, 0.042, 0)    // X=100, util 1.0
+	tr.Append([]float64{50, 40}, 0.084, 0.01) // X=90
+	return tr
+}
+
+func TestEfficiencyFromTrace(t *testing.T) {
+	tr := synthTrace()
+	// Tail (steps 4-7) min X/C = 80/100.
+	if got := EfficiencyFromTrace(tr, 0.5); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("efficiency = %v, want 0.8", got)
+	}
+}
+
+func TestEfficiencyInfiniteCapacity(t *testing.T) {
+	tr := trace.New(1, math.Inf(1), 0.042, 1)
+	tr.Append([]float64{10}, 0.042, 0)
+	if got := EfficiencyFromTrace(tr, 0); got != 0 {
+		t.Fatalf("infinite-capacity efficiency = %v, want 0", got)
+	}
+}
+
+func TestLossAvoidanceFromTrace(t *testing.T) {
+	tr := synthTrace()
+	// Tail max loss = 0.02 (the 0.5 at step 1 is outside the tail).
+	if got := LossAvoidanceFromTrace(tr, 0.5); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("loss avoidance = %v, want 0.02", got)
+	}
+}
+
+func TestFairnessFromTrace(t *testing.T) {
+	tr := synthTrace()
+	// Tail avgs: sender0 = (40+50+60+50)/4 = 50, sender1 = 40.
+	if got := FairnessFromTrace(tr, 0.5); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("fairness = %v, want 0.8", got)
+	}
+}
+
+func TestConvergenceFromTrace(t *testing.T) {
+	// Constant tail converges perfectly.
+	tr := trace.New(1, 100, 0.042, 4)
+	for i := 0; i < 4; i++ {
+		tr.Append([]float64{50}, 0.042, 0)
+	}
+	if got := ConvergenceFromTrace(tr, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("constant convergence = %v, want 1", got)
+	}
+
+	// Tail oscillating 40/60 around x* = 50: min(40/50, 2−60/50) = 0.8.
+	tr2 := trace.New(1, 100, 0.042, 4)
+	for i := 0; i < 4; i++ {
+		w := 40.0
+		if i%2 == 1 {
+			w = 60
+		}
+		tr2.Append([]float64{w}, 0.042, 0)
+	}
+	if got := ConvergenceFromTrace(tr2, 0); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("oscillating convergence = %v, want 0.8", got)
+	}
+}
+
+func TestConvergenceZeroMean(t *testing.T) {
+	tr := trace.New(1, 100, 0.042, 2)
+	tr.Append([]float64{0}, 0.042, 0)
+	tr.Append([]float64{0}, 0.042, 0)
+	if got := ConvergenceFromTrace(tr, 0); got != 0 {
+		t.Fatalf("zero-mean convergence = %v, want 0", got)
+	}
+}
+
+func TestFriendlinessFromTrace(t *testing.T) {
+	tr := synthTrace()
+	// P = {0}, Q = {1}: tail avg(Q)/avg(P) = 40/50.
+	if got := FriendlinessFromTrace(tr, []int{0}, []int{1}, 0.5); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("friendliness = %v, want 0.8", got)
+	}
+	// Reversed roles: 50/40 = 1.25 (Q outcompetes P).
+	if got := FriendlinessFromTrace(tr, []int{1}, []int{0}, 0.5); math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("reverse friendliness = %v, want 1.25", got)
+	}
+	if got := FriendlinessFromTrace(tr, nil, []int{1}, 0.5); !math.IsNaN(got) {
+		t.Fatalf("empty P friendliness = %v, want NaN", got)
+	}
+}
+
+func TestLatencyAvoidanceFromTrace(t *testing.T) {
+	tr := synthTrace()
+	// Tail max RTT = 0.084 = 2×base ⇒ α = 1.
+	if got := LatencyAvoidanceFromTrace(tr, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("latency avoidance = %v, want 1", got)
+	}
+	// A trace pinned at base RTT scores 0.
+	tr2 := trace.New(1, 100, 0.042, 2)
+	tr2.Append([]float64{10}, 0.042, 0)
+	tr2.Append([]float64{10}, 0.042, 0)
+	if got := LatencyAvoidanceFromTrace(tr2, 0); got != 0 {
+		t.Fatalf("base-RTT latency = %v, want 0", got)
+	}
+}
+
+func TestFastUtilizationLinearGrowth(t *testing.T) {
+	// x(t) = 1 + 2t: AIMD(2,·)'s loss-free trajectory must score ≈ 2.
+	w := make([]float64, 2001)
+	for t := range w {
+		w[t] = 1 + 2*float64(t)
+	}
+	got := FastUtilizationFromSeries(w)
+	if math.Abs(got-2) > 0.01 {
+		t.Fatalf("linear growth score = %v, want ≈2", got)
+	}
+}
+
+func TestFastUtilizationExponentialGrowth(t *testing.T) {
+	// x(t) = 1.01^t: MIMD's trajectory; the score must dwarf any AIMD's.
+	w := make([]float64, 4001)
+	for t := range w {
+		w[t] = math.Pow(1.01, float64(t))
+	}
+	got := FastUtilizationFromSeries(w)
+	if got < 100 {
+		t.Fatalf("exponential growth score = %v, want ≫ 1", got)
+	}
+}
+
+func TestFastUtilizationSublinearGrowth(t *testing.T) {
+	// x(t) = √(2t): IIAD-style; the score must vanish with the horizon.
+	w := make([]float64, 4001)
+	for t := range w {
+		w[t] = math.Sqrt(2 * float64(t))
+	}
+	got := FastUtilizationFromSeries(w)
+	if got > 0.1 {
+		t.Fatalf("sublinear growth score = %v, want ≈ 0", got)
+	}
+}
+
+func TestFastUtilizationStalledGrowth(t *testing.T) {
+	// A frozen window scores 0 (Claim 1's probe after its freeze).
+	w := make([]float64, 1001)
+	for t := range w {
+		w[t] = 50
+	}
+	if got := FastUtilizationFromSeries(w); got != 0 {
+		t.Fatalf("stalled growth score = %v, want 0", got)
+	}
+}
+
+func TestFastUtilizationShortSeries(t *testing.T) {
+	if got := FastUtilizationFromSeries([]float64{1, 2}); !math.IsNaN(got) {
+		t.Fatalf("short series score = %v, want NaN", got)
+	}
+}

@@ -1,0 +1,331 @@
+// Package multilink generalizes the paper's single-bottleneck fluid model
+// to a network of links — the first extension Section 6 calls for
+// ("generalizing our model to capture network-wide protocol interaction").
+//
+// The model keeps §2's synchronized, RTT-quantized dynamics and applies
+// them per link: at each step every link l computes its aggregate load
+// X_l(t) from the flows routed over it, yielding a per-link loss rate
+//
+//	L_l(t) = 1 − (C_l+τ_l)/X_l(t)   if X_l(t) > C_l+τ_l, else 0
+//
+// and a per-link round-trip contribution per eq. (1). A flow traversing
+// path P observes the composition of its links:
+//
+//	loss_f = 1 − Π_{l ∈ P} (1 − L_l)        (independent drops per link)
+//	rtt_f  = Σ_{l ∈ P} rtt_l                 (delays add)
+//
+// and feeds both to its §2 protocol. The classic network-wide phenomena
+// emerge: a flow crossing k congested links sees k-fold loss and is beaten
+// down below the single-link flows sharing each hop (the "parking lot"
+// bias of loss-based AIMD).
+package multilink
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/protocol"
+	"repro/internal/rand64"
+	"repro/internal/stats"
+)
+
+// LinkSpec describes one link of the network, with the same quantities as
+// the single-link fluid model.
+type LinkSpec struct {
+	Bandwidth float64 // B_l, MSS/s (> 0)
+	PropDelay float64 // Θ_l, seconds (> 0)
+	Buffer    float64 // τ_l, MSS (≥ 0)
+
+	// TimeoutRTT is this link's Δ contribution on lossy steps; defaults
+	// to 2·(2Θ_l + τ_l/B_l).
+	TimeoutRTT float64
+}
+
+// Capacity returns C_l = B_l·2Θ_l.
+func (l LinkSpec) Capacity() float64 { return l.Bandwidth * 2 * l.PropDelay }
+
+func (l LinkSpec) withDefaults() LinkSpec {
+	if l.TimeoutRTT == 0 {
+		l.TimeoutRTT = 2 * (2*l.PropDelay + l.Buffer/l.Bandwidth)
+	}
+	return l
+}
+
+func (l LinkSpec) validate(i int) error {
+	if l.Bandwidth <= 0 {
+		return fmt.Errorf("multilink: link %d bandwidth must be positive, got %v", i, l.Bandwidth)
+	}
+	if l.PropDelay <= 0 {
+		return fmt.Errorf("multilink: link %d propagation delay must be positive, got %v", i, l.PropDelay)
+	}
+	if l.Buffer < 0 {
+		return fmt.Errorf("multilink: link %d buffer must be non-negative, got %v", i, l.Buffer)
+	}
+	return nil
+}
+
+// FlowSpec is one sender: its protocol, initial window, and the ordered
+// link indices it traverses.
+type FlowSpec struct {
+	Proto protocol.Protocol
+	Init  float64
+	Path  []int
+}
+
+// Network is a fluid-model network; create with New.
+type Network struct {
+	links     []LinkSpec
+	flows     []FlowSpec
+	protos    []protocol.Protocol
+	x         []float64 // current windows
+	step      int
+	maxWindow float64
+
+	// flowsOn[l] lists the flow indices routed over link l.
+	flowsOn [][]int
+
+	// rng is non-nil in stochastic-loss mode (WithStochasticLoss).
+	rng *rand64.Source
+}
+
+// Option tweaks network construction.
+type Option func(*Network)
+
+// WithMaxWindow caps every flow's window at m (default 1e9).
+func WithMaxWindow(m float64) Option {
+	return func(n *Network) { n.maxWindow = m }
+}
+
+// WithStochasticLoss switches loss observation from the deterministic
+// shared-rate model to per-flow sampling: at a step where flow f's
+// composed path loss rate is L and its window is x, the flow observes a
+// loss event with probability 1 − (1−L)^x — the chance that at least one
+// of its x packets was dropped — and otherwise observes no loss.
+//
+// In the fully synchronized deterministic model, flows sharing a
+// bottleneck see loss at identical steps, so magnitude-insensitive
+// protocols like AIMD react identically regardless of path length; the
+// classic parking-lot bias (long paths lose more often, so AIMD beats
+// long flows down) only emerges once loss observation is probabilistic,
+// exactly as on a packet network. Runs remain deterministic per seed.
+func WithStochasticLoss(seed uint64) Option {
+	return func(n *Network) { n.rng = rand64.New(seed) }
+}
+
+// New builds a network. Every flow's path must be non-empty and reference
+// valid links.
+func New(links []LinkSpec, flows []FlowSpec, opts ...Option) (*Network, error) {
+	if len(links) == 0 {
+		return nil, fmt.Errorf("multilink: at least one link required")
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("multilink: at least one flow required")
+	}
+	n := &Network{
+		links:     make([]LinkSpec, len(links)),
+		flows:     flows,
+		protos:    make([]protocol.Protocol, len(flows)),
+		x:         make([]float64, len(flows)),
+		maxWindow: 1e9,
+		flowsOn:   make([][]int, len(links)),
+	}
+	for i, l := range links {
+		if err := l.validate(i); err != nil {
+			return nil, err
+		}
+		n.links[i] = l.withDefaults()
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	for f, spec := range flows {
+		if spec.Proto == nil {
+			return nil, fmt.Errorf("multilink: flow %d has nil protocol", f)
+		}
+		if len(spec.Path) == 0 {
+			return nil, fmt.Errorf("multilink: flow %d has empty path", f)
+		}
+		seen := make(map[int]bool, len(spec.Path))
+		for _, l := range spec.Path {
+			if l < 0 || l >= len(links) {
+				return nil, fmt.Errorf("multilink: flow %d references unknown link %d", f, l)
+			}
+			if seen[l] {
+				return nil, fmt.Errorf("multilink: flow %d visits link %d twice", f, l)
+			}
+			seen[l] = true
+			n.flowsOn[l] = append(n.flowsOn[l], f)
+		}
+		n.protos[f] = spec.Proto.Clone()
+		n.x[f] = protocol.Clamp(spec.Init, n.maxWindow)
+	}
+	return n, nil
+}
+
+// Windows returns a copy of the current window vector.
+func (n *Network) Windows() []float64 { return append([]float64(nil), n.x...) }
+
+// StepResult reports one network step.
+type StepResult struct {
+	Step     int
+	Windows  []float64 // windows in effect during the step
+	LinkLoss []float64 // per-link loss rate
+	LinkRTT  []float64 // per-link round-trip contribution (seconds)
+	FlowLoss []float64 // per-flow composed loss
+	FlowRTT  []float64 // per-flow composed RTT
+}
+
+// Step advances the network one synchronized time step.
+func (n *Network) Step() StepResult {
+	res := StepResult{
+		Step:     n.step,
+		Windows:  append([]float64(nil), n.x...),
+		LinkLoss: make([]float64, len(n.links)),
+		LinkRTT:  make([]float64, len(n.links)),
+		FlowLoss: make([]float64, len(n.flows)),
+		FlowRTT:  make([]float64, len(n.flows)),
+	}
+	for l, spec := range n.links {
+		load := 0.0
+		for _, f := range n.flowsOn[l] {
+			load += n.x[f]
+		}
+		c, tau := spec.Capacity(), spec.Buffer
+		switch {
+		case load < c+tau:
+			res.LinkRTT[l] = math.Max(2*spec.PropDelay, (load-c)/spec.Bandwidth+2*spec.PropDelay)
+		case load > c+tau:
+			res.LinkLoss[l] = 1 - (c+tau)/load
+			res.LinkRTT[l] = spec.TimeoutRTT
+		default:
+			res.LinkRTT[l] = spec.TimeoutRTT
+		}
+	}
+	for f := range n.flows {
+		survive := 1.0
+		rtt := 0.0
+		for _, l := range n.flows[f].Path {
+			survive *= 1 - res.LinkLoss[l]
+			rtt += res.LinkRTT[l]
+		}
+		res.FlowLoss[f] = 1 - survive
+		res.FlowRTT[f] = rtt
+		observed := res.FlowLoss[f]
+		if n.rng != nil && observed > 0 {
+			// Stochastic mode: the flow notices the step's loss only if
+			// at least one of its own packets was hit.
+			pHit := 1 - math.Pow(survive, n.x[f])
+			if !n.rng.Bernoulli(pHit) {
+				observed = 0
+			}
+		}
+		next := n.protos[f].Next(protocol.Feedback{
+			Step:   n.step,
+			Window: n.x[f],
+			RTT:    rtt,
+			Loss:   observed,
+		})
+		if math.IsNaN(next) {
+			next = protocol.MinWindow
+		}
+		n.x[f] = protocol.Clamp(next, n.maxWindow)
+	}
+	n.step++
+	return res
+}
+
+// Result is a recorded multilink run, column-oriented per flow and link.
+type Result struct {
+	Steps    int
+	Windows  [][]float64 // [flow][step]
+	FlowLoss [][]float64 // [flow][step]
+	FlowRTT  [][]float64 // [flow][step]
+	LinkLoss [][]float64 // [link][step]
+	LinkLoad [][]float64 // [link][step] aggregate window over the link
+	links    []LinkSpec
+	paths    [][]int
+}
+
+// Run advances the network steps times, recording everything.
+func (n *Network) Run(steps int) *Result {
+	r := &Result{
+		Steps:    steps,
+		Windows:  make([][]float64, len(n.flows)),
+		FlowLoss: make([][]float64, len(n.flows)),
+		FlowRTT:  make([][]float64, len(n.flows)),
+		LinkLoss: make([][]float64, len(n.links)),
+		LinkLoad: make([][]float64, len(n.links)),
+		links:    append([]LinkSpec(nil), n.links...),
+	}
+	for f := range n.flows {
+		r.paths = append(r.paths, append([]int(nil), n.flows[f].Path...))
+	}
+	for s := 0; s < steps; s++ {
+		res := n.Step()
+		for f := range n.flows {
+			r.Windows[f] = append(r.Windows[f], res.Windows[f])
+			r.FlowLoss[f] = append(r.FlowLoss[f], res.FlowLoss[f])
+			r.FlowRTT[f] = append(r.FlowRTT[f], res.FlowRTT[f])
+		}
+		for l := range n.links {
+			r.LinkLoss[l] = append(r.LinkLoss[l], res.LinkLoss[l])
+			load := 0.0
+			for _, f := range n.flowsOn[l] {
+				load += res.Windows[f]
+			}
+			r.LinkLoad[l] = append(r.LinkLoad[l], load)
+		}
+	}
+	return r
+}
+
+// AvgWindow returns flow f's mean window over the tail fraction.
+func (r *Result) AvgWindow(f int, tailFrac float64) float64 {
+	return stats.Mean(stats.Tail(r.Windows[f], tailFrac))
+}
+
+// AvgGoodput returns flow f's mean goodput (MSS/s) over the tail fraction.
+func (r *Result) AvgGoodput(f int, tailFrac float64) float64 {
+	w := stats.Tail(r.Windows[f], tailFrac)
+	loss := stats.Tail(r.FlowLoss[f], tailFrac)
+	rtt := stats.Tail(r.FlowRTT[f], tailFrac)
+	sum := 0.0
+	cnt := 0
+	for i := range w {
+		if rtt[i] > 0 {
+			sum += w[i] * (1 - loss[i]) / rtt[i]
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// LinkUtilization returns link l's mean load/C over the tail fraction.
+func (r *Result) LinkUtilization(l int, tailFrac float64) float64 {
+	return stats.Mean(stats.Tail(r.LinkLoad[l], tailFrac)) / r.links[l].Capacity()
+}
+
+// ParkingLot builds the canonical k-hop parking-lot scenario: k identical
+// links in a row; one "long" flow crosses all of them; each link also
+// carries one dedicated "short" flow. Flow 0 is the long flow; flows
+// 1..k are the short flows in link order. All flows run clones of proto.
+// Options (e.g. WithStochasticLoss) pass through to New.
+func ParkingLot(k int, link LinkSpec, proto protocol.Protocol, init float64, opts ...Option) (*Network, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("multilink: parking lot needs ≥ 1 hop, got %d", k)
+	}
+	links := make([]LinkSpec, k)
+	path := make([]int, k)
+	for i := range links {
+		links[i] = link
+		path[i] = i
+	}
+	flows := []FlowSpec{{Proto: proto, Init: init, Path: path}}
+	for i := 0; i < k; i++ {
+		flows = append(flows, FlowSpec{Proto: proto, Init: init, Path: []int{i}})
+	}
+	return New(links, flows, opts...)
+}

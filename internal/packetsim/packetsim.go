@@ -1,0 +1,479 @@
+// Package packetsim is an event-driven, packet-level simulator of a single
+// bottleneck link with FIFO (droptail) queuing. It stands in for the
+// Emulab testbed of Section 5.1 of "An Axiomatic Approach to Congestion
+// Control": the paper validated Table 1's trends and Table 2's
+// TCP-friendliness numbers on Emulab with Linux TCP variants; this
+// simulator reproduces those experiments with the same protocols
+// implemented per the paper's §2 formalization.
+//
+// Unlike internal/fluid — the paper's synchronized, RTT-quantized model in
+// which the axioms are *defined* — packetsim models individual 1-MSS
+// packets: serialization at the bottleneck rate, propagation delay in each
+// direction, a finite droptail buffer, per-packet ACKs, and per-sender
+// monitor intervals (roughly one RTT, as in PCC) that aggregate the
+// observed loss rate and average RTT into the protocol feedback of §2.
+// Senders are therefore *unsynchronized*: they see different loss rates at
+// different times, packets interleave in the queue, and feedback is noisy
+// — the realism gap the paper's Emulab experiments were designed to cross.
+package packetsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/protocol"
+	"repro/internal/rand64"
+	"repro/internal/trace"
+)
+
+// Config describes the emulated bottleneck.
+type Config struct {
+	Bandwidth float64 // bottleneck rate in MSS/s (> 0)
+	PropDelay float64 // one-way propagation delay Θ in seconds (> 0)
+	Buffer    int     // droptail buffer in packets (≥ 0), excluding the one in service
+
+	// MaxWindow caps every congestion window (default 1e9).
+	MaxWindow float64
+
+	// RandomLoss drops each arriving packet with this probability before
+	// it reaches the queue, modeling non-congestion loss the sender
+	// cannot distinguish from drops (the PCC motivation scenario).
+	RandomLoss float64
+
+	// Tick is the sampling interval for the recorded trace and the
+	// minimum monitor-interval length (default 2Θ).
+	Tick float64
+
+	// Seed drives the random-loss process deterministically.
+	Seed uint64
+
+	// Queue selects the queuing discipline at the bottleneck. nil means
+	// the paper's FIFO droptail with the Buffer field as capacity; set a
+	// RED value to explore AQM interactions (a §6 extension).
+	Queue Discipline
+
+	// DisableRecovery turns off the one-reduction-per-loss-event rule.
+	// By default, after a monitor interval in which the protocol reduced
+	// its window in response to loss, losses detected during the next
+	// interval are not attributed (they belong to the same congested
+	// window, as in TCP's fast recovery). Without this rule a single
+	// queue-overflow episode spanning several short-RTT monitor
+	// intervals triggers several multiplicative decreases, which
+	// penalizes short-RTT flows in a way real TCP does not. Disable only
+	// for ablation studies.
+	DisableRecovery bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWindow == 0 {
+		c.MaxWindow = 1e9
+	}
+	if c.Tick == 0 {
+		c.Tick = 2 * c.PropDelay
+	}
+	if c.Queue == nil {
+		c.Queue = Droptail{Buffer: c.Buffer}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("packetsim: bandwidth must be positive, got %v", c.Bandwidth)
+	}
+	if c.PropDelay <= 0 {
+		return fmt.Errorf("packetsim: propagation delay must be positive, got %v", c.PropDelay)
+	}
+	if c.Buffer < 0 {
+		return fmt.Errorf("packetsim: buffer must be non-negative, got %d", c.Buffer)
+	}
+	if c.RandomLoss < 0 || c.RandomLoss >= 1 {
+		return fmt.Errorf("packetsim: random loss must be in [0,1), got %v", c.RandomLoss)
+	}
+	return nil
+}
+
+// Capacity returns the bandwidth-delay product B·2Θ in MSS, matching the
+// fluid model's C.
+func (c Config) Capacity() float64 { return c.Bandwidth * 2 * c.PropDelay }
+
+// Flow is one sender: a protocol, an initial window, and a start time
+// (staggered starts model connections joining an occupied link).
+type Flow struct {
+	Proto protocol.Protocol
+	Init  float64 // initial window in packets (default 1)
+	Start float64 // seconds after simulation start (default 0)
+
+	// ExtraDelay adds per-flow one-way propagation delay on top of the
+	// link's PropDelay, modeling senders at different distances from the
+	// bottleneck. RTT-unfairness of loss-based protocols (long-RTT flows
+	// ramp slower and lose more ground per loss epoch) emerges from this
+	// knob; see the rttfairness example.
+	ExtraDelay float64
+}
+
+// Result is the outcome of a packet-level run.
+type Result struct {
+	// Trace samples, once per tick: each sender's current window, the
+	// link RTT implied by the instantaneous queue depth (2Θ + q/B), and
+	// the link-level loss fraction among packets arriving that tick.
+	Trace *trace.Trace
+	// Delivered is the total packet count delivered per sender.
+	Delivered []int64
+	// DeliveredSeries is, per sender, packets delivered during each tick.
+	DeliveredSeries [][]float64
+	// Duration is the simulated time span in seconds.
+	Duration float64
+	// TickLen is the sampling interval used, in seconds.
+	TickLen float64
+}
+
+// Throughput returns sender i's delivered throughput in MSS/s over the
+// tail fraction of the run.
+func (r *Result) Throughput(i int, tailFrac float64) float64 {
+	series := r.DeliveredSeries[i]
+	start := int(tailFrac * float64(len(series)))
+	if start >= len(series) {
+		start = len(series) - 1
+	}
+	if start < 0 {
+		start = 0
+	}
+	total := 0.0
+	for _, v := range series[start:] {
+		total += v
+	}
+	ticks := len(series) - start
+	if ticks == 0 {
+		return 0
+	}
+	return total / (float64(ticks) * r.TickLen)
+}
+
+// event kinds, ordered deterministically by (time, id).
+type evKind uint8
+
+const (
+	evFlowStart evKind = iota
+	evQueueArrive
+	evQueueDepart
+	evAck
+	evLossNotify
+	evMonitorEnd
+	evTick
+)
+
+type event struct {
+	at     float64
+	id     uint64 // insertion order; breaks time ties deterministically
+	kind   evKind
+	sender int
+	sentAt float64 // send timestamp for RTT measurement (evAck)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any         { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) PeekTime() float64 { return h[0].at }
+
+type queuedPacket struct {
+	sender int
+	sentAt float64
+}
+
+type senderState struct {
+	proto    protocol.Protocol
+	window   float64
+	inflight int
+	started  bool
+
+	// Monitor-interval accumulators.
+	miStep  int
+	acked   int64
+	lost    int64
+	rttSum  float64
+	rttCnt  int64
+	lastRTT float64
+
+	// extra is the flow's one-way ExtraDelay in seconds.
+	extra float64
+
+	// inRecovery suppresses loss attribution for one monitor interval
+	// after a loss-driven window reduction (see Config.DisableRecovery).
+	inRecovery bool
+}
+
+// sim is the running simulation state.
+type sim struct {
+	cfg    Config
+	flows  []Flow
+	now    float64
+	events eventHeap
+	nextID uint64
+	rng    *rand64.Source
+
+	senders []senderState
+	queue   []queuedPacket // FIFO, includes the packet in service at [0]
+	serving bool
+
+	// Per-tick accumulators.
+	tickArrivals  int64
+	tickDrops     int64
+	tickDelivered []float64
+
+	result *Result
+}
+
+func (s *sim) schedule(at float64, kind evKind, sender int, sentAt float64) {
+	s.nextID++
+	heap.Push(&s.events, event{at: at, id: s.nextID, kind: kind, sender: sender, sentAt: sentAt})
+}
+
+// Run simulates the flows on the link for duration seconds and returns the
+// recorded result.
+func Run(cfg Config, flows []Flow, duration float64) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("packetsim: at least one flow required")
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("packetsim: duration must be positive, got %v", duration)
+	}
+	cfg = cfg.withDefaults()
+
+	s := &sim{
+		cfg:           cfg,
+		flows:         flows,
+		rng:           rand64.New(cfg.Seed),
+		senders:       make([]senderState, len(flows)),
+		tickDelivered: make([]float64, len(flows)),
+	}
+	ticks := int(duration/cfg.Tick) + 1
+	s.result = &Result{
+		Trace:           trace.New(len(flows), cfg.Capacity(), 2*cfg.PropDelay, ticks),
+		Delivered:       make([]int64, len(flows)),
+		DeliveredSeries: make([][]float64, len(flows)),
+		Duration:        duration,
+		TickLen:         cfg.Tick,
+	}
+	for i, f := range flows {
+		if f.Proto == nil {
+			return nil, fmt.Errorf("packetsim: flow %d has nil protocol", i)
+		}
+		init := f.Init
+		if init == 0 {
+			init = 1
+		}
+		if f.ExtraDelay < 0 {
+			return nil, fmt.Errorf("packetsim: flow %d has negative extra delay", i)
+		}
+		s.senders[i] = senderState{
+			proto:   f.Proto.Clone(),
+			window:  protocol.Clamp(init, cfg.MaxWindow),
+			lastRTT: 2 * (cfg.PropDelay + f.ExtraDelay),
+			extra:   f.ExtraDelay,
+		}
+		s.schedule(f.Start, evFlowStart, i, 0)
+	}
+	s.schedule(cfg.Tick, evTick, -1, 0)
+
+	defer s.flushPartialTick()
+	for s.events.Len() > 0 && s.events.PeekTime() <= duration {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		switch e.kind {
+		case evFlowStart:
+			st := &s.senders[e.sender]
+			st.started = true
+			s.schedule(s.now+s.miLen(e.sender), evMonitorEnd, e.sender, 0)
+			s.trySend(e.sender)
+		case evQueueArrive:
+			s.arrive(e.sender, e.sentAt)
+		case evQueueDepart:
+			s.depart()
+		case evAck:
+			s.ack(e.sender, e.sentAt)
+		case evLossNotify:
+			s.lossNotify(e.sender)
+		case evMonitorEnd:
+			s.monitorEnd(e.sender)
+		case evTick:
+			s.tick()
+			s.schedule(s.now+cfg.Tick, evTick, -1, 0)
+		}
+	}
+	return s.result, nil
+}
+
+// miLen returns sender i's current monitor-interval length: its last
+// measured RTT, floored at the tick (≈ the base RTT), as in PCC's
+// "roughly 1 RTT" intervals.
+func (s *sim) miLen(i int) float64 {
+	return math.Max(s.senders[i].lastRTT, s.cfg.Tick)
+}
+
+// trySend emits packets until the sender's window is full.
+func (s *sim) trySend(i int) {
+	st := &s.senders[i]
+	if !st.started {
+		return
+	}
+	for float64(st.inflight) < math.Floor(st.window+1e-9) {
+		st.inflight++
+		// The packet reaches the bottleneck after the flow's own one-way
+		// extra propagation delay.
+		s.schedule(s.now+st.extra, evQueueArrive, i, s.now)
+	}
+}
+
+// returnDelay is the time from the bottleneck back to the sender's
+// feedback loop: forward propagation to the receiver plus the ACK's way
+// back through both propagation legs.
+func (s *sim) returnDelay(sender int) float64 {
+	return 2*s.cfg.PropDelay + s.senders[sender].extra
+}
+
+// arrive handles a packet reaching the bottleneck queue.
+func (s *sim) arrive(sender int, sentAt float64) {
+	s.tickArrivals++
+	// Non-congestion loss strikes before the queue.
+	if s.cfg.RandomLoss > 0 && s.rng.Bernoulli(s.cfg.RandomLoss) {
+		s.tickDrops++
+		s.schedule(s.now+s.returnDelay(sender), evLossNotify, sender, sentAt)
+		return
+	}
+	// The queuing discipline (droptail by default: Buffer waiting slots
+	// plus one in service) decides admission.
+	if !s.cfg.Queue.Admit(len(s.queue), s.rng) {
+		s.tickDrops++
+		s.schedule(s.now+s.returnDelay(sender), evLossNotify, sender, sentAt)
+		return
+	}
+	s.queue = append(s.queue, queuedPacket{sender: sender, sentAt: sentAt})
+	if !s.serving {
+		s.serving = true
+		s.schedule(s.now+1/s.cfg.Bandwidth, evQueueDepart, -1, 0)
+	}
+}
+
+// depart completes service of the head packet: it is delivered to the
+// receiver after the forward propagation delay and its ACK returns after
+// the reverse one.
+func (s *sim) depart() {
+	pkt := s.queue[0]
+	s.queue = s.queue[1:]
+	s.result.Delivered[pkt.sender]++
+	s.tickDelivered[pkt.sender]++
+	s.schedule(s.now+s.returnDelay(pkt.sender), evAck, pkt.sender, pkt.sentAt)
+	if len(s.queue) > 0 {
+		s.schedule(s.now+1/s.cfg.Bandwidth, evQueueDepart, -1, 0)
+	} else {
+		s.serving = false
+	}
+}
+
+// ack handles an ACK arriving back at the sender.
+func (s *sim) ack(sender int, sentAt float64) {
+	st := &s.senders[sender]
+	st.inflight--
+	st.acked++
+	rtt := s.now - sentAt
+	st.rttSum += rtt
+	st.rttCnt++
+	s.trySend(sender)
+}
+
+// lossNotify informs the sender that one of its packets was dropped
+// (learned through SACK gaps roughly one RTT after the send).
+func (s *sim) lossNotify(sender int) {
+	st := &s.senders[sender]
+	st.inflight--
+	if st.inRecovery {
+		// The drop belongs to the window that already triggered a
+		// reduction; count it as handled (fast-recovery semantics).
+		st.acked++
+	} else {
+		st.lost++
+	}
+	s.trySend(sender)
+}
+
+// monitorEnd closes sender i's monitor interval: the observed loss rate
+// and mean RTT feed the §2 protocol update.
+func (s *sim) monitorEnd(i int) {
+	st := &s.senders[i]
+	var lossRate float64
+	if total := st.acked + st.lost; total > 0 {
+		lossRate = float64(st.lost) / float64(total)
+	}
+	rtt := st.lastRTT
+	if st.rttCnt > 0 {
+		rtt = st.rttSum / float64(st.rttCnt)
+		st.lastRTT = rtt
+	}
+	next := st.proto.Next(protocol.Feedback{
+		Step:   st.miStep,
+		Window: st.window,
+		RTT:    rtt,
+		Loss:   lossRate,
+	})
+	if math.IsNaN(next) {
+		next = protocol.MinWindow
+	}
+	prev := st.window
+	st.window = protocol.Clamp(next, s.cfg.MaxWindow)
+	st.inRecovery = !s.cfg.DisableRecovery && lossRate > 0 && st.window < prev
+	st.miStep++
+	st.acked, st.lost, st.rttSum, st.rttCnt = 0, 0, 0, 0
+	s.schedule(s.now+s.miLen(i), evMonitorEnd, i, 0)
+	s.trySend(i)
+}
+
+// flushPartialTick folds deliveries from the trailing partial sampling
+// interval into the last recorded tick so that DeliveredSeries sums to
+// Delivered exactly.
+func (s *sim) flushPartialTick() {
+	for i, v := range s.tickDelivered {
+		if v == 0 {
+			continue
+		}
+		series := s.result.DeliveredSeries[i]
+		if len(series) > 0 {
+			series[len(series)-1] += v
+		} else {
+			s.result.DeliveredSeries[i] = append(series, v)
+		}
+		s.tickDelivered[i] = 0
+	}
+}
+
+// tick samples the link state into the trace.
+func (s *sim) tick() {
+	windows := make([]float64, len(s.senders))
+	for i := range s.senders {
+		windows[i] = s.senders[i].window
+	}
+	rtt := 2*s.cfg.PropDelay + float64(len(s.queue))/s.cfg.Bandwidth
+	var loss float64
+	if s.tickArrivals > 0 {
+		loss = float64(s.tickDrops) / float64(s.tickArrivals)
+	}
+	s.result.Trace.Append(windows, rtt, loss)
+	for i := range s.tickDelivered {
+		s.result.DeliveredSeries[i] = append(s.result.DeliveredSeries[i], s.tickDelivered[i])
+		s.tickDelivered[i] = 0
+	}
+	s.tickArrivals, s.tickDrops = 0, 0
+}

@@ -1,0 +1,264 @@
+package packetsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// link20 models the paper's 20 Mbps / 42ms RTT / 100-packet-buffer Emulab
+// link: 20 Mbps = 1666.7 MSS/s, Θ = 21 ms, C ≈ 70 MSS.
+func link20() Config {
+	return Config{
+		Bandwidth: 20e6 / 8 / 1500,
+		PropDelay: 0.021,
+		Buffer:    100,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Bandwidth: 0, PropDelay: 0.021, Buffer: 10},
+		{Bandwidth: 100, PropDelay: 0, Buffer: 10},
+		{Bandwidth: 100, PropDelay: 0.021, Buffer: -1},
+		{Bandwidth: 100, PropDelay: 0.021, Buffer: 10, RandomLoss: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, []Flow{{Proto: protocol.Reno()}}, 1); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := Run(link20(), nil, 1); err == nil {
+		t.Error("empty flow set accepted")
+	}
+	if _, err := Run(link20(), []Flow{{Proto: nil}}, 1); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if _, err := Run(link20(), []Flow{{Proto: protocol.Reno()}}, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestCapacityMatchesFluidDefinition(t *testing.T) {
+	cfg := link20()
+	want := cfg.Bandwidth * 2 * cfg.PropDelay
+	if got := cfg.Capacity(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("capacity = %v, want %v", got, want)
+	}
+}
+
+func TestSingleRenoUtilizesLink(t *testing.T) {
+	res, err := Run(link20(), []Flow{{Proto: protocol.Reno(), Init: 1}}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One Reno flow with a 100-packet buffer on a 70-MSS-BDP link keeps
+	// the pipe essentially full: delivered throughput ≥ 80% of bandwidth.
+	thr := res.Throughput(0, 0.5)
+	if thr < 0.8*link20().Bandwidth {
+		t.Fatalf("Reno throughput = %v MSS/s, want ≥ 80%% of %v", thr, link20().Bandwidth)
+	}
+	// And it cannot exceed the bottleneck.
+	if thr > 1.01*link20().Bandwidth {
+		t.Fatalf("throughput %v exceeds bottleneck %v", thr, link20().Bandwidth)
+	}
+}
+
+func TestTwoRenosShareFairly(t *testing.T) {
+	flows := []Flow{
+		{Proto: protocol.Reno(), Init: 1},
+		{Proto: protocol.Reno(), Init: 60},
+	}
+	res, err := Run(link20(), flows, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Throughput(0, 0.5)
+	b := res.Throughput(1, 0.5)
+	ratio := math.Min(a, b) / math.Max(a, b)
+	if ratio < 0.6 {
+		t.Fatalf("Reno/Reno throughput ratio = %v (a=%v b=%v), want ≥ 0.6", ratio, a, b)
+	}
+	// Combined they still fill the link.
+	if a+b < 0.85*link20().Bandwidth {
+		t.Fatalf("aggregate throughput %v too low", a+b)
+	}
+}
+
+func TestScalableStarvesReno(t *testing.T) {
+	flows := []Flow{
+		{Proto: protocol.Scalable(), Init: 1},
+		{Proto: protocol.Reno(), Init: 1},
+	}
+	res, err := Run(link20(), flows, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scal := res.Throughput(0, 0.5)
+	reno := res.Throughput(1, 0.5)
+	if scal <= reno {
+		t.Fatalf("Scalable (%v) did not beat Reno (%v) on the packet link", scal, reno)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := link20()
+	cfg.RandomLoss = 0.01
+	cfg.Seed = 7
+	flows := []Flow{{Proto: protocol.Reno(), Init: 1}}
+	r1, err := Run(cfg, flows, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg, flows, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Delivered[0] != r2.Delivered[0] {
+		t.Fatalf("same-seed runs delivered %d vs %d", r1.Delivered[0], r2.Delivered[0])
+	}
+	for i := 0; i < r1.Trace.Len(); i++ {
+		if r1.Trace.Window(0)[i] != r2.Trace.Window(0)[i] {
+			t.Fatalf("traces diverged at tick %d", i)
+		}
+	}
+}
+
+func TestRandomLossCollapsesRenoNotRobustAIMD(t *testing.T) {
+	// The PCC-motivation scenario at packet granularity. Note the ε
+	// choice: with ~1-RTT monitor intervals, a window of w packets
+	// quantizes the measurable loss rate to multiples of 1/w, so a single
+	// random drop reads as a loss rate of 1/w. For ε-tolerance to engage
+	// before quantization bites, the equilibrium window must exceed 1/ε;
+	// with 0.5% drops and ε = 5% the barrier sits at 20 packets, well
+	// below the link's ~70-packet BDP.
+	cfg := link20()
+	cfg.RandomLoss = 0.005
+	cfg.Seed = 3
+
+	reno, err := Run(cfg, []Flow{{Proto: protocol.Reno(), Init: 1}}, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Run(cfg, []Flow{{Proto: protocol.NewRobustAIMD(1, 0.8, 0.05), Init: 1}}, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renoThr := reno.Throughput(0, 0.5)
+	raThr := ra.Throughput(0, 0.5)
+	if raThr <= renoThr {
+		t.Fatalf("Robust-AIMD (%v) did not beat Reno (%v) under 0.5%% random loss", raThr, renoThr)
+	}
+	// The PCC-motivation magnitude: Reno loses most of the link.
+	if renoThr > 0.5*cfg.Bandwidth {
+		t.Fatalf("Reno throughput under 0.5%% loss = %v, expected severe degradation", renoThr)
+	}
+	if raThr < 0.7*cfg.Bandwidth {
+		t.Fatalf("Robust-AIMD throughput under 0.5%% loss = %v, want ≥ 70%% of link", raThr)
+	}
+}
+
+func TestStaggeredStartConverges(t *testing.T) {
+	flows := []Flow{
+		{Proto: protocol.Reno(), Init: 1, Start: 0},
+		{Proto: protocol.Reno(), Init: 1, Start: 30},
+	}
+	res, err := Run(link20(), flows, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Throughput(0, 0.7)
+	b := res.Throughput(1, 0.7)
+	ratio := math.Min(a, b) / math.Max(a, b)
+	if ratio < 0.5 {
+		t.Fatalf("late joiner got ratio %v (a=%v, b=%v)", ratio, a, b)
+	}
+}
+
+func TestTraceRTTBounds(t *testing.T) {
+	cfg := link20()
+	res, err := Run(cfg, []Flow{{Proto: protocol.Reno(), Init: 1}}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 2 * cfg.PropDelay
+	maxQueueDelay := float64(cfg.Buffer+1) / cfg.Bandwidth
+	for i, rtt := range res.Trace.RTT() {
+		if rtt < base-1e-9 || rtt > base+maxQueueDelay+1e-9 {
+			t.Fatalf("tick %d: RTT %v outside [%v, %v]", i, rtt, base, base+maxQueueDelay)
+		}
+	}
+}
+
+func TestLossFractionsAreRates(t *testing.T) {
+	cfg := link20()
+	cfg.Buffer = 5 // shallow buffer forces drops
+	res, err := Run(cfg, []Flow{{Proto: protocol.Scalable(), Init: 1}}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyLoss := false
+	for i, l := range res.Trace.Loss() {
+		if l < 0 || l >= 1 {
+			t.Fatalf("tick %d: loss %v outside [0,1)", i, l)
+		}
+		if l > 0 {
+			anyLoss = true
+		}
+	}
+	if !anyLoss {
+		t.Fatal("MIMD on a 5-packet buffer produced no loss")
+	}
+}
+
+func TestDeliveredConservation(t *testing.T) {
+	// Delivered packets cannot exceed what the bottleneck can serialize.
+	cfg := link20()
+	dur := 30.0
+	res, err := Run(cfg, []Flow{{Proto: protocol.Scalable(), Init: 1}}, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(res.Delivered[0]); got > cfg.Bandwidth*dur+1 {
+		t.Fatalf("delivered %v packets > link capacity %v", got, cfg.Bandwidth*dur)
+	}
+	// DeliveredSeries sums to Delivered.
+	if got := stats.Sum(res.DeliveredSeries[0]); math.Abs(got-float64(res.Delivered[0])) > 0.5 {
+		t.Fatalf("series sum %v != total %v", got, res.Delivered[0])
+	}
+}
+
+func TestThroughputTailBounds(t *testing.T) {
+	res, err := Run(link20(), []Flow{{Proto: protocol.Reno(), Init: 1}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate tail fractions must not panic or divide by zero.
+	if thr := res.Throughput(0, 1); thr < 0 {
+		t.Fatalf("tail=1 throughput = %v", thr)
+	}
+	if thr := res.Throughput(0, 0); thr <= 0 {
+		t.Fatalf("tail=0 throughput = %v", thr)
+	}
+}
+
+func TestVegasKeepsQueueShort(t *testing.T) {
+	cfg := link20()
+	res, err := Run(cfg, []Flow{{Proto: protocol.DefaultVegas(), Init: 1}}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 2 * cfg.PropDelay
+	// Vegas targets ≤ 4 queued packets; allow slack for MI quantization.
+	tailRTT := stats.Max(stats.Tail(res.Trace.RTT(), 0.5))
+	maxExtra := 12 / cfg.Bandwidth
+	if tailRTT > base+maxExtra {
+		t.Fatalf("Vegas tail RTT %v exceeds base+%v", tailRTT, maxExtra)
+	}
+	// While still using a good share of the link.
+	if thr := res.Throughput(0, 0.5); thr < 0.7*cfg.Bandwidth {
+		t.Fatalf("Vegas throughput = %v, want ≥ 70%% of link", thr)
+	}
+}

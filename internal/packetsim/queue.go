@@ -1,0 +1,77 @@
+package packetsim
+
+import (
+	"fmt"
+
+	"repro/internal/rand64"
+)
+
+// Discipline decides the fate of packets arriving at the bottleneck
+// queue. The paper's model fixes FIFO droptail (§2) and defers "more
+// expressive queuing policies" to future research (§6); this interface is
+// that extension point. Implementations must be deterministic given the
+// supplied RNG.
+type Discipline interface {
+	// Admit reports whether a packet arriving when the queue holds
+	// queueLen packets (including the one in service) may enter.
+	Admit(queueLen int, rng *rand64.Source) bool
+	// Name identifies the discipline in output.
+	Name() string
+}
+
+// Droptail is the paper's FIFO droptail policy: admit while the buffer
+// (plus the single service slot) has room.
+type Droptail struct {
+	// Buffer is the number of waiting slots τ, excluding the packet in
+	// service.
+	Buffer int
+}
+
+// Admit implements Discipline.
+func (d Droptail) Admit(queueLen int, rng *rand64.Source) bool {
+	return queueLen < d.Buffer+1
+}
+
+// Name implements Discipline.
+func (d Droptail) Name() string { return fmt.Sprintf("droptail(%d)", d.Buffer) }
+
+// RED is a Random Early Detection AQM: below MinThresh packets it admits
+// everything; between MinThresh and MaxThresh it drops with probability
+// rising linearly to MaxP; above MaxThresh it drops everything. The
+// instantaneous queue length stands in for RED's EWMA average — adequate
+// for the per-RTT dynamics studied here and keeps the discipline
+// stateless.
+type RED struct {
+	MinThresh int     // start of the probabilistic-drop region (≥ 0)
+	MaxThresh int     // start of the certain-drop region (> MinThresh)
+	MaxP      float64 // drop probability at MaxThresh (0 < MaxP ≤ 1)
+	Buffer    int     // hard capacity backstop (≥ MaxThresh)
+}
+
+// NewRED returns a RED discipline, panicking on inconsistent thresholds.
+func NewRED(minThresh, maxThresh int, maxP float64, buffer int) RED {
+	if minThresh < 0 || maxThresh <= minThresh || maxP <= 0 || maxP > 1 || buffer < maxThresh {
+		panic(fmt.Sprintf("packetsim: invalid RED(%d,%d,%v,%d)", minThresh, maxThresh, maxP, buffer))
+	}
+	return RED{MinThresh: minThresh, MaxThresh: maxThresh, MaxP: maxP, Buffer: buffer}
+}
+
+// Admit implements Discipline.
+func (r RED) Admit(queueLen int, rng *rand64.Source) bool {
+	switch {
+	case queueLen >= r.Buffer+1:
+		return false // hard overflow
+	case queueLen >= r.MaxThresh:
+		return false
+	case queueLen < r.MinThresh:
+		return true
+	default:
+		frac := float64(queueLen-r.MinThresh) / float64(r.MaxThresh-r.MinThresh)
+		return !rng.Bernoulli(frac * r.MaxP)
+	}
+}
+
+// Name implements Discipline.
+func (r RED) Name() string {
+	return fmt.Sprintf("red(%d,%d,%g)", r.MinThresh, r.MaxThresh, r.MaxP)
+}

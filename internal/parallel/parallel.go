@@ -1,0 +1,89 @@
+// Package parallel provides the small worker-pool helper the experiment
+// sweeps use to exploit multiple cores. Every simulation in this
+// repository is deterministic and cell-independent, so grid sweeps
+// parallelize without affecting results; Map preserves input order and
+// fails fast on the first error.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map applies f to every item index in [0, n), using up to workers
+// goroutines (0 = GOMAXPROCS), and collects the results in input order.
+// The first error cancels the remaining work (in-flight calls finish) and
+// is returned.
+func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("parallel: negative item count %d", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				v, err := f(i)
+				if err != nil {
+					fail(fmt.Errorf("parallel: item %d: %w", i, err))
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	out, err := Map(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapSerialFallback(t *testing.T) {
+	out, err := Map(5, 1, func(i int) (string, error) { return fmt.Sprint(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[3] != "3" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMapNegative(t *testing.T) {
+	if _, err := Map(-1, 4, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestMapErrorFailsFast(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Map(1000, 4, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Fail-fast: nowhere near all 1000 items should have run.
+	if calls.Load() > 900 {
+		t.Fatalf("%d calls despite early error", calls.Load())
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	out, err := Map(10, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 10 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+// Property: Map(n, w, identity) is the identity for any worker count.
+func TestQuickMapIdentity(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw % 64)
+		w := int(wRaw % 9)
+		out, err := Map(n, w, func(i int) (int, error) { return i, nil })
+		if err != nil || len(out) != n {
+			return false
+		}
+		for i, v := range out {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package pareto_test
+
+import (
+	"fmt"
+
+	"repro/internal/pareto"
+)
+
+// ExampleFrontier prunes dominated protocol designs.
+func ExampleFrontier() {
+	points := []pareto.Point{
+		{Label: "balanced", Coords: []float64{0.6, 0.6}},
+		{Label: "dominated", Coords: []float64{0.5, 0.5}},
+		{Label: "specialist", Coords: []float64{0.9, 0.2}},
+	}
+	for _, p := range pareto.Frontier(points) {
+		fmt.Println(p.Label)
+	}
+	// Output:
+	// balanced
+	// specialist
+}
+
+// ExampleFigure1Surface generates the corner of Figure 1's frontier that
+// TCP Reno occupies.
+func ExampleFigure1Surface() {
+	pts := pareto.Figure1Surface([]float64{1}, []float64{0.5})
+	p := pts[0]
+	fmt.Printf("AIMD(%g,%g) attains friendliness %g\n",
+		p.FastUtilization, p.Efficiency, p.Friendliness)
+	// Output:
+	// AIMD(1,0.5) attains friendliness 1
+}

@@ -1,0 +1,177 @@
+// Package pareto provides the Pareto-frontier machinery of Section 5.2 of
+// "An Axiomatic Approach to Congestion Control": protocols are points in
+// the multidimensional space induced by the axioms' scores, some score
+// combinations are infeasible (Theorems 2 and 3), and desirable protocols
+// are the feasible points that cannot be improved in one metric without
+// being degraded in another.
+//
+// All coordinates handled by this package are oriented so that LARGER IS
+// BETTER. The paper's loss-avoidance and latency-avoidance metrics (where
+// a smaller α is better) must be transformed before use; OrientScores does
+// this for the metrics package's 8-tuples.
+package pareto
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/axioms"
+	"repro/internal/metrics"
+)
+
+// Point is a labeled position in score space (higher is better in every
+// coordinate).
+type Point struct {
+	Label  string
+	Coords []float64
+}
+
+// Dominates reports whether coordinate vector a Pareto-dominates b: a is
+// at least as good everywhere and strictly better somewhere. It panics on
+// length mismatch. NaN coordinates never dominate and are never dominated.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("pareto: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	strict := false
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			return false
+		}
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Frontier returns the subset of points not dominated by any other point,
+// preserving input order. Duplicate coordinate vectors are all retained
+// (none dominates the other).
+func Frontier(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if Dominates(q.Coords, p.Coords) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OnFrontier reports whether p is non-dominated within points (p itself is
+// skipped by coordinate identity, not label).
+func OnFrontier(p Point, points []Point) bool {
+	for _, q := range points {
+		if sameCoords(p.Coords, q.Coords) {
+			continue
+		}
+		if Dominates(q.Coords, p.Coords) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameCoords(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OrientScores converts a metrics.Scores 8-tuple into a higher-is-better
+// coordinate vector in the fixed order (efficiency, fast-utilization,
+// loss, fairness, convergence, robustness, TCP-friendliness, latency).
+// Loss-avoidance maps to 1−α (no loss scores 1) and latency-avoidance to
+// 1/(1+α) (no inflation scores 1).
+func OrientScores(s metrics.Scores) []float64 {
+	return []float64{
+		s.Efficiency,
+		s.FastUtilization,
+		1 - s.LossAvoidance,
+		s.Fairness,
+		s.Convergence,
+		s.Robustness,
+		s.TCPFriendliness,
+		1 / (1 + s.LatencyAvoidance),
+	}
+}
+
+// OrientedDims names OrientScores' coordinates, index-aligned.
+var OrientedDims = []string{
+	"efficiency", "fast-utilization", "loss-avoidance(1-α)", "fairness",
+	"convergence", "robustness", "tcp-friendliness", "latency-avoidance(1/(1+α))",
+}
+
+// SurfacePoint is one point of Figure 1's Pareto frontier in the
+// 3-dimensional subspace spanned by fast-utilization (α), efficiency (β)
+// and TCP-friendliness. Friendliness = 3(1−β)/(α(1+β)), the Theorem 2
+// boundary, which AIMD(α, β) attains (Table 1), so every surface point is
+// feasible and maximal.
+type SurfacePoint struct {
+	FastUtilization float64 // α
+	Efficiency      float64 // β
+	Friendliness    float64 // 3(1−β)/(α(1+β))
+}
+
+// Point converts the surface point into a generic 3-coordinate Point
+// labeled with the attaining AIMD protocol.
+func (sp SurfacePoint) Point() Point {
+	return Point{
+		Label:  fmt.Sprintf("AIMD(%.3g,%.3g)", sp.FastUtilization, sp.Efficiency),
+		Coords: []float64{sp.FastUtilization, sp.Efficiency, sp.Friendliness},
+	}
+}
+
+// Figure1Surface evaluates the Theorem 2 frontier on the cross product of
+// the given α (fast-utilization) and β (efficiency) grids, reproducing the
+// surface plotted in Figure 1. αs must be positive and βs within [0, 1).
+func Figure1Surface(alphas, betas []float64) []SurfacePoint {
+	out := make([]SurfacePoint, 0, len(alphas)*len(betas))
+	for _, a := range alphas {
+		for _, b := range betas {
+			out = append(out, SurfacePoint{
+				FastUtilization: a,
+				Efficiency:      b,
+				Friendliness:    axioms.Theorem2Bound(a, b),
+			})
+		}
+	}
+	return out
+}
+
+// Grid returns n evenly spaced values covering [lo, hi] inclusive. It
+// panics if n < 2 or hi < lo.
+func Grid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("pareto: grid needs ≥ 2 points, got %d", n))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("pareto: inverted grid [%v, %v]", lo, hi))
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}

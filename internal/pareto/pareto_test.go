@@ -1,0 +1,311 @@
+package pareto
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/axioms"
+	"repro/internal/metrics"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{0, 0}, true},
+		{[]float64{1, 0}, []float64{0, 0}, true},
+		{[]float64{1, 0}, []float64{0, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equality never dominates
+		{[]float64{0, 0}, []float64{1, 0}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDominatesNaN(t *testing.T) {
+	nan := math.NaN()
+	if Dominates([]float64{nan, 2}, []float64{0, 0}) {
+		t.Error("NaN vector dominated")
+	}
+	if Dominates([]float64{1, 2}, []float64{nan, 0}) {
+		t.Error("vector dominated NaN")
+	}
+}
+
+func TestDominatesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	Dominates([]float64{1}, []float64{1, 2})
+}
+
+func TestFrontier(t *testing.T) {
+	pts := []Point{
+		{"a", []float64{1, 0}},
+		{"b", []float64{0, 1}},
+		{"c", []float64{0.5, 0.5}},
+		{"d", []float64{0.4, 0.4}}, // dominated by c
+		{"e", []float64{1, 1}},     // dominates everything
+	}
+	f := Frontier(pts)
+	if len(f) != 1 || f[0].Label != "e" {
+		t.Fatalf("frontier = %v, want just e", labels(f))
+	}
+
+	// Without e, the frontier is {a, b, c}.
+	f = Frontier(pts[:4])
+	got := labels(f)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFrontierKeepsDuplicates(t *testing.T) {
+	pts := []Point{
+		{"a", []float64{1, 1}},
+		{"b", []float64{1, 1}},
+	}
+	if f := Frontier(pts); len(f) != 2 {
+		t.Fatalf("duplicates pruned: %v", labels(f))
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	if f := Frontier(nil); len(f) != 0 {
+		t.Fatalf("empty frontier = %v", f)
+	}
+}
+
+func TestOnFrontier(t *testing.T) {
+	pts := []Point{
+		{"a", []float64{1, 0}},
+		{"b", []float64{0, 1}},
+	}
+	if !OnFrontier(Point{"x", []float64{0.5, 0.5}}, pts) {
+		t.Error("incomparable point reported dominated")
+	}
+	if OnFrontier(Point{"y", []float64{0.5, -1}}, pts) {
+		t.Error("dominated point reported on frontier")
+	}
+	// A point equal to a member is on the frontier (identity skip).
+	if !OnFrontier(Point{"z", []float64{1, 0}}, pts) {
+		t.Error("duplicate of member rejected")
+	}
+}
+
+func labels(pts []Point) []string {
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = p.Label
+	}
+	return out
+}
+
+func TestOrientScores(t *testing.T) {
+	s := metrics.Scores{
+		Efficiency:       0.6,
+		FastUtilization:  1,
+		LossAvoidance:    0.02,
+		Fairness:         1,
+		Convergence:      0.66,
+		Robustness:       0,
+		TCPFriendliness:  1,
+		LatencyAvoidance: 1,
+	}
+	v := OrientScores(s)
+	if len(v) != len(OrientedDims) {
+		t.Fatalf("vector length %d != dims %d", len(v), len(OrientedDims))
+	}
+	if v[2] != 0.98 {
+		t.Errorf("loss coordinate = %v, want 0.98", v[2])
+	}
+	if v[7] != 0.5 {
+		t.Errorf("latency coordinate = %v, want 0.5", v[7])
+	}
+	// Perfect protocol dominates s.
+	perfect := OrientScores(metrics.Scores{
+		Efficiency: 1, FastUtilization: 2, LossAvoidance: 0, Fairness: 1,
+		Convergence: 1, Robustness: 0.5, TCPFriendliness: 2, LatencyAvoidance: 0,
+	})
+	if !Dominates(perfect, v) {
+		t.Error("perfect scores do not dominate ordinary scores")
+	}
+}
+
+func TestFigure1SurfaceValues(t *testing.T) {
+	alphas := []float64{1, 2}
+	betas := []float64{0.5, 0.8}
+	pts := Figure1Surface(alphas, betas)
+	if len(pts) != 4 {
+		t.Fatalf("surface has %d points, want 4", len(pts))
+	}
+	for _, p := range pts {
+		want := axioms.Theorem2Bound(p.FastUtilization, p.Efficiency)
+		if p.Friendliness != want {
+			t.Errorf("surface point (%v,%v): friendliness %v, want %v",
+				p.FastUtilization, p.Efficiency, p.Friendliness, want)
+		}
+	}
+	// The Reno corner: (1, 0.5) ⇒ friendliness exactly 1.
+	if pts[0].Friendliness != 1 {
+		t.Errorf("Reno corner friendliness = %v", pts[0].Friendliness)
+	}
+}
+
+func TestFigure1SurfaceIsAFrontier(t *testing.T) {
+	// Every surface point must be mutually non-dominated: the surface IS
+	// the Pareto frontier of the 3-metric subspace.
+	pts := Figure1Surface(Grid(0.5, 3, 6), Grid(0.1, 0.9, 6))
+	generic := make([]Point, len(pts))
+	for i, p := range pts {
+		generic[i] = p.Point()
+	}
+	f := Frontier(generic)
+	if len(f) != len(generic) {
+		t.Fatalf("surface lost %d points to domination", len(generic)-len(f))
+	}
+}
+
+func TestSurfacePointPoint(t *testing.T) {
+	sp := SurfacePoint{FastUtilization: 1, Efficiency: 0.5, Friendliness: 1}
+	p := sp.Point()
+	if p.Label != "AIMD(1,0.5)" {
+		t.Errorf("label = %q", p.Label)
+	}
+	if len(p.Coords) != 3 || p.Coords[2] != 1 {
+		t.Errorf("coords = %v", p.Coords)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("grid = %v, want %v", g, want)
+		}
+	}
+	if g := Grid(2, 2, 3); g[0] != 2 || g[2] != 2 {
+		t.Fatalf("degenerate grid = %v", g)
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { Grid(0, 1, 1) },
+		func() { Grid(1, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: dominance is irreflexive and asymmetric.
+func TestQuickDominanceOrder(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		av, bv := a[:], b[:]
+		for _, v := range append(append([]float64{}, av...), bv...) {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		if Dominates(av, av) {
+			return false // irreflexive
+		}
+		if Dominates(av, bv) && Dominates(bv, av) {
+			return false // asymmetric
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dominance is transitive.
+func TestQuickDominanceTransitive(t *testing.T) {
+	f := func(a, b, c [3]float64) bool {
+		av, bv, cv := a[:], b[:], c[:]
+		for _, v := range [][]float64{av, bv, cv} {
+			for _, x := range v {
+				if math.IsNaN(x) {
+					return true
+				}
+			}
+		}
+		if Dominates(av, bv) && Dominates(bv, cv) {
+			return Dominates(av, cv)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Frontier output is mutually non-dominated and every excluded
+// point is dominated by some frontier member.
+func TestQuickFrontierCorrect(t *testing.T) {
+	f := func(raw [][2]float64) bool {
+		pts := make([]Point, 0, len(raw))
+		for i, r := range raw {
+			if math.IsNaN(r[0]) || math.IsNaN(r[1]) {
+				continue
+			}
+			pts = append(pts, Point{Label: string(rune('a' + i%26)), Coords: []float64{r[0], r[1]}})
+		}
+		front := Frontier(pts)
+		inFront := make(map[*Point]bool)
+		for i := range front {
+			for j := range front {
+				if i != j && Dominates(front[i].Coords, front[j].Coords) {
+					return false
+				}
+			}
+			_ = inFront
+		}
+		// Every input point is either on the frontier or dominated.
+		for _, p := range pts {
+			dominated := false
+			for _, q := range pts {
+				if Dominates(q.Coords, p.Coords) {
+					dominated = true
+					break
+				}
+			}
+			onFront := false
+			for _, q := range front {
+				if sameCoords(p.Coords, q.Coords) {
+					onFront = true
+					break
+				}
+			}
+			if dominated == onFront {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

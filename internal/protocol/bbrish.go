@@ -1,0 +1,100 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+)
+
+// BBRish is a window-based rendering of BBR's model-based control
+// (Cardwell et al., the paper's reference [8]), one of the §6 "other
+// congestion control protocols" the framework invites. True BBR is paced;
+// within the paper's window model the essential mechanism survives:
+//
+//   - estimate the path's propagation RTT as the windowed minimum RTT;
+//   - estimate the bottleneck bandwidth as the windowed maximum delivery
+//     rate (window·(1−loss)/RTT);
+//   - operate at a window of Gain × (bandwidth × min RTT), the estimated
+//     BDP, cycling a probe gain above and a drain gain below it so the
+//     estimator keeps seeing fresh samples.
+//
+// Consequences inside the axiomatic framework, all exercised in tests:
+// BBRish is NOT loss-based (it ignores the loss signal except through
+// delivery rate), keeps queues near-empty (strong Metric VIII), tolerates
+// random loss (high Metric VI — delivery rate barely moves), and, like
+// every latency avoider, is starved by loss-based protocols (Theorem 5).
+type BBRish struct {
+	// Gain is the steady-state multiple of the estimated BDP held in
+	// flight (default 1).
+	Gain float64
+	// ProbeGain and DrainGain bracket the 8-step gain cycle (defaults
+	// 1.25 and 0.75, BBR's values).
+	ProbeGain float64
+	DrainGain float64
+
+	minRTT   float64
+	rateWin  [8]float64 // windowed max filter for delivery rate
+	rateIdx  int
+	started  bool
+	phase    int
+	startupW float64
+}
+
+// NewBBRish returns the default configuration (gain cycle 1.25/0.75
+// around 1×BDP).
+func NewBBRish() *BBRish {
+	return &BBRish{Gain: 1, ProbeGain: 1.25, DrainGain: 0.75}
+}
+
+// Next implements Protocol.
+func (p *BBRish) Next(fb Feedback) float64 {
+	if fb.RTT > 0 && (p.minRTT == 0 || fb.RTT < p.minRTT) {
+		p.minRTT = fb.RTT
+	}
+	if fb.RTT > 0 {
+		rate := fb.Window * (1 - fb.Loss) / fb.RTT
+		p.rateWin[p.rateIdx%len(p.rateWin)] = rate
+		p.rateIdx++
+	}
+	maxRate := 0.0
+	for _, r := range p.rateWin {
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	if maxRate <= 0 || p.minRTT <= 0 {
+		return fb.Window * 2 // no model yet: startup doubling
+	}
+	bdp := maxRate * p.minRTT
+
+	// Startup: grow multiplicatively while the rate estimate still rises
+	// (the window is the binding constraint, so delivery rate tracks it).
+	if !p.started {
+		if fb.Window < bdp*1.5 && fb.Window > p.startupW {
+			p.startupW = fb.Window
+			return fb.Window * 2
+		}
+		p.started = true
+	}
+
+	gain := p.Gain
+	switch p.phase % 8 {
+	case 0:
+		gain *= p.ProbeGain
+	case 1:
+		gain *= p.DrainGain
+	}
+	p.phase++
+	return math.Max(gain*bdp, MinWindow)
+}
+
+// LossBased implements Protocol: BBRish reacts to RTT and delivery rate,
+// not to loss as a signal.
+func (p *BBRish) LossBased() bool { return false }
+
+// Name implements Protocol.
+func (p *BBRish) Name() string { return fmt.Sprintf("BBRish(%g)", p.Gain) }
+
+// Clone implements Protocol.
+func (p *BBRish) Clone() Protocol {
+	return &BBRish{Gain: p.Gain, ProbeGain: p.ProbeGain, DrainGain: p.DrainGain}
+}

@@ -1,0 +1,43 @@
+package protocol_test
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// ExampleAIMD shows the window-update rule of §2: additive increase on
+// loss-free steps, multiplicative decrease on loss.
+func ExampleAIMD() {
+	reno := protocol.Reno() // AIMD(1, 0.5)
+	w := 10.0
+	w = reno.Next(protocol.Feedback{Window: w, RTT: 0.042, Loss: 0})
+	fmt.Println(w) // +1
+	w = reno.Next(protocol.Feedback{Window: w, RTT: 0.042, Loss: 0.02})
+	fmt.Println(w) // halved
+	// Output:
+	// 11
+	// 5.5
+}
+
+// ExampleRobustAIMD shows the §5.2 hybrid: loss below the tolerance ε is
+// ignored; loss at or above it triggers the multiplicative decrease.
+func ExampleRobustAIMD() {
+	ra := protocol.NewRobustAIMD(1, 0.8, 0.01)
+	fmt.Println(ra.Next(protocol.Feedback{Window: 100, Loss: 0.005})) // tolerated
+	fmt.Println(ra.Next(protocol.Feedback{Window: 100, Loss: 0.02}))  // backed off
+	// Output:
+	// 101
+	// 80
+}
+
+// ExampleParse builds protocols from the textual specs the CLI tools use.
+func ExampleParse() {
+	p, err := protocol.Parse("raimd:1,0.8,0.01")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name(), "loss-based:", p.LossBased())
+	// Output:
+	// RobustAIMD(1,0.8,0.01) loss-based: true
+}

@@ -1,0 +1,80 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse hardens the spec parser: no input may panic it, and every
+// accepted spec must yield a protocol whose Next is finite-in/finite-out.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"reno", "scalable", "cubic", "aimd:1,0.5", "mimd:1.01,0.875",
+		"bin:1,0.5,0.5,0.5", "raimd:1,0.8,0.01", "pcc:20", "vegas:2,4",
+		"tfrc:0.01", "probe:1", "hstcp", "", "aimd:", "aimd:1", ":::",
+		"aimd:NaN,0.5", "aimd:1e308,0.5", "AIMD:1,0.5", "reno:extra",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted protocols must behave on ordinary feedback.
+		w := p.Next(Feedback{Window: 10, RTT: 0.042, Loss: 0})
+		if math.IsNaN(w) {
+			t.Fatalf("Parse(%q): NaN window from loss-free step", spec)
+		}
+		w = p.Next(Feedback{Window: 10, RTT: 0.042, Loss: 0.1})
+		if math.IsNaN(w) {
+			t.Fatalf("Parse(%q): NaN window from lossy step", spec)
+		}
+		if p.Name() == "" {
+			t.Fatalf("Parse(%q): empty name", spec)
+		}
+		if c := p.Clone(); c == nil {
+			t.Fatalf("Parse(%q): nil clone", spec)
+		}
+	})
+}
+
+// FuzzProtocolStability drives every family with adversarial feedback
+// sequences: windows must remain finite and non-NaN under arbitrary
+// (clamped) loss/RTT inputs.
+func FuzzProtocolStability(f *testing.F) {
+	f.Add(uint8(0), 10.0, 0.05, 0.042)
+	f.Add(uint8(3), 1e6, 0.99, 1e-6)
+	f.Add(uint8(5), 1.0, 0.0, 10.0)
+	f.Fuzz(func(t *testing.T, which uint8, w, loss, rtt float64) {
+		protos := []Protocol{
+			Reno(), Scalable(), SQRT(), CubicLinux(),
+			NewRobustAIMD(1, 0.8, 0.01), DefaultPCC(), DefaultVegas(),
+			DefaultTFRC(), NewHighSpeed(),
+		}
+		p := protos[int(which)%len(protos)]
+		// Clamp inputs to the domains the simulators guarantee.
+		if math.IsNaN(w) || w < MinWindow {
+			w = MinWindow
+		}
+		if w > 1e9 {
+			w = 1e9
+		}
+		if math.IsNaN(loss) || loss < 0 {
+			loss = 0
+		}
+		if loss >= 1 {
+			loss = 0.999999
+		}
+		if math.IsNaN(rtt) || rtt <= 0 {
+			rtt = 1e-6
+		}
+		for i := 0; i < 8; i++ {
+			w = p.Next(Feedback{Step: i, Window: w, RTT: rtt, Loss: loss})
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				t.Fatalf("%s produced %v", p.Name(), w)
+			}
+			w = Clamp(w, 1e9)
+		}
+	})
+}

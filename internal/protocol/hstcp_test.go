@@ -1,0 +1,84 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHSTCPStandardRegimeBelowLowWindow(t *testing.T) {
+	p := NewHighSpeed()
+	reno := Reno()
+	for _, w := range []float64{1, 10, 30, 38} {
+		if g, want := p.Next(fbNoLoss(w)), reno.Next(fbNoLoss(w)); g != want {
+			t.Fatalf("w=%v increase: HSTCP %v != Reno %v", w, g, want)
+		}
+		if g, want := p.Next(fbLoss(w, 0.1)), reno.Next(fbLoss(w, 0.1)); g != want {
+			t.Fatalf("w=%v decrease: HSTCP %v != Reno %v", w, g, want)
+		}
+	}
+}
+
+func TestHSTCPAggressiveAtLargeWindows(t *testing.T) {
+	p := NewHighSpeed()
+	// At w = 10000, a(w) ≫ 1 and b(w) ≪ 0.5.
+	inc := p.Next(fbNoLoss(10000)) - 10000
+	if inc < 15 {
+		t.Fatalf("HSTCP increase at w=10000 = %v, want ≫ 1", inc)
+	}
+	dec := p.Next(fbLoss(10000, 0.1))
+	if dec < 10000*0.7 {
+		t.Fatalf("HSTCP decrease at w=10000 = %v, want gentle (≥ 0.7w)", dec)
+	}
+}
+
+func TestHSTCPResponseMonotone(t *testing.T) {
+	// a(w) non-decreasing, b(w) non-increasing over the table's range.
+	prevA, prevB := 0.0, 1.0
+	for w := 38.0; w <= 90000; w *= 1.3 {
+		a, b := hsParams(w)
+		if a < prevA-1e-9 {
+			t.Fatalf("a(w) decreased at w=%v: %v < %v", w, a, prevA)
+		}
+		if b > prevB+1e-9 {
+			t.Fatalf("b(w) increased at w=%v: %v > %v", w, b, prevB)
+		}
+		prevA, prevB = a, b
+	}
+}
+
+func TestHSTCPTableAnchors(t *testing.T) {
+	// Interpolation must hit the anchor rows exactly.
+	for _, e := range hsTable {
+		a, b := hsParams(e.W)
+		if math.Abs(a-e.A) > 1e-9 || math.Abs(b-e.B) > 1e-9 {
+			t.Fatalf("anchor w=%v: got (%v,%v), want (%v,%v)", e.W, a, b, e.A, e.B)
+		}
+	}
+}
+
+func TestHSTCPEndpointClamping(t *testing.T) {
+	aLo, bLo := hsParams(1)
+	if aLo != 1 || bLo != 0.5 {
+		t.Fatalf("below-table params = (%v,%v)", aLo, bLo)
+	}
+	aHi, bHi := hsParams(1e9)
+	last := hsTable[len(hsTable)-1]
+	if aHi != last.A || bHi != last.B {
+		t.Fatalf("above-table params = (%v,%v)", aHi, bHi)
+	}
+}
+
+func TestHSTCPCloneAndSpec(t *testing.T) {
+	p := NewHighSpeed()
+	c := p.Clone()
+	if c.Name() != p.Name() || c == Protocol(p) {
+		t.Fatalf("clone broken: %v", c.Name())
+	}
+	q := MustParse("hstcp")
+	if q.Name() != "HSTCP(low=38)" {
+		t.Fatalf("spec name = %q", q.Name())
+	}
+	if !q.LossBased() {
+		t.Fatal("HSTCP must be loss-based")
+	}
+}

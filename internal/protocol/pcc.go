@@ -1,0 +1,234 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+)
+
+// PCC is a window-based, monitor-interval stand-in for PCC Allegro (Dong
+// et al., NSDI 2015), the protocol the paper compares Robust-AIMD against.
+//
+// The real PCC is rate-paced and learns online from utility measurements;
+// the paper's model defers pacing, and reasons about PCC via the bound
+// that "PCC's behavior is strictly more aggressive than MIMD(1.01, 0.99)".
+// This implementation keeps PCC's control structure — each RTT-sized time
+// step is a monitor interval whose observed loss rate feeds a utility
+// function, and the sender performs gradient-style probing on that
+// utility — while emitting congestion windows so it composes with the
+// paper's model:
+//
+//	u(w, L) = w·(1 − (1 + δ)·L)
+//
+// With the default loss penalty δ = 20 the utility keeps rising until the
+// loss rate approaches 1/(1+δ) ≈ 4.8%, so the protocol, like PCC, shrugs
+// off moderate loss and is far more aggressive toward loss-based TCP than
+// any AIMD. Probing is deterministic: the sender moves its window in the
+// current direction, accelerating while utility improves and reversing
+// when it degrades.
+type PCC struct {
+	Delta   float64 // loss penalty coefficient δ (> 0)
+	Epsilon float64 // base probing step as a fraction of the window (> 0)
+	MaxStep float64 // cap on the per-MI window change fraction
+
+	dir      float64 // +1 or −1
+	streak   int     // consecutive same-direction moves
+	prevU    float64 // utility of the previous monitor interval
+	havePrev bool
+}
+
+// NewPCC returns a PCC stand-in with the given loss penalty δ. Probing
+// uses a 1% base step capped at 5% per monitor interval, mirroring
+// Allegro's defaults. It panics if delta <= 0.
+func NewPCC(delta float64) *PCC {
+	if delta <= 0 {
+		panic(fmt.Sprintf("protocol: invalid PCC delta %v", delta))
+	}
+	return &PCC{Delta: delta, Epsilon: 0.01, MaxStep: 0.05, dir: 1}
+}
+
+// DefaultPCC returns the configuration used throughout the experiments:
+// δ = 20 (loss tolerated up to ≈4.8%).
+func DefaultPCC() *PCC { return NewPCC(20) }
+
+// utility evaluates the loss-based Allegro-style utility of a monitor
+// interval.
+func (p *PCC) utility(w, loss float64) float64 {
+	return w * (1 - (1+p.Delta)*loss)
+}
+
+// Next implements Protocol.
+func (p *PCC) Next(fb Feedback) float64 {
+	u := p.utility(fb.Window, fb.Loss)
+	if !p.havePrev {
+		p.havePrev = true
+		p.prevU = u
+		p.streak = 1
+		return fb.Window * (1 + p.dir*p.Epsilon)
+	}
+	if u >= p.prevU {
+		p.streak++
+	} else {
+		p.dir = -p.dir
+		p.streak = 1
+	}
+	p.prevU = u
+	step := math.Min(float64(p.streak)*p.Epsilon, p.MaxStep)
+	next := fb.Window * (1 + p.dir*step)
+	if next < MinWindow {
+		next = MinWindow
+	}
+	return next
+}
+
+// LossBased implements Protocol; the stand-in's utility uses only loss.
+func (p *PCC) LossBased() bool { return true }
+
+// Name implements Protocol.
+func (p *PCC) Name() string { return fmt.Sprintf("PCC(δ=%g)", p.Delta) }
+
+// Clone implements Protocol.
+func (p *PCC) Clone() Protocol {
+	return &PCC{Delta: p.Delta, Epsilon: p.Epsilon, MaxStep: p.MaxStep, dir: 1}
+}
+
+// Vegas is a latency-avoiding protocol in the style of TCP Vegas, used to
+// exercise Theorem 5 (any efficient loss-based protocol starves any
+// latency-avoiding protocol). It estimates the path's propagation RTT as
+// the minimum RTT observed and steers the number of its own packets queued
+// at the bottleneck, diff = w·(1 − baseRTT/RTT), into the band
+// [AlphaPkts, BetaPkts]:
+//
+//	diff < AlphaPkts → w + 1
+//	diff > BetaPkts  → w − 1
+//	otherwise        → hold
+//
+// On loss it halves, like Vegas falling back to Reno behavior. Because its
+// decisions depend on RTT, LossBased reports false, and because it keeps
+// at most BetaPkts packets queued per flow, it is γ-latency-avoiding for
+// any γ > 0 once the link is fast enough (Metric VIII).
+type Vegas struct {
+	AlphaPkts float64 // lower bound on queued packets (α, default 2)
+	BetaPkts  float64 // upper bound on queued packets (β, default 4)
+
+	baseRTT float64 // minimum RTT observed so far (seconds)
+}
+
+// NewVegas returns a Vegas-style latency avoider with the classic α = 2,
+// β = 4 packet thresholds. It panics if alpha <= 0 or beta < alpha.
+func NewVegas(alphaPkts, betaPkts float64) *Vegas {
+	if alphaPkts <= 0 || betaPkts < alphaPkts {
+		panic(fmt.Sprintf("protocol: invalid Vegas(%v,%v)", alphaPkts, betaPkts))
+	}
+	return &Vegas{AlphaPkts: alphaPkts, BetaPkts: betaPkts}
+}
+
+// DefaultVegas returns Vegas(2, 4).
+func DefaultVegas() *Vegas { return NewVegas(2, 4) }
+
+// Next implements Protocol.
+func (p *Vegas) Next(fb Feedback) float64 {
+	if p.baseRTT == 0 || fb.RTT < p.baseRTT {
+		p.baseRTT = fb.RTT
+	}
+	if fb.Loss > 0 {
+		return fb.Window * 0.5
+	}
+	diff := 0.0
+	if fb.RTT > 0 {
+		diff = fb.Window * (1 - p.baseRTT/fb.RTT)
+	}
+	switch {
+	case diff < p.AlphaPkts:
+		return fb.Window + 1
+	case diff > p.BetaPkts:
+		return fb.Window - 1
+	default:
+		return fb.Window
+	}
+}
+
+// LossBased implements Protocol; Vegas reacts to RTT, so false.
+func (p *Vegas) LossBased() bool { return false }
+
+// Name implements Protocol.
+func (p *Vegas) Name() string {
+	return fmt.Sprintf("Vegas(%g,%g)", p.AlphaPkts, p.BetaPkts)
+}
+
+// Clone implements Protocol.
+func (p *Vegas) Clone() Protocol { return NewVegas(p.AlphaPkts, p.BetaPkts) }
+
+// ProbeUntilLoss is the protocol used to illustrate Claim 1: it increases
+// its window by A per step until it encounters loss for the first time,
+// then halves once and freezes forever. From that point on a single sender
+// never again exceeds the link (the protocol is 0-loss and, with A small,
+// nearly fully utilizing), yet after arbitrarily long loss-free periods it
+// never increases — so it is not α-fast-utilizing for any α > 0.
+type ProbeUntilLoss struct {
+	A float64 // additive probe increment (a > 0)
+
+	frozen float64 // the window frozen after the first loss; 0 before
+}
+
+// NewProbeUntilLoss returns the Claim 1 probe with increment a. It panics
+// if a <= 0.
+func NewProbeUntilLoss(a float64) *ProbeUntilLoss {
+	if a <= 0 {
+		panic(fmt.Sprintf("protocol: invalid ProbeUntilLoss(%v)", a))
+	}
+	return &ProbeUntilLoss{A: a}
+}
+
+// Next implements Protocol.
+func (p *ProbeUntilLoss) Next(fb Feedback) float64 {
+	if p.frozen > 0 {
+		return p.frozen
+	}
+	if fb.Loss > 0 {
+		p.frozen = math.Max(fb.Window*0.5, MinWindow)
+		return p.frozen
+	}
+	return fb.Window + p.A
+}
+
+// LossBased implements Protocol.
+func (p *ProbeUntilLoss) LossBased() bool { return true }
+
+// Name implements Protocol.
+func (p *ProbeUntilLoss) Name() string {
+	return fmt.Sprintf("ProbeUntilLoss(%g)", p.A)
+}
+
+// Clone implements Protocol.
+func (p *ProbeUntilLoss) Clone() Protocol { return NewProbeUntilLoss(p.A) }
+
+// Func adapts a stateless window-update function to the Protocol
+// interface. It is the extension point for experimenting with custom
+// update rules without writing a full type; the function must be
+// deterministic and must not retain state between calls (use a dedicated
+// type for stateful protocols).
+type Func struct {
+	// Fn maps the current feedback to the next window.
+	Fn func(Feedback) float64
+	// RTTSensitive marks the rule as depending on RTT (inverts LossBased).
+	RTTSensitive bool
+	// Label is returned by Name.
+	Label string
+}
+
+// Next implements Protocol.
+func (p *Func) Next(fb Feedback) float64 { return p.Fn(fb) }
+
+// LossBased implements Protocol.
+func (p *Func) LossBased() bool { return !p.RTTSensitive }
+
+// Name implements Protocol.
+func (p *Func) Name() string {
+	if p.Label == "" {
+		return "Func"
+	}
+	return p.Label
+}
+
+// Clone implements Protocol. The function is shared; it must be stateless.
+func (p *Func) Clone() Protocol { c := *p; return &c }

@@ -1,0 +1,72 @@
+// Package protocol implements the congestion-control protocol abstraction
+// of Section 2 of "An Axiomatic Approach to Congestion Control" (HotNets
+// 2017) and every protocol family the paper formalizes or evaluates:
+//
+//   - AIMD(a,b) — additive-increase multiplicative-decrease (TCP Reno is
+//     AIMD(1, 0.5))
+//   - MIMD(a,b) — multiplicative-increase multiplicative-decrease (TCP
+//     Scalable is MIMD(1.01, 0.875))
+//   - BIN(a,b,k,l) — the binomial family of Bansal & Balakrishnan
+//   - CUBIC(c,b) — TCP Cubic's window curve
+//   - Robust-AIMD(a,b,ε) — the paper's §5.2 hybrid of AIMD and PCC
+//   - PCC — a monitor-interval, utility-gradient stand-in for PCC Allegro
+//   - Vegas — a latency-avoiding protocol (for Theorem 5)
+//   - ProbeUntilLoss — the 0-loss, non-fast-utilizing probe of Claim 1
+//
+// A protocol deterministically maps the history of its own congestion
+// windows and the RTTs and loss rates it experienced to its next window
+// choice. Implementations carry that history as internal state; Next is
+// called exactly once per RTT-sized time step.
+package protocol
+
+// Feedback is what a sender observes about time step t before choosing its
+// window for step t+1: its own current window, the step's RTT (seconds)
+// and the loss rate it experienced. Loss is the shared link loss rate of
+// the paper's synchronized-feedback model, possibly combined with
+// non-congestion random loss.
+type Feedback struct {
+	Step   int     // time step index t
+	Window float64 // x_i(t), this sender's window (MSS)
+	RTT    float64 // RTT(t) in seconds
+	Loss   float64 // L(t) in [0, 1)
+}
+
+// Protocol is a congestion-control protocol in the paper's model. Next
+// consumes the feedback for the current step and returns the window for
+// the next step; the link clamps the result to [MinWindow, M].
+//
+// Implementations must be deterministic: the same sequence of Feedback
+// values must always yield the same sequence of windows.
+type Protocol interface {
+	// Next returns x_i(t+1) given the observations of step t.
+	Next(fb Feedback) float64
+	// LossBased reports whether the protocol's window choices are
+	// invariant to RTT values (§2: "a protocol is loss-based if its
+	// choice of window-sizes is invariant to the RTT values").
+	LossBased() bool
+	// Name returns a short, human-readable identifier such as
+	// "AIMD(1,0.5)".
+	Name() string
+	// Clone returns a fresh instance with the same parameters and
+	// reset history, for running the same protocol on many senders.
+	Clone() Protocol
+}
+
+// MinWindow is the smallest window the link model allows. The paper lets
+// windows range over {0, 1, ..., M}; a strictly positive floor keeps the
+// multiplicative families meaningful (a window of 0 could never grow
+// multiplicatively) and corresponds to TCP's minimum congestion window of
+// one segment.
+const MinWindow = 1.0
+
+// Clamp restricts w to [MinWindow, max]. It is exported so that both
+// simulators apply the identical rule.
+func Clamp(w, max float64) float64 {
+	if w < MinWindow {
+		return MinWindow
+	}
+	if w > max {
+		return max
+	}
+	return w
+}

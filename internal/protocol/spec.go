@@ -1,0 +1,147 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Protocol from a compact textual spec, used by the command
+// line tools. Accepted forms (case-insensitive):
+//
+//	reno                     AIMD(1, 0.5)
+//	scalable                 MIMD(1.01, 0.875)
+//	scalable-aimd            AIMD(1, 0.875)
+//	cubic                    CUBIC(0.4, 0.8)
+//	pcc                      PCC with δ = 20
+//	vegas                    Vegas(2, 4)
+//	iiad                     BIN(1, 1, 1, 0)
+//	sqrt                     BIN(1, 0.5, 0.5, 0.5)
+//	aimd:a,b                 AIMD(a, b)
+//	mimd:a,b                 MIMD(a, b)
+//	bin:a,b,k,l              BIN(a, b, k, l)
+//	cubic:c,b                CUBIC(c, b)
+//	raimd:a,b,eps            Robust-AIMD(a, b, ε)
+//	robustaimd:a,b,eps       Robust-AIMD(a, b, ε)
+//	pcc:delta                PCC with loss penalty δ
+//	vegas:alpha,beta         Vegas(α, β)
+//	probe:a                  ProbeUntilLoss(a)
+//	tfrc                     TFRC(0.01), equation-based
+//	tfrc:alpha               TFRC with EWMA weight alpha
+//	hstcp                    HighSpeed TCP (RFC 3649)
+//	bbr                      BBRish, window-based BBR-style model control
+func Parse(spec string) (Protocol, error) {
+	name := strings.ToLower(strings.TrimSpace(spec))
+	var argStr string
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name, argStr = name[:i], name[i+1:]
+	}
+
+	args, err := parseArgs(argStr)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: spec %q: %w", spec, err)
+	}
+
+	build := func(want int, f func() Protocol) (Protocol, error) {
+		if len(args) != want {
+			return nil, fmt.Errorf("protocol: spec %q: want %d parameters, got %d", spec, want, len(args))
+		}
+		var p Protocol
+		err := catchPanic(func() { p = f() })
+		if err != nil {
+			return nil, fmt.Errorf("protocol: spec %q: %w", spec, err)
+		}
+		return p, nil
+	}
+
+	switch name {
+	case "reno":
+		return build(0, func() Protocol { return Reno() })
+	case "scalable":
+		return build(0, func() Protocol { return Scalable() })
+	case "scalable-aimd":
+		return build(0, func() Protocol { return ScalableAIMD() })
+	case "iiad":
+		return build(0, func() Protocol { return IIAD() })
+	case "sqrt":
+		return build(0, func() Protocol { return SQRT() })
+	case "aimd":
+		return build(2, func() Protocol { return NewAIMD(args[0], args[1]) })
+	case "mimd":
+		return build(2, func() Protocol { return NewMIMD(args[0], args[1]) })
+	case "bin":
+		return build(4, func() Protocol { return NewBinomial(args[0], args[1], args[2], args[3]) })
+	case "cubic":
+		if len(args) == 0 {
+			return CubicLinux(), nil
+		}
+		return build(2, func() Protocol { return NewCubic(args[0], args[1]) })
+	case "raimd", "robustaimd", "robust-aimd":
+		return build(3, func() Protocol { return NewRobustAIMD(args[0], args[1], args[2]) })
+	case "pcc":
+		if len(args) == 0 {
+			return DefaultPCC(), nil
+		}
+		return build(1, func() Protocol { return NewPCC(args[0]) })
+	case "vegas":
+		if len(args) == 0 {
+			return DefaultVegas(), nil
+		}
+		return build(2, func() Protocol { return NewVegas(args[0], args[1]) })
+	case "bbr", "bbrish":
+		return build(0, func() Protocol { return NewBBRish() })
+	case "hstcp":
+		return build(0, func() Protocol { return NewHighSpeed() })
+	case "tfrc":
+		if len(args) == 0 {
+			return DefaultTFRC(), nil
+		}
+		return build(1, func() Protocol { return NewTFRC(args[0]) })
+	case "probe":
+		return build(1, func() Protocol { return NewProbeUntilLoss(args[0]) })
+	default:
+		return nil, fmt.Errorf("protocol: unknown protocol %q", spec)
+	}
+}
+
+// MustParse is Parse that panics on error, for tests and example code.
+func MustParse(spec string) Protocol {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseArgs(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad parameter %q", p)
+		}
+		// ParseFloat accepts "NaN" and "Inf", which would slip past the
+		// constructors' range checks (every comparison with NaN is
+		// false). Protocol parameters must be finite.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("bad parameter %q: must be finite", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func catchPanic(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	f()
+	return nil
+}

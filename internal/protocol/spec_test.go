@@ -1,0 +1,111 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseShorthands(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"reno", "AIMD(1,0.5)"},
+		{"scalable", "MIMD(1.01,0.875)"},
+		{"scalable-aimd", "AIMD(1,0.875)"},
+		{"cubic", "CUBIC(0.4,0.8)"},
+		{"iiad", "BIN(1,1,1,0)"},
+		{"sqrt", "BIN(1,0.5,0.5,0.5)"},
+		{"pcc", "PCC(δ=20)"},
+		{"vegas", "Vegas(2,4)"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if p.Name() != c.want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.spec, p.Name(), c.want)
+		}
+	}
+}
+
+func TestParseParameterized(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"aimd:2,0.7", "AIMD(2,0.7)"},
+		{"AIMD: 2 , 0.7", "AIMD(2,0.7)"},
+		{"mimd:1.05,0.9", "MIMD(1.05,0.9)"},
+		{"bin:1,0.5,1,1", "BIN(1,0.5,1,1)"},
+		{"cubic:0.2,0.7", "CUBIC(0.2,0.7)"},
+		{"raimd:1,0.8,0.01", "RobustAIMD(1,0.8,0.01)"},
+		{"robustaimd:1,0.8,0.005", "RobustAIMD(1,0.8,0.005)"},
+		{"robust-aimd:1,0.8,0.007", "RobustAIMD(1,0.8,0.007)"},
+		{"pcc:10", "PCC(δ=10)"},
+		{"vegas:1,3", "Vegas(1,3)"},
+		{"probe:0.5", "ProbeUntilLoss(0.5)"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if p.Name() != c.want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.spec, p.Name(), c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		errPart string
+	}{
+		{"nosuch", "unknown protocol"},
+		{"aimd:1", "want 2 parameters"},
+		{"aimd:1,0.5,3", "want 2 parameters"},
+		{"aimd:x,0.5", "bad parameter"},
+		{"aimd:0,0.5", "invalid AIMD"},
+		{"mimd:1,0.5", "invalid MIMD"},
+		{"raimd:1,0.8,2", "invalid RobustAIMD"},
+		{"reno:1", "want 0 parameters"},
+		{"probe:0", "invalid ProbeUntilLoss"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.spec, err, c.errPart)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of bad spec did not panic")
+		}
+	}()
+	MustParse("nosuch")
+}
+
+func TestParseRoundTripThroughClone(t *testing.T) {
+	specs := []string{"reno", "scalable", "cubic", "raimd:1,0.8,0.01", "pcc", "vegas", "sqrt"}
+	for _, s := range specs {
+		p := MustParse(s)
+		c := p.Clone()
+		if c.Name() != p.Name() {
+			t.Errorf("%s: clone name %q != %q", s, c.Name(), p.Name())
+		}
+		if c == p {
+			t.Errorf("%s: Clone returned the same instance", s)
+		}
+	}
+}

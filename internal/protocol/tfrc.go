@@ -1,0 +1,87 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+)
+
+// TFRC is an equation-based protocol in the style of TCP-Friendly Rate
+// Control (the equation-based alternative to AIMD studied by Floyd,
+// Handley & Padhye, the paper's reference [13]). Instead of reacting to
+// individual loss events, it maintains an exponentially weighted estimate
+// p̂ of the loss rate and pins its window to the TCP throughput equation's
+// simplified form for AIMD(1, 0.5):
+//
+//	x = √(3 / (2·p̂))   MSS per RTT
+//
+// which is the window at which TCP Reno would equilibrate under loss rate
+// p̂ — by construction the protocol targets 1-TCP-friendliness. Until the
+// first loss it probes multiplicatively (TFRC's slow-start analogue),
+// and the EWMA makes its steady-state trajectory far smoother than any
+// multiplicative-decrease protocol: its RFC-5166-style smoothness score
+// is a small fraction of Reno's 0.5.
+type TFRC struct {
+	// Alpha is the EWMA weight for the loss estimate (0 < Alpha ≤ 1,
+	// default 0.25): p̂ ← (1−Alpha)·p̂ + Alpha·L.
+	Alpha float64
+	// ProbeGain multiplies the window each step before the first loss
+	// (> 1, default 2, i.e. doubling).
+	ProbeGain float64
+
+	pHat   float64
+	primed bool // whether any loss has ever been observed
+}
+
+// NewTFRC returns a TFRC protocol with EWMA weight alpha. It panics for
+// alpha outside (0, 1].
+//
+// The weight plays the role of TFRC's loss-interval averaging depth: real
+// TFRC averages over ~8 loss events, and with loss epochs spanning on the
+// order of 100 RTT-steps in this model, a per-step weight near 0.01 gives
+// comparable smoothing. Large weights (0.25+) overreact to the single-step
+// loss spikes of the fluid model's overflow events and produce a deep
+// sawtooth rather than TFRC's smooth rate.
+func NewTFRC(alpha float64) *TFRC {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("protocol: invalid TFRC alpha %v", alpha))
+	}
+	return &TFRC{Alpha: alpha, ProbeGain: 2}
+}
+
+// DefaultTFRC returns TFRC with the per-step EWMA weight 0.01 (see
+// NewTFRC for the calibration).
+func DefaultTFRC() *TFRC { return NewTFRC(0.01) }
+
+// equationWindow returns √(3/(2p)), the simplified TCP response function.
+func equationWindow(p float64) float64 {
+	return math.Sqrt(1.5 / p)
+}
+
+// Next implements Protocol.
+func (t *TFRC) Next(fb Feedback) float64 {
+	if fb.Loss > 0 {
+		t.primed = true
+	}
+	t.pHat = (1-t.Alpha)*t.pHat + t.Alpha*fb.Loss
+	if !t.primed {
+		return fb.Window * t.ProbeGain
+	}
+	// Guard the equation against a decayed-to-zero estimate: cap the
+	// window at what a fresh minimal loss estimate would allow.
+	const pFloor = 1e-9
+	if t.pHat < pFloor {
+		t.pHat = pFloor
+	}
+	return equationWindow(t.pHat)
+}
+
+// LossBased implements Protocol; TFRC ignores RTT in this model.
+func (t *TFRC) LossBased() bool { return true }
+
+// Name implements Protocol.
+func (t *TFRC) Name() string { return fmt.Sprintf("TFRC(%g)", t.Alpha) }
+
+// Clone implements Protocol.
+func (t *TFRC) Clone() Protocol {
+	return &TFRC{Alpha: t.Alpha, ProbeGain: t.ProbeGain}
+}

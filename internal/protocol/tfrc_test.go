@@ -1,0 +1,99 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTFRCProbesUntilFirstLoss(t *testing.T) {
+	p := DefaultTFRC()
+	w := 1.0
+	for i := 0; i < 5; i++ {
+		nw := p.Next(fbNoLoss(w))
+		if nw != 2*w {
+			t.Fatalf("step %d: %v -> %v, want doubling", i, w, nw)
+		}
+		w = nw
+	}
+}
+
+func TestTFRCEquationAfterLoss(t *testing.T) {
+	p := NewTFRC(1) // alpha = 1: p̂ equals the latest observation
+	got := p.Next(fbLoss(100, 0.01))
+	want := math.Sqrt(1.5 / 0.01)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("window = %v, want √(3/2p) = %v", got, want)
+	}
+	// Higher loss ⇒ smaller window.
+	lower := p.Next(fbLoss(100, 0.04))
+	if lower >= got {
+		t.Fatalf("window %v did not shrink under higher loss (was %v)", lower, got)
+	}
+}
+
+func TestTFRCEWMASmoothing(t *testing.T) {
+	p := NewTFRC(0.25)
+	// One loss primes it; subsequent loss-free steps decay p̂ slowly, so
+	// the window grows gradually (no halving, no doubling).
+	w := p.Next(fbLoss(50, 0.02))
+	for i := 0; i < 10; i++ {
+		nw := p.Next(fbNoLoss(w))
+		if nw <= w {
+			t.Fatalf("step %d: window %v did not grow during loss-free decay", i, nw)
+		}
+		if nw > 1.3*w {
+			t.Fatalf("step %d: window jumped %v -> %v; EWMA should be smooth", i, w, nw)
+		}
+		w = nw
+	}
+}
+
+func TestTFRCGuardsZeroEstimate(t *testing.T) {
+	p := NewTFRC(1)
+	p.Next(fbLoss(10, 0.5)) // primed
+	// alpha=1 with zero loss would zero p̂; the floor must keep the
+	// window finite.
+	got := p.Next(fbNoLoss(10))
+	if math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Fatalf("window = %v after estimate decay", got)
+	}
+}
+
+func TestTFRCConstructorPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTFRC(%v) did not panic", a)
+				}
+			}()
+			NewTFRC(a)
+		}()
+	}
+}
+
+func TestTFRCCloneResets(t *testing.T) {
+	p := DefaultTFRC()
+	p.Next(fbLoss(100, 0.1))
+	c := p.Clone().(*TFRC)
+	if c.primed || c.pHat != 0 {
+		t.Fatal("clone inherited loss state")
+	}
+	if c.Name() != p.Name() {
+		t.Fatalf("clone name %q != %q", c.Name(), p.Name())
+	}
+}
+
+func TestTFRCParseSpec(t *testing.T) {
+	p := MustParse("tfrc")
+	if p.Name() != "TFRC(0.01)" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	p = MustParse("tfrc:0.5")
+	if p.Name() != "TFRC(0.5)" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	if _, err := Parse("tfrc:2"); err == nil {
+		t.Fatal("invalid alpha accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateQuick(t *testing.T) {
+	sections, err := Generate(Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) < 7 {
+		t.Fatalf("only %d sections", len(sections))
+	}
+	titles := map[string]bool{}
+	for _, s := range sections {
+		titles[s.Title] = true
+	}
+	for _, want := range []string{
+		"Table 1 — theory",
+		"Table 1 — fluid-model validation",
+		"Figure 1 — Pareto frontier",
+		"Table 2 — Robust-AIMD vs PCC TCP-friendliness",
+		"§5.1 — protocol-ordering validation (Emulab substitute)",
+		"Claim 1 and Theorem 2 (tightness)",
+		"Metric VI — robustness thresholds",
+		"§6 extension — network-wide parking lot",
+	} {
+		if !titles[want] {
+			t.Errorf("missing section %q", want)
+		}
+	}
+	// SVG sections actually carry SVG.
+	svgs := 0
+	for _, s := range sections {
+		if s.SVGName != "" {
+			svgs++
+			if !strings.HasPrefix(s.SVG, "<svg") {
+				t.Errorf("section %q: SVG malformed", s.Title)
+			}
+		}
+	}
+	if svgs < 2 {
+		t.Errorf("only %d SVG sections", svgs)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	sections := []Section{
+		{Title: "A", Comment: "c", Body: fence("row1\trow2")},
+		{Title: "B", SVGName: "b.svg", SVG: "<svg/>"},
+	}
+	md := Render(sections, time.Unix(0, 0).UTC())
+	for _, want := range []string{"# Reproduction report", "## A", "```", "![B](b.svg)"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	path, err := Write(dir, Config{Quick: true, Seed: 1}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "report.md" {
+		t.Fatalf("path = %v", path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "Table 2") {
+		t.Fatal("report.md missing Table 2 section")
+	}
+	// The SVG assets landed next to it.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svgs := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".svg") {
+			svgs++
+		}
+	}
+	if svgs < 2 {
+		t.Fatalf("only %d SVG files written", svgs)
+	}
+}

@@ -1,0 +1,395 @@
+// Package scenario loads and runs experiment descriptions from JSON, so
+// that scenarios are shareable artifacts rather than code: a spec selects
+// one of the three simulators (the §2 fluid model, the packet-level
+// testbed, or the §6 multilink network), describes the link(s) and flows
+// in the paper's units (Mbps, ms, MSS), and produces a uniform outcome
+// with per-flow shares and link-level metrics. The repository ships a
+// library of canonical specs under scenarios/.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/fluid"
+	"repro/internal/metrics"
+	"repro/internal/multilink"
+	"repro/internal/packetsim"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// Link describes one link in paper units.
+type Link struct {
+	Mbps       float64 `json:"mbps"`
+	RTTms      float64 `json:"rtt_ms"`                // round-trip propagation delay
+	BufferMSS  float64 `json:"buffer_mss"`            // τ
+	RandomLoss float64 `json:"random_loss,omitempty"` // non-congestion loss rate
+	Infinite   bool    `json:"infinite,omitempty"`    // fluid only
+
+	// RED, when present, replaces droptail at a packet-level bottleneck.
+	RED *REDSpec `json:"red,omitempty"`
+}
+
+// REDSpec configures Random Early Detection for packet scenarios.
+type REDSpec struct {
+	MinThresh int     `json:"min_thresh"`
+	MaxThresh int     `json:"max_thresh"`
+	MaxP      float64 `json:"max_p"`
+}
+
+// Flow describes one sender.
+type Flow struct {
+	Protocol     string  `json:"protocol"`                 // spec string, e.g. "raimd:1,0.8,0.01"
+	Init         float64 `json:"init,omitempty"`           // initial window (MSS)
+	Start        float64 `json:"start,omitempty"`          // packet: start time (s)
+	ExtraDelayMs float64 `json:"extra_delay_ms,omitempty"` // packet: one-way extra delay
+	Path         []int   `json:"path,omitempty"`           // multilink: link indices
+	Period       int     `json:"period,omitempty"`         // fluid: update period (unsync)
+	Phase        int     `json:"phase,omitempty"`          // fluid: update phase
+}
+
+// Spec is a complete scenario.
+type Spec struct {
+	Name     string  `json:"name"`
+	Model    string  `json:"model"`              // "fluid" | "packet" | "multilink"
+	Steps    int     `json:"steps,omitempty"`    // fluid/multilink horizon (default 4000)
+	Duration float64 `json:"duration,omitempty"` // packet horizon in seconds (default 60)
+	Seed     uint64  `json:"seed,omitempty"`
+	TailFrac float64 `json:"tail_frac,omitempty"` // summary window (default 0.75)
+
+	Link  *Link  `json:"link,omitempty"`  // fluid/packet
+	Links []Link `json:"links,omitempty"` // multilink
+	Flows []Flow `json:"flows"`
+
+	// StochasticLoss enables per-flow loss sampling in multilink runs.
+	StochasticLoss bool `json:"stochastic_loss,omitempty"`
+}
+
+// Load parses a spec from JSON, rejecting unknown fields.
+func Load(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks structural consistency (protocol specs are validated at
+// Run time, when they are parsed).
+func (s *Spec) Validate() error {
+	switch s.Model {
+	case "fluid", "packet":
+		if s.Link == nil {
+			return fmt.Errorf("scenario %q: model %q needs a \"link\"", s.Name, s.Model)
+		}
+		if len(s.Links) > 0 {
+			return fmt.Errorf("scenario %q: \"links\" is for the multilink model", s.Name)
+		}
+	case "multilink":
+		if len(s.Links) == 0 {
+			return fmt.Errorf("scenario %q: multilink needs \"links\"", s.Name)
+		}
+		if s.Link != nil {
+			return fmt.Errorf("scenario %q: use \"links\" (not \"link\") for multilink", s.Name)
+		}
+	default:
+		return fmt.Errorf("scenario %q: unknown model %q", s.Name, s.Model)
+	}
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("scenario %q: at least one flow required", s.Name)
+	}
+	for i, f := range s.Flows {
+		if f.Protocol == "" {
+			return fmt.Errorf("scenario %q: flow %d has no protocol", s.Name, i)
+		}
+		if s.Model == "multilink" && len(f.Path) == 0 {
+			return fmt.Errorf("scenario %q: flow %d needs a path", s.Name, i)
+		}
+		if s.Model != "multilink" && len(f.Path) > 0 {
+			return fmt.Errorf("scenario %q: flow %d: \"path\" is for multilink", s.Name, i)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) steps() int {
+	if s.Steps == 0 {
+		return 4000
+	}
+	return s.Steps
+}
+
+func (s *Spec) duration() float64 {
+	if s.Duration == 0 {
+		return 60
+	}
+	return s.Duration
+}
+
+func (s *Spec) tail() float64 {
+	if s.TailFrac == 0 {
+		return 0.75
+	}
+	return s.TailFrac
+}
+
+// FlowOutcome is one flow's summary.
+type FlowOutcome struct {
+	Protocol  string  `json:"protocol"`
+	AvgWindow float64 `json:"avg_window"`          // MSS, tail mean
+	Goodput   float64 `json:"goodput_mss_per_sec"` // tail mean
+	Share     float64 `json:"share"`               // goodput fraction of all flows
+}
+
+// Outcome is the uniform result of running any scenario.
+type Outcome struct {
+	Name  string        `json:"name"`
+	Model string        `json:"model"`
+	Flows []FlowOutcome `json:"flows"`
+	// Summary carries model-appropriate link metrics: efficiency,
+	// tail loss, fairness (Jain index over goodputs), and, for fluid and
+	// packet runs, latency inflation.
+	Summary map[string]float64 `json:"summary"`
+}
+
+// Run executes the scenario.
+func (s *Spec) Run() (*Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Model {
+	case "fluid":
+		return s.runFluid()
+	case "packet":
+		return s.runPacket()
+	default:
+		return s.runMultilink()
+	}
+}
+
+func (s *Spec) parseProtocols() ([]protocol.Protocol, error) {
+	out := make([]protocol.Protocol, len(s.Flows))
+	for i, f := range s.Flows {
+		p, err := protocol.Parse(f.Protocol)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: flow %d: %w", s.Name, i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func (s *Spec) runFluid() (*Outcome, error) {
+	protos, err := s.parseProtocols()
+	if err != nil {
+		return nil, err
+	}
+	cfg := fluid.Config{
+		Bandwidth: fluid.MbpsToMSSps(s.Link.Mbps),
+		PropDelay: s.Link.RTTms / 1000 / 2,
+		Buffer:    s.Link.BufferMSS,
+		Infinite:  s.Link.Infinite,
+		Seed:      s.Seed,
+	}
+	if s.Link.RandomLoss > 0 {
+		cfg.Loss = fluid.NewConstantLoss(s.Link.RandomLoss)
+	}
+	senders := make([]fluid.Sender, len(s.Flows))
+	for i, f := range s.Flows {
+		init := f.Init
+		if init == 0 {
+			init = 1
+		}
+		senders[i] = fluid.Sender{
+			Proto:  protos[i],
+			Init:   init,
+			Period: f.Period,
+			Phase:  f.Phase,
+		}
+	}
+	l, err := fluid.New(cfg, senders...)
+	if err != nil {
+		return nil, err
+	}
+	tr := l.Run(s.steps())
+
+	tail := s.tail()
+	out := &Outcome{Name: s.Name, Model: s.Model, Summary: map[string]float64{}}
+	var goodputs []float64
+	for i := range s.Flows {
+		g := tr.AvgGoodput(i, tail)
+		goodputs = append(goodputs, g)
+		out.Flows = append(out.Flows, FlowOutcome{
+			Protocol:  protos[i].Name(),
+			AvgWindow: tr.AvgWindow(i, tail),
+			Goodput:   g,
+		})
+	}
+	fillShares(out.Flows, goodputs)
+	out.Summary["efficiency"] = metrics.EfficiencyFromTrace(tr, tail)
+	out.Summary["tail_loss"] = metrics.LossAvoidanceFromTrace(tr, tail)
+	out.Summary["jain_goodput"] = stats.JainIndex(goodputs)
+	out.Summary["latency_inflation"] = metrics.LatencyAvoidanceFromTrace(tr, tail)
+	return out, nil
+}
+
+func (s *Spec) runPacket() (*Outcome, error) {
+	protos, err := s.parseProtocols()
+	if err != nil {
+		return nil, err
+	}
+	cfg := packetsim.Config{
+		Bandwidth:  fluid.MbpsToMSSps(s.Link.Mbps),
+		PropDelay:  s.Link.RTTms / 1000 / 2,
+		Buffer:     int(s.Link.BufferMSS),
+		RandomLoss: s.Link.RandomLoss,
+		Seed:       s.Seed,
+	}
+	if s.Link.RED != nil {
+		cfg.Queue = packetsim.NewRED(s.Link.RED.MinThresh, s.Link.RED.MaxThresh, s.Link.RED.MaxP, cfg.Buffer)
+	}
+	flows := make([]packetsim.Flow, len(s.Flows))
+	for i, f := range s.Flows {
+		init := f.Init
+		if init == 0 {
+			init = 1
+		}
+		flows[i] = packetsim.Flow{
+			Proto:      protos[i],
+			Init:       init,
+			Start:      f.Start,
+			ExtraDelay: f.ExtraDelayMs / 1000,
+		}
+	}
+	res, err := packetsim.Run(cfg, flows, s.duration())
+	if err != nil {
+		return nil, err
+	}
+
+	tail := s.tail()
+	out := &Outcome{Name: s.Name, Model: s.Model, Summary: map[string]float64{}}
+	var goodputs []float64
+	total := 0.0
+	for i := range s.Flows {
+		g := res.Throughput(i, tail)
+		goodputs = append(goodputs, g)
+		total += g
+		out.Flows = append(out.Flows, FlowOutcome{
+			Protocol:  protos[i].Name(),
+			AvgWindow: stats.Mean(stats.Tail(res.Trace.Window(i), tail)),
+			Goodput:   g,
+		})
+	}
+	fillShares(out.Flows, goodputs)
+	out.Summary["efficiency"] = total / cfg.Bandwidth
+	out.Summary["tail_loss"] = stats.Mean(stats.Tail(res.Trace.Loss(), tail))
+	out.Summary["jain_goodput"] = stats.JainIndex(goodputs)
+	base := 2 * cfg.PropDelay
+	out.Summary["latency_inflation"] = math.Max(0, stats.Mean(stats.Tail(res.Trace.RTT(), tail))/base-1)
+	return out, nil
+}
+
+func (s *Spec) runMultilink() (*Outcome, error) {
+	protos, err := s.parseProtocols()
+	if err != nil {
+		return nil, err
+	}
+	links := make([]multilink.LinkSpec, len(s.Links))
+	for i, l := range s.Links {
+		links[i] = multilink.LinkSpec{
+			Bandwidth: fluid.MbpsToMSSps(l.Mbps),
+			PropDelay: l.RTTms / 1000 / 2,
+			Buffer:    l.BufferMSS,
+		}
+	}
+	flows := make([]multilink.FlowSpec, len(s.Flows))
+	for i, f := range s.Flows {
+		init := f.Init
+		if init == 0 {
+			init = 1
+		}
+		flows[i] = multilink.FlowSpec{Proto: protos[i], Init: init, Path: f.Path}
+	}
+	var opts []multilink.Option
+	if s.StochasticLoss {
+		opts = append(opts, multilink.WithStochasticLoss(s.Seed))
+	}
+	net, err := multilink.New(links, flows, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := net.Run(s.steps())
+
+	tail := s.tail()
+	out := &Outcome{Name: s.Name, Model: s.Model, Summary: map[string]float64{}}
+	var goodputs []float64
+	for i := range s.Flows {
+		g := res.AvgGoodput(i, tail)
+		goodputs = append(goodputs, g)
+		out.Flows = append(out.Flows, FlowOutcome{
+			Protocol:  protos[i].Name(),
+			AvgWindow: res.AvgWindow(i, tail),
+			Goodput:   g,
+		})
+	}
+	fillShares(out.Flows, goodputs)
+	util := 0.0
+	for l := range links {
+		util += res.LinkUtilization(l, tail)
+	}
+	out.Summary["efficiency"] = util / float64(len(links))
+	out.Summary["jain_goodput"] = stats.JainIndex(goodputs)
+	worstLoss := 0.0
+	for l := range links {
+		if m := stats.Mean(stats.Tail(res.LinkLoss[l], tail)); m > worstLoss {
+			worstLoss = m
+		}
+	}
+	out.Summary["tail_loss"] = worstLoss
+	return out, nil
+}
+
+func fillShares(flows []FlowOutcome, goodputs []float64) {
+	total := stats.Sum(goodputs)
+	if total <= 0 {
+		return
+	}
+	for i := range flows {
+		flows[i].Share = goodputs[i] / total
+	}
+}
+
+// Render formats the outcome as an aligned text table.
+func (o *Outcome) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario %q (%s model)\n", o.Name, o.Model)
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "flow\tprotocol\tavg window\tgoodput (MSS/s)\tshare")
+	for i, f := range o.Flows {
+		fmt.Fprintf(w, "%d\t%s\t%.2f\t%.1f\t%.1f%%\n", i, f.Protocol, f.AvgWindow, f.Goodput, 100*f.Share)
+	}
+	w.Flush()
+	keys := []string{"efficiency", "tail_loss", "jain_goodput", "latency_inflation"}
+	for _, k := range keys {
+		if v, ok := o.Summary[k]; ok {
+			fmt.Fprintf(&sb, "%s=%.4f ", k, v)
+		}
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// JSON marshals the outcome, indented.
+func (o *Outcome) JSON() ([]byte, error) {
+	return json.MarshalIndent(o, "", "  ")
+}

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const fluidSpec = `{
+  "name": "two-renos",
+  "model": "fluid",
+  "steps": 1500,
+  "link": {"mbps": 20, "rtt_ms": 42, "buffer_mss": 100},
+  "flows": [
+    {"protocol": "reno", "init": 1},
+    {"protocol": "reno", "init": 60}
+  ]
+}`
+
+func TestLoadAndRunFluid(t *testing.T) {
+	s, err := Load(strings.NewReader(fluidSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "two-renos" || s.Model != "fluid" {
+		t.Fatalf("spec = %+v", s)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Flows) != 2 {
+		t.Fatalf("flows = %d", len(out.Flows))
+	}
+	// Two Renos split fairly.
+	if math.Abs(out.Flows[0].Share-0.5) > 0.1 {
+		t.Errorf("share = %v, want ≈ 0.5", out.Flows[0].Share)
+	}
+	if out.Summary["efficiency"] < 0.9 {
+		t.Errorf("efficiency = %v", out.Summary["efficiency"])
+	}
+	if out.Summary["jain_goodput"] < 0.95 {
+		t.Errorf("jain = %v", out.Summary["jain_goodput"])
+	}
+}
+
+func TestRunPacketWithREDAndDelays(t *testing.T) {
+	spec := `{
+	  "name": "red-mix",
+	  "model": "packet",
+	  "duration": 20,
+	  "link": {"mbps": 20, "rtt_ms": 42, "buffer_mss": 100,
+	           "red": {"min_thresh": 10, "max_thresh": 40, "max_p": 0.1}},
+	  "flows": [
+	    {"protocol": "reno"},
+	    {"protocol": "cubic", "extra_delay_ms": 20, "start": 2}
+	  ]
+	}`
+	s, err := Load(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Summary["efficiency"] < 0.5 {
+		t.Errorf("efficiency = %v", out.Summary["efficiency"])
+	}
+	// RED keeps the standing queue short.
+	if out.Summary["latency_inflation"] > 1 {
+		t.Errorf("latency inflation = %v under RED", out.Summary["latency_inflation"])
+	}
+}
+
+func TestRunMultilinkParkingLot(t *testing.T) {
+	spec := `{
+	  "name": "lot",
+	  "model": "multilink",
+	  "steps": 2000,
+	  "stochastic_loss": true,
+	  "seed": 7,
+	  "links": [
+	    {"mbps": 20, "rtt_ms": 42, "buffer_mss": 20},
+	    {"mbps": 20, "rtt_ms": 42, "buffer_mss": 20}
+	  ],
+	  "flows": [
+	    {"protocol": "reno", "path": [0, 1]},
+	    {"protocol": "reno", "path": [0]},
+	    {"protocol": "reno", "path": [1]}
+	  ]
+	}`
+	s, err := Load(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The long flow's share is the smallest.
+	if out.Flows[0].Share >= out.Flows[1].Share {
+		t.Errorf("long flow share %v ≥ short %v", out.Flows[0].Share, out.Flows[1].Share)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want string
+	}{
+		{"unknown model", `{"name":"x","model":"ns3","flows":[{"protocol":"reno"}]}`, "unknown model"},
+		{"fluid without link", `{"name":"x","model":"fluid","flows":[{"protocol":"reno"}]}`, `needs a "link"`},
+		{"multilink without links", `{"name":"x","model":"multilink","flows":[{"protocol":"reno","path":[0]}]}`, `needs "links"`},
+		{"no flows", `{"name":"x","model":"fluid","link":{"mbps":20,"rtt_ms":42,"buffer_mss":10},"flows":[]}`, "at least one flow"},
+		{"missing protocol", `{"name":"x","model":"fluid","link":{"mbps":20,"rtt_ms":42,"buffer_mss":10},"flows":[{}]}`, "no protocol"},
+		{"path on fluid", `{"name":"x","model":"fluid","link":{"mbps":20,"rtt_ms":42,"buffer_mss":10},"flows":[{"protocol":"reno","path":[0]}]}`, "multilink"},
+		{"multilink flow without path", `{"name":"x","model":"multilink","links":[{"mbps":20,"rtt_ms":42,"buffer_mss":10}],"flows":[{"protocol":"reno"}]}`, "needs a path"},
+		{"unknown field", `{"name":"x","model":"fluid","bogus":1,"link":{"mbps":20,"rtt_ms":42,"buffer_mss":10},"flows":[{"protocol":"reno"}]}`, "bogus"},
+		{"links on fluid", `{"name":"x","model":"fluid","link":{"mbps":20,"rtt_ms":42,"buffer_mss":10},"links":[{"mbps":20,"rtt_ms":42,"buffer_mss":10}],"flows":[{"protocol":"reno"}]}`, "multilink"},
+	}
+	for _, c := range cases {
+		_, err := Load(strings.NewReader(c.spec))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBadProtocolSurfacesAtRun(t *testing.T) {
+	spec := `{"name":"x","model":"fluid","link":{"mbps":20,"rtt_ms":42,"buffer_mss":10},"flows":[{"protocol":"nosuch"}]}`
+	s, err := Load(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutcomeRenderAndJSON(t *testing.T) {
+	s, err := Load(strings.NewReader(fluidSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.Render()
+	for _, want := range []string{"two-renos", "AIMD(1,0.5)", "efficiency="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	raw, err := out.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed Outcome
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("JSON round trip: %v", err)
+	}
+	if parsed.Name != "two-renos" || len(parsed.Flows) != 2 {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+}
+
+func TestUnsyncFlowsInFluidSpec(t *testing.T) {
+	spec := `{
+	  "name": "unsync",
+	  "model": "fluid",
+	  "steps": 1500,
+	  "link": {"mbps": 20, "rtt_ms": 42, "buffer_mss": 20},
+	  "flows": [
+	    {"protocol": "reno", "period": 1},
+	    {"protocol": "reno", "period": 4}
+	  ]
+	}`
+	s, err := Load(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slow updater loses.
+	if out.Flows[1].AvgWindow >= out.Flows[0].AvgWindow {
+		t.Errorf("period-4 flow (%v) ≥ period-1 flow (%v)",
+			out.Flows[1].AvgWindow, out.Flows[0].AvgWindow)
+	}
+}

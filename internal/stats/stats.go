@@ -1,0 +1,262 @@
+// Package stats provides the small statistical toolkit used by the metric
+// estimators and experiment harness: moments, extrema, quantiles, Jain's
+// fairness index, linear regression, and tail-window summaries over time
+// series produced by the simulators.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned (or causes NaN) when a statistic of an empty series
+// is requested.
+var ErrEmpty = errors.New("stats: empty series")
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN if xs is empty.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the minimum of xs, or +Inf if xs is empty.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf if xs is empty.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics. It returns NaN for empty input
+// and panics if q is outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// JainIndex returns Jain's fairness index of the allocations xs:
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// J is 1 for a perfectly equal allocation and 1/n when a single member
+// receives everything. It returns NaN for empty input and 1 when all
+// allocations are zero (an all-zero allocation is trivially equal).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// MinOverMax returns min(xs)/max(xs), the worst-case pairwise ratio used by
+// the paper's fairness and friendliness metrics. It returns 1 when all
+// values are zero and NaN for empty input.
+func MinOverMax(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	mn, mx := Min(xs), Max(xs)
+	if mx == 0 {
+		return 1
+	}
+	return mn / mx
+}
+
+// Tail returns the suffix of xs that starts at fraction f of its length
+// (f in [0,1]). Tail(xs, 0.75) is the last quarter of the series — the
+// "from some time T onwards" window used throughout the axiom estimators.
+func Tail(xs []float64, f float64) []float64 {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	start := int(f * float64(len(xs)))
+	if start >= len(xs) {
+		start = len(xs) - 1
+	}
+	if start < 0 {
+		start = 0
+	}
+	if len(xs) == 0 {
+		return xs
+	}
+	return xs[start:]
+}
+
+// LinearFit returns the slope and intercept of the least-squares line
+// through (i, xs[i]). It returns NaN slope for fewer than two points.
+func LinearFit(xs []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return math.NaN(), math.NaN()
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	for i, y := range xs {
+		x := float64(i)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return math.NaN(), math.NaN()
+	}
+	slope = (n*sumXY - sumX*sumY) / den
+	intercept = (sumY - slope*sumX) / n
+	return slope, intercept
+}
+
+// MovingAverage returns the w-point trailing moving average of xs. The
+// first w-1 outputs average only the samples seen so far. It panics if
+// w <= 0.
+func MovingAverage(xs []float64, w int) []float64 {
+	if w <= 0 {
+		panic("stats: window must be positive")
+	}
+	out := make([]float64, len(xs))
+	sum := 0.0
+	for i, x := range xs {
+		sum += x
+		if i >= w {
+			sum -= xs[i-w]
+			out[i] = sum / float64(w)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}
+
+// RelativeSpread returns (max-min)/mean over xs — a cheap convergence
+// indicator. It returns 0 for constant series and NaN if the mean is zero
+// or the series is empty.
+func RelativeSpread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	return (Max(xs) - Min(xs)) / m
+}
+
+// Containment returns the Metric-V-style convergence score of xs with the
+// extremes trimmed to the [qlo, qhi] quantile band: with x* = mean(xs),
+//
+//	α = max(0, min( Q(qlo)/x*, 2 − Q(qhi)/x* ))
+//
+// Using quantiles instead of min/max makes the score robust to rare
+// excursions, which matters when scoring noisy packet-level traces; with
+// qlo = 0 and qhi = 1 it reduces to the strict containment of Metric V.
+// It returns NaN for empty input and 0 when the mean is non-positive.
+func Containment(xs []float64, qlo, qhi float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	if m <= 0 {
+		return 0
+	}
+	lo := Quantile(xs, qlo) / m
+	hi := Quantile(xs, qhi) / m
+	a := math.Min(lo, 2-hi)
+	return math.Max(a, 0)
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values yield NaN.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

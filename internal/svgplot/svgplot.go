@@ -1,0 +1,294 @@
+// Package svgplot renders the repository's data products — window traces,
+// metric series and the Figure 1 frontier surface — as standalone SVG
+// documents using only the standard library. It is intentionally small: a
+// line chart with axes, ticks and a legend, plus a grid heatmap; enough to
+// visually inspect every experiment without external tooling.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one polyline of a line chart.
+type Series struct {
+	Name string
+	Y    []float64 // sample per x step (x is the index)
+}
+
+// LineOptions configures Lines.
+type LineOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // pixels (default 720)
+	Height int // pixels (default 400)
+}
+
+// palette holds the stroke colors cycled across series.
+var palette = []string{
+	"#3366cc", "#dc3912", "#109618", "#ff9900", "#990099",
+	"#0099c6", "#dd4477", "#66aa00", "#b82e2e", "#316395",
+}
+
+const margin = 56.0
+
+func (o LineOptions) withDefaults() LineOptions {
+	if o.Width == 0 {
+		o.Width = 720
+	}
+	if o.Height == 0 {
+		o.Height = 400
+	}
+	return o
+}
+
+// Lines renders the series as an SVG line chart. Series may have
+// different lengths; NaN/Inf samples break the polyline. An empty input
+// yields a chart with axes only.
+func Lines(series []Series, opts LineOptions) string {
+	o := opts.withDefaults()
+	w, h := float64(o.Width), float64(o.Height)
+	plotW, plotH := w-2*margin, h-2*margin
+
+	maxX := 1.0
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Y) > 1 && float64(len(s.Y)-1) > maxX {
+			maxX = float64(len(s.Y) - 1)
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minY, 1) { // no finite data
+		minY, maxY = 0, 1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	// Pad the y range 5% so lines don't hug the frame.
+	pad := (maxY - minY) * 0.05
+	minY, maxY = minY-pad, maxY+pad
+
+	xPix := func(x float64) float64 { return margin + x/maxX*plotW }
+	yPix := func(y float64) float64 { return margin + (1-(y-minY)/(maxY-minY))*plotH }
+
+	var b strings.Builder
+	header(&b, o.Width, o.Height, o.Title)
+	axes(&b, w, h)
+	xTicks(&b, w, h, 0, maxX, xPix)
+	yTicks(&b, h, minY, maxY, yPix)
+	labels(&b, w, h, o)
+
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		flush := func() {
+			if len(pts) > 1 {
+				fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+					color, strings.Join(pts, " "))
+			}
+			pts = pts[:0]
+		}
+		for x, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				flush()
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xPix(float64(x)), yPix(v)))
+		}
+		flush()
+		// Legend entry.
+		lx := margin + 8
+		ly := margin + 16 + float64(si)*16
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n", lx+14, ly, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// HeatmapOptions configures Heatmap.
+type HeatmapOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // default 640
+	Height int // default 480
+	// XValues / YValues label the grid axes (optional; indices if nil).
+	XValues []float64
+	YValues []float64
+}
+
+// Heatmap renders grid[y][x] as colored cells, dark blue (low) to red
+// (high). Rows may not be ragged; it panics on inconsistent widths.
+func Heatmap(grid [][]float64, opts HeatmapOptions) string {
+	o := opts
+	if o.Width == 0 {
+		o.Width = 640
+	}
+	if o.Height == 0 {
+		o.Height = 480
+	}
+	rows := len(grid)
+	cols := 0
+	if rows > 0 {
+		cols = len(grid[0])
+	}
+	for _, r := range grid {
+		if len(r) != cols {
+			panic("svgplot: ragged heatmap grid")
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range grid {
+		for _, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+
+	w, h := float64(o.Width), float64(o.Height)
+	plotW, plotH := w-2*margin, h-2*margin
+
+	var b strings.Builder
+	header(&b, o.Width, o.Height, o.Title)
+	if rows > 0 && cols > 0 {
+		cw, ch := plotW/float64(cols), plotH/float64(rows)
+		for y, row := range grid {
+			for x, v := range row {
+				frac := 0.0
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					frac = (v - lo) / (hi - lo)
+				}
+				// y index 0 at the bottom (math convention).
+				py := margin + plotH - float64(y+1)*ch
+				fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="%s"><title>%.4g</title></rect>`+"\n",
+					margin+float64(x)*cw, py, cw+0.5, ch+0.5, heatColor(frac), v)
+			}
+		}
+	}
+	axes(&b, w, h)
+	if len(o.XValues) > 0 {
+		gridTicksX(&b, w, h, o.XValues)
+	}
+	if len(o.YValues) > 0 {
+		gridTicksY(&b, h, o.YValues)
+	}
+	labels(&b, w, h, LineOptions{XLabel: o.XLabel, YLabel: o.YLabel})
+	// Color scale legend.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">low %.3g</text>`+"\n", w-margin-150, margin-10, lo)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="8" height="10" fill="%s"/>`+"\n",
+			w-margin-90+float64(i)*8, margin-20, heatColor(float64(i)/9))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11">high %.3g</text>`+"\n", w-margin-6, margin-10, hi)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// heatColor maps [0,1] to a blue→red ramp through white.
+func heatColor(frac float64) string {
+	frac = math.Max(0, math.Min(1, frac))
+	var r, g, bl int
+	if frac < 0.5 {
+		t := frac * 2
+		r = int(40 + t*(255-40))
+		g = int(70 + t*(245-70))
+		bl = int(200 + t*(245-200))
+	} else {
+		t := (frac - 0.5) * 2
+		r = int(255 - t*(255-200))
+		g = int(245 - t*245)
+		bl = int(245 - t*200)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+func header(b *strings.Builder, width, height int, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if title != "" {
+		fmt.Fprintf(b, `<text x="%d" y="24" font-size="15" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+			width/2, esc(title))
+	}
+}
+
+func axes(b *strings.Builder, w, h float64) {
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		margin, h-margin, w-margin, h-margin)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		margin, margin, margin, h-margin)
+}
+
+func xTicks(b *strings.Builder, w, h, lo, hi float64, xPix func(float64) float64) {
+	for i := 0; i <= 5; i++ {
+		v := lo + (hi-lo)*float64(i)/5
+		px := xPix(v)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			px, h-margin, px, h-margin+4)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%.4g</text>`+"\n",
+			px, h-margin+16, v)
+	}
+}
+
+func yTicks(b *strings.Builder, h, lo, hi float64, yPix func(float64) float64) {
+	for i := 0; i <= 5; i++ {
+		v := lo + (hi-lo)*float64(i)/5
+		py := yPix(v)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+			margin-4, py, margin, py)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.4g</text>`+"\n",
+			margin-7, py+3, v)
+	}
+}
+
+func gridTicksX(b *strings.Builder, w, h float64, xs []float64) {
+	plotW := w - 2*margin
+	for i, v := range xs {
+		px := margin + (float64(i)+0.5)/float64(len(xs))*plotW
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%.3g</text>`+"\n",
+			px, h-margin+16, v)
+	}
+}
+
+func gridTicksY(b *strings.Builder, h float64, ys []float64) {
+	plotH := h - 2*margin
+	for i, v := range ys {
+		py := margin + plotH - (float64(i)+0.5)/float64(len(ys))*plotH
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.3g</text>`+"\n",
+			margin-7, py+3, v)
+	}
+}
+
+func labels(b *strings.Builder, w, h float64, o LineOptions) {
+	if o.XLabel != "" {
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			w/2, h-12, esc(o.XLabel))
+	}
+	if o.YLabel != "" {
+		fmt.Fprintf(b, `<text x="14" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			h/2, h/2, esc(o.YLabel))
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

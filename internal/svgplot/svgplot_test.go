@@ -1,0 +1,142 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the SVG as XML, the strongest structural check the
+// standard library offers.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg[:min(len(svg), 500)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLinesBasic(t *testing.T) {
+	svg := Lines([]Series{
+		{Name: "reno", Y: []float64{1, 2, 3, 2, 4}},
+		{Name: "cubic", Y: []float64{2, 2, 2}},
+	}, LineOptions{Title: "windows", XLabel: "step", YLabel: "MSS"})
+	wellFormed(t, svg)
+	for _, want := range []string{"<svg", "polyline", "reno", "cubic", "windows", "step", "MSS"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two polylines, one per series.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+}
+
+func TestLinesHandlesNaNBreaks(t *testing.T) {
+	svg := Lines([]Series{
+		{Name: "gappy", Y: []float64{1, 2, math.NaN(), 3, 4}},
+	}, LineOptions{})
+	wellFormed(t, svg)
+	// The NaN splits the series into two polylines.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2 (split at NaN)", got)
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	svg := Lines(nil, LineOptions{Title: "empty"})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "empty") {
+		t.Error("title missing")
+	}
+	if strings.Contains(svg, "polyline") {
+		t.Error("unexpected polyline in empty chart")
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	// A constant series must not divide by zero in the y scale.
+	svg := Lines([]Series{{Name: "flat", Y: []float64{5, 5, 5}}}, LineOptions{})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into SVG coordinates")
+	}
+}
+
+func TestLinesEscapesMarkup(t *testing.T) {
+	svg := Lines([]Series{{Name: `a<b&"c"`, Y: []float64{1, 2}}}, LineOptions{Title: "x<y"})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "a<b") {
+		t.Error("series name not escaped")
+	}
+}
+
+func TestHeatmapBasic(t *testing.T) {
+	grid := [][]float64{
+		{0, 0.5, 1},
+		{1, 0.5, 0},
+	}
+	svg := Heatmap(grid, HeatmapOptions{
+		Title: "frontier", XLabel: "alpha", YLabel: "beta",
+		XValues: []float64{1, 2, 3}, YValues: []float64{0.1, 0.2},
+	})
+	wellFormed(t, svg)
+	// 6 cells + background + 10 legend swatches.
+	if got := strings.Count(svg, "<rect"); got < 6 {
+		t.Errorf("rect count = %d, want ≥ 6", got)
+	}
+	for _, want := range []string{"frontier", "alpha", "beta", "low", "high"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestHeatmapPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged grid did not panic")
+		}
+	}()
+	Heatmap([][]float64{{1, 2}, {3}}, HeatmapOptions{})
+}
+
+func TestHeatmapConstantGrid(t *testing.T) {
+	svg := Heatmap([][]float64{{2, 2}, {2, 2}}, HeatmapOptions{})
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Error("NaN leaked into constant heatmap")
+	}
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	lo, hi := heatColor(0), heatColor(1)
+	if lo == hi {
+		t.Fatalf("color ramp endpoints identical: %s", lo)
+	}
+	if heatColor(-1) != lo || heatColor(2) != hi {
+		t.Fatal("out-of-range fractions not clamped")
+	}
+	// All outputs are 7-char hex colors.
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		c := heatColor(f)
+		if len(c) != 7 || c[0] != '#' {
+			t.Fatalf("bad color %q at %v", c, f)
+		}
+	}
+}
