@@ -40,8 +40,11 @@
 package axiomcc
 
 import (
+	"context"
+
 	"repro/internal/axcheck"
 	"repro/internal/axioms"
+	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/game"
 	"repro/internal/metrics"
@@ -164,6 +167,12 @@ var (
 	RunHomogeneous = fluid.Homogeneous
 	// RunMixed simulates one sender per supplied protocol.
 	RunMixed = fluid.Mixed
+	// HomogeneousSenders builds n clones of one protocol, for
+	// EngineFluidSpec.
+	HomogeneousSenders = fluid.HomogeneousSenders
+	// MixedSenders builds one sender per supplied protocol, for
+	// EngineFluidSpec.
+	MixedSenders = fluid.MixedSenders
 	// MbpsToMSSps converts megabits/s to the model's MSS/s (1500 B MSS).
 	MbpsToMSSps = fluid.MbpsToMSSps
 
@@ -230,6 +239,59 @@ var (
 	// WithNetMaxWindow caps windows in a multilink network.
 	WithNetMaxWindow = multilink.WithMaxWindow
 )
+
+// ---- Engine (unified simulator layer) ----
+
+// The engine runs any of the three simulators behind one interface:
+// build a substrate spec (EngineFluidSpec, EnginePacketSpec,
+// EngineNetSpec), wrap it in an EngineSpec with optional streaming
+// observers, and call EngineRun. EngineSweep shards independent cells
+// across a worker pool with deterministic per-cell seeds.
+type (
+	// EngineSpec selects a substrate, trace recording, and observers.
+	EngineSpec = engine.Spec
+	// EngineMeta describes a substrate (flows, capacity, horizon) so
+	// observers can size their buffers before the run.
+	EngineMeta = engine.Meta
+	// EngineStep is the per-step snapshot streamed to observers.
+	EngineStep = engine.Step
+	// EngineObserver consumes per-step snapshots during a run.
+	EngineObserver = engine.Observer
+	// EngineObserverFunc adapts a function to EngineObserver.
+	EngineObserverFunc = engine.ObserverFunc
+	// EngineResult carries whichever outputs the run recorded.
+	EngineResult = engine.Result
+	// EngineSubstrate is one runnable simulator configuration.
+	EngineSubstrate = engine.Substrate
+	// EngineFluidSpec adapts the §2 fluid model.
+	EngineFluidSpec = engine.FluidSpec
+	// EnginePacketSpec adapts the packet-level testbed.
+	EnginePacketSpec = engine.PacketSpec
+	// EngineNetSpec adapts the §6 multilink network.
+	EngineNetSpec = engine.NetSpec
+	// SweepConfig tunes EngineSweep (workers, base seed, progress).
+	SweepConfig = engine.SweepConfig
+	// MetricStream is the streaming observer computing the axiom
+	// estimators online (no recorded trace needed).
+	MetricStream = metrics.Stream
+)
+
+var (
+	// EngineRun executes one substrate under a context.
+	EngineRun = engine.Run
+	// EngineCellSeed derives the deterministic seed of sweep cell i.
+	EngineCellSeed = engine.CellSeed
+	// NewMetricStream sizes a MetricStream from a substrate's Meta.
+	NewMetricStream = metrics.NewStream
+)
+
+// EngineSweep runs cell(ctx, i, seed) for i in [0, n) on a worker pool
+// (cfg.Workers; 0 = GOMAXPROCS) with fail-fast errors and context
+// cancellation. It is a thin generic wrapper over engine.Sweep so facade
+// clients don't import internal packages.
+func EngineSweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, error) {
+	return engine.Sweep(ctx, n, cfg, cell)
+}
 
 // ---- Axioms as empirical estimators (§3) ----
 

@@ -16,6 +16,7 @@ package axiomcc_test
 //	BenchmarkFluidStep / BenchmarkPacketSimSecond   raw simulator cost
 
 import (
+	"math"
 	"testing"
 
 	axiomcc "repro"
@@ -310,6 +311,82 @@ func BenchmarkAblationQueueDiscipline(b *testing.B) {
 	}
 	b.ReportMetric(dtThr, "droptail-thr")
 	b.ReportMetric(redThr, "red-thr")
+}
+
+// BenchmarkSweep is the perf baseline for the engine orchestrator: the
+// same small Table 2 grid computed (a) serially with full trace recording
+// per cell — the pre-engine code path — and (b) through engine.Sweep with
+// streaming observers and no traces. On a multicore machine the
+// orchestrated variant should be ≥2× faster (cells shard across
+// GOMAXPROCS workers) and allocate less per op (DisableTrace skips the
+// per-tick series entirely).
+func BenchmarkSweep(b *testing.B) {
+	grid := experiment.Table2Config{
+		Senders:    []int{2, 3},
+		Bandwidths: []float64{20, 30},
+		Duration:   10,
+		Seeds:      1,
+	}
+	// serialCell mirrors Table 2's friendliness measurement the way the
+	// pre-engine loop computed it: a recording packet-level run per cell.
+	serialCell := func(p axiomcc.Protocol, nProto int, mbps float64) (float64, error) {
+		cfg := experiment.EmulabLink(mbps, 100)
+		flows := make([]axiomcc.PacketFlow, 0, nProto+1)
+		for i := 0; i < nProto; i++ {
+			flows = append(flows, axiomcc.PacketFlow{Proto: p, Init: 1, Start: float64(i) * 0.003})
+		}
+		flows = append(flows, axiomcc.PacketFlow{Proto: axiomcc.Reno(), Init: 1})
+		res, err := axiomcc.RunPacketLevel(cfg, flows, grid.Duration)
+		if err != nil {
+			return 0, err
+		}
+		reno := res.Throughput(nProto, 0.5)
+		strongest := 0.0
+		for i := 0; i < nProto; i++ {
+			if t := res.Throughput(i, 0.5); t > strongest {
+				strongest = t
+			}
+		}
+		if strongest == 0 {
+			return math.Inf(1), nil
+		}
+		return reno / strongest, nil
+	}
+	b.Run("serial-recorded", func(b *testing.B) {
+		b.ReportAllocs()
+		var mean float64
+		for i := 0; i < b.N; i++ {
+			sum, cells := 0.0, 0
+			for _, n := range grid.Senders {
+				for _, mbps := range grid.Bandwidths {
+					ra, err := serialCell(axiomcc.NewRobustAIMD(1, 0.8, 0.01), n-1, mbps)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pc, err := serialCell(axiomcc.DefaultPCC(), n-1, mbps)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum += ra / pc
+					cells++
+				}
+			}
+			mean = sum / float64(cells)
+		}
+		b.ReportMetric(mean, "mean-improvement")
+	})
+	b.Run("engine-streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		var res *experiment.Table2Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = experiment.Table2(grid) // Workers 0 = GOMAXPROCS pool
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.MeanImprovement, "mean-improvement")
+	})
 }
 
 // BenchmarkMultilinkStep measures the raw cost of one network step on a

@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		spec   = flag.String("protocol", "reno", "protocol spec (see axiomsim -list)")
-		mbps   = flag.Float64("mbps", 20, "link bandwidth in Mbps")
-		rttMS  = flag.Float64("rtt", 42, "round-trip propagation delay in ms")
-		buffer = flag.Float64("buffer", 100, "buffer size in MSS")
-		n      = flag.Int("n", 2, "number of senders for the multi-sender axioms")
-		steps  = flag.Int("steps", 4000, "simulation horizon in RTT steps")
+		spec    = flag.String("protocol", "reno", "protocol spec (see axiomsim -list)")
+		mbps    = flag.Float64("mbps", 20, "link bandwidth in Mbps")
+		rttMS   = flag.Float64("rtt", 42, "round-trip propagation delay in ms")
+		buffer  = flag.Float64("buffer", 100, "buffer size in MSS")
+		n       = flag.Int("n", 2, "number of senders for the multi-sender axioms")
+		steps   = flag.Int("steps", 4000, "simulation horizon in RTT steps")
+		workers = flag.Int("workers", 0, "parallel workers for the per-metric init sweeps (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 		p.Name(), *mbps, *rttMS, *buffer, lp.C, *n)
 
 	row, rowErr := axiomcc.FamilyRow(p, lp)
-	scores, err := axiomcc.Characterize(cfg, p, *n, axiomcc.MetricOptions{Steps: *steps})
+	scores, err := axiomcc.Characterize(cfg, p, *n, axiomcc.MetricOptions{Steps: *steps, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

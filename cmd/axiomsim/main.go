@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,13 +40,14 @@ func main() {
 		svgPath    = flag.String("svg", "", "write a window-trace SVG chart to this file")
 		tailFrac   = flag.Float64("tail", 0.75, "tail fraction for summary statistics")
 		list       = flag.Bool("list", false, "list accepted protocol specs and exit")
-		scenarioF  = flag.String("scenario", "", "run a JSON scenario file (see scenarios/) and ignore the other flags")
+		scenarioF  = flag.String("scenario", "", "run JSON scenario file(s), comma-separated (see scenarios/), and ignore the other flags")
 		jsonOut    = flag.Bool("json", false, "with -scenario: emit the outcome as JSON")
+		workers    = flag.Int("workers", 0, "with -scenario: parallel workers across scenario files (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *scenarioF != "" {
-		runScenario(*scenarioF, *jsonOut)
+		runScenarios(strings.Split(*scenarioF, ","), *jsonOut, *workers)
 		return
 	}
 
@@ -227,30 +229,48 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-// runScenario loads, runs and prints a JSON scenario.
-func runScenario(path string, jsonOut bool) {
-	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	spec, err := scenario.Load(f)
-	if err != nil {
-		fatal(err)
-	}
-	out, err := spec.Run()
-	if err != nil {
-		fatal(err)
-	}
-	if jsonOut {
-		raw, err := out.JSON()
+// runScenarios loads the given JSON scenarios and runs them through the
+// engine orchestrator — independent files execute in parallel across
+// workers; outcomes print in input order.
+func runScenarios(paths []string, jsonOut bool, workers int) {
+	specs := make([]*scenario.Spec, 0, len(paths))
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(string(raw))
-		return
+		spec, err := scenario.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, spec)
 	}
-	fmt.Print(out.Render())
+	if len(specs) == 0 {
+		fatal(fmt.Errorf("no scenario files given"))
+	}
+	outs, err := axiomcc.EngineSweep(context.Background(), len(specs), axiomcc.SweepConfig{Workers: workers},
+		func(ctx context.Context, i int, _ uint64) (*scenario.Outcome, error) {
+			return specs[i].RunContext(ctx)
+		})
+	if err != nil {
+		fatal(err)
+	}
+	for _, out := range outs {
+		if jsonOut {
+			raw, err := out.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(raw))
+			continue
+		}
+		fmt.Print(out.Render())
+	}
 }
 
 // writeWindowSVG renders every sender's window series as a line chart.

@@ -35,6 +35,7 @@ func main() {
 		tau     = flag.Float64("tau", 20, "buffer τ in MSS for Theorem 3")
 		check   = flag.String("check", "", "semicolon-separated a,b pairs: empirically verify AIMD(a,b) attains its frontier point")
 		steps   = flag.Int("steps", 3000, "simulation horizon for -check")
+		workers = flag.Int("workers", 0, "parallel workers for -check cells (0 = GOMAXPROCS)")
 		svgPath = flag.String("svg", "", "with -surface: also write a friendliness heatmap SVG to this file")
 	)
 	flag.Parse()
@@ -91,7 +92,7 @@ func main() {
 			}
 			pairs = append(pairs, [2]float64{a, b})
 		}
-		checks, err := experiment.Figure1SpotChecks(pairs, axiomcc.MetricOptions{Steps: *steps})
+		checks, err := experiment.Figure1SpotChecks(pairs, axiomcc.MetricOptions{Steps: *steps, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}

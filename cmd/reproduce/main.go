@@ -36,6 +36,7 @@ func main() {
 		n         = flag.Int("n", 2, "senders for table1/table1-sim")
 		reportDir = flag.String("report", "", "write a full Markdown+SVG reproduction report into this directory and exit")
 		seed      = flag.Uint64("seed", 0, "seed for randomized components")
+		workers   = flag.Int("workers", 0, "parallel workers for sweep grids (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -68,7 +69,7 @@ func main() {
 		steps = 1200
 		dur = 20
 	}
-	opt := axiomcc.MetricOptions{Steps: steps}
+	opt := axiomcc.MetricOptions{Steps: steps, Workers: *workers}
 
 	run("table1", func() error {
 		cfg := experiment.FluidLink(*mbps, *buf)
@@ -89,7 +90,7 @@ func main() {
 	})
 
 	run("hierarchy", func() error {
-		hc := experiment.HierarchyConfig{Duration: dur}
+		hc := experiment.HierarchyConfig{Duration: dur, Workers: *workers}
 		if *quick {
 			hc.Senders = []int{2}
 			hc.Bandwidths = []float64{20, 60}
@@ -104,7 +105,7 @@ func main() {
 	})
 
 	run("table2", func() error {
-		tc := experiment.Table2Config{Duration: dur}
+		tc := experiment.Table2Config{Duration: dur, Workers: *workers}
 		if *quick {
 			tc.Senders = []int{2, 3}
 			tc.Bandwidths = []float64{20, 60}

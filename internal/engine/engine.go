@@ -1,0 +1,112 @@
+// Package engine unifies the repository's three simulation substrates —
+// the §2 fluid-flow link (internal/fluid), the packet-level testbed
+// (internal/packetsim), and the §6 multilink network (internal/multilink)
+// — behind a single Spec → Run(ctx, spec) entry point.
+//
+// A Spec pairs a Substrate (what to simulate) with how to consume it:
+// Record materializes the substrate's native result (a *trace.Trace, a
+// *packetsim.Result, a *multilink.Result), while Observers stream every
+// sample as it is produced, so axiom estimators can run online over a
+// fixed-size ring buffer instead of a full trace. The two are independent
+// — a sweep that only needs streaming statistics sets Record to false and
+// allocates O(tail) instead of O(steps) per cell.
+//
+// Sweep is the companion orchestrator: it shards any cell grid across a
+// worker pool with context cancellation, deterministic per-cell seeds,
+// fail-fast error plumbing, and an optional progress callback. Every grid
+// in internal/experiment runs through it.
+package engine
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/multilink"
+	"repro/internal/packetsim"
+	"repro/internal/trace"
+)
+
+// Step is one streamed sample: the per-sender windows in effect, their
+// sum, and the link feedback for the sampling interval. For the multilink
+// substrate RTT and Loss are zero (a network has no single scalar of
+// either) and Net carries the full per-link/per-flow step instead.
+//
+// Windows (and Net) alias simulator-owned buffers and are valid only for
+// the duration of the Observe call; observers must copy what they keep.
+type Step struct {
+	Index   int                   // sample index, 0-based
+	Windows []float64             // per-sender congestion windows
+	Total   float64               // sum of Windows
+	RTT     float64               // link RTT in seconds (single-link substrates)
+	Loss    float64               // link loss rate (single-link substrates)
+	Net     *multilink.StepResult // non-nil for the multilink substrate
+}
+
+// Observer consumes streamed steps during a run.
+type Observer interface {
+	Observe(Step)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Step)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(s Step) { f(s) }
+
+// Meta describes a substrate before it runs, so observers can size their
+// buffers: the number of senders, the link capacity C and base RTT
+// (zero for multilink, where they are per-link), and the expected number
+// of samples. Horizon is exact for the step-quantized substrates and a
+// ±1 hint for the packet simulator's tick count.
+type Meta struct {
+	Flows    int
+	Capacity float64
+	BaseRTT  float64
+	Horizon  int
+}
+
+// Substrate is one of the three simulators, wrapped for the engine.
+// Substrate values are single-use: protocols carry state across steps, so
+// build a fresh Spec for every run.
+type Substrate interface {
+	Meta() Meta
+	run(ctx context.Context, spec Spec) (*Result, error)
+}
+
+// Spec is a complete run description.
+type Spec struct {
+	Substrate Substrate
+	// Record materializes the substrate's native result in Result. Sweeps
+	// that consume only streamed observers leave it false to avoid
+	// allocating full traces.
+	Record bool
+	// Observers receive every sample in order. All observers see the same
+	// Step value.
+	Observers []Observer
+}
+
+// Result is the outcome of a run. Exactly one of Trace/Packet/Net is
+// populated per substrate kind when Record is set (Packet is populated
+// even without Record — delivery counters are always kept — but its Trace
+// field is then nil).
+type Result struct {
+	Trace  *trace.Trace      // fluid (Record); also aliases Packet.Trace
+	Packet *packetsim.Result // packet substrate
+	Net    *multilink.Result // multilink substrate (Record)
+	Steps  int               // samples produced
+}
+
+// Run executes the spec. It returns ctx.Err() soon after ctx is done.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	if spec.Substrate == nil {
+		return nil, errors.New("engine: spec has no substrate")
+	}
+	return spec.Substrate.run(ctx, spec)
+}
+
+// emit fans one step out to every observer.
+func emit(spec *Spec, st Step) {
+	for _, o := range spec.Observers {
+		o.Observe(st)
+	}
+}

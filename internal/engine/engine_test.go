@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/fluid"
+	"repro/internal/multilink"
+	"repro/internal/packetsim"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+func fluidCfg() fluid.Config {
+	return fluid.Config{Bandwidth: 1200, PropDelay: 0.05, Buffer: 60}
+}
+
+// equalSeries requires bit-identical float series.
+func equalSeries(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+			t.Fatalf("%s[%d] = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func equalTraces(t *testing.T, got, want *trace.Trace) {
+	t.Helper()
+	if got.Len() != want.Len() || got.Senders() != want.Senders() {
+		t.Fatalf("trace shape (%d steps, %d senders), want (%d, %d)",
+			got.Len(), got.Senders(), want.Len(), want.Senders())
+	}
+	if got.Capacity() != want.Capacity() || got.BaseRTT() != want.BaseRTT() {
+		t.Fatalf("trace link (C=%v, base=%v), want (C=%v, base=%v)",
+			got.Capacity(), got.BaseRTT(), want.Capacity(), want.BaseRTT())
+	}
+	for i := 0; i < want.Senders(); i++ {
+		equalSeries(t, "window", got.Window(i), want.Window(i))
+	}
+	equalSeries(t, "rtt", got.RTT(), want.RTT())
+	equalSeries(t, "loss", got.Loss(), want.Loss())
+	equalSeries(t, "total", got.Total(), want.Total())
+}
+
+// TestFluidGolden: engine.Run over the fluid adapter is bit-identical to
+// calling internal/fluid directly.
+func TestFluidGolden(t *testing.T) {
+	const steps = 800
+	cfg := fluidCfg()
+	want, err := fluid.Homogeneous(cfg, protocol.Reno(), 3, nil, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders, err := fluid.HomogeneousSenders(protocol.Reno(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Spec{
+		Substrate: &FluidSpec{Cfg: cfg, Senders: senders, Steps: steps},
+		Record:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != steps {
+		t.Fatalf("Steps = %d, want %d", res.Steps, steps)
+	}
+	equalTraces(t, res.Trace, want)
+}
+
+// TestFluidObserversSeeTrace: streamed steps carry exactly the values the
+// trace records, in order.
+func TestFluidObserversSeeTrace(t *testing.T) {
+	const steps = 400
+	cfg := fluidCfg()
+	senders, err := fluid.HomogeneousSenders(protocol.NewAIMD(1, 0.7), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx int
+	var totals, rtts, losses []float64
+	obs := ObserverFunc(func(s Step) {
+		if s.Index != idx {
+			t.Fatalf("step index %d, want %d", s.Index, idx)
+		}
+		idx++
+		totals = append(totals, s.Total)
+		rtts = append(rtts, s.RTT)
+		losses = append(losses, s.Loss)
+		sum := 0.0
+		for _, w := range s.Windows {
+			sum += w
+		}
+		if sum != s.Total {
+			t.Fatalf("Total %v != window sum %v", s.Total, sum)
+		}
+	})
+	res, err := Run(context.Background(), Spec{
+		Substrate: &FluidSpec{Cfg: cfg, Senders: senders, Steps: steps},
+		Record:    true,
+		Observers: []Observer{obs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSeries(t, "total", totals, res.Trace.Total())
+	equalSeries(t, "rtt", rtts, res.Trace.RTT())
+	equalSeries(t, "loss", losses, res.Trace.Loss())
+}
+
+// TestPacketGolden: the packet adapter with Record reproduces
+// packetsim.Run exactly, including delivery counters.
+func TestPacketGolden(t *testing.T) {
+	cfg := packetsim.Config{Bandwidth: 500, PropDelay: 0.02, Buffer: 25, Seed: 7, RandomLoss: 0.001}
+	flows := func() []packetsim.Flow {
+		return []packetsim.Flow{
+			{Proto: protocol.Reno()},
+			{Proto: protocol.NewAIMD(2, 0.5), Start: 1.5},
+		}
+	}
+	want, err := packetsim.Run(cfg, flows(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Spec{
+		Substrate: &PacketSpec{Cfg: cfg, Flows: flows(), Duration: 20},
+		Record:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTraces(t, res.Packet.Trace, want.Trace)
+	for i := range want.Delivered {
+		if res.Packet.Delivered[i] != want.Delivered[i] {
+			t.Fatalf("Delivered[%d] = %d, want %d", i, res.Packet.Delivered[i], want.Delivered[i])
+		}
+		equalSeries(t, "delivered series", res.Packet.DeliveredSeries[i], want.DeliveredSeries[i])
+	}
+}
+
+// TestPacketNoRecordSkipsTrace: without Record the packet result carries
+// no trace but identical delivery counters.
+func TestPacketNoRecordSkipsTrace(t *testing.T) {
+	cfg := packetsim.Config{Bandwidth: 500, PropDelay: 0.02, Buffer: 25}
+	want, err := packetsim.Run(cfg, []packetsim.Flow{{Proto: protocol.Reno()}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), Spec{
+		Substrate: &PacketSpec{Cfg: cfg, Flows: []packetsim.Flow{{Proto: protocol.Reno()}}, Duration: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil || res.Packet.Trace != nil {
+		t.Fatal("trace materialized despite Record=false")
+	}
+	if res.Packet.Delivered[0] != want.Delivered[0] {
+		t.Fatalf("Delivered = %d, want %d", res.Packet.Delivered[0], want.Delivered[0])
+	}
+	if got, want := res.Packet.Throughput(0, 0.75), want.Throughput(0, 0.75); got != want {
+		t.Fatalf("Throughput = %v, want %v", got, want)
+	}
+}
+
+func parkingLotSpecs(k int) ([]multilink.LinkSpec, []multilink.FlowSpec) {
+	link := multilink.LinkSpec{Bandwidth: 1000, PropDelay: 0.02, Buffer: 25}
+	links := make([]multilink.LinkSpec, k)
+	path := make([]int, k)
+	for i := range links {
+		links[i] = link
+		path[i] = i
+	}
+	flows := []multilink.FlowSpec{{Proto: protocol.Reno(), Init: 2, Path: path}}
+	for i := 0; i < k; i++ {
+		flows = append(flows, multilink.FlowSpec{Proto: protocol.Reno(), Init: 2, Path: []int{i}})
+	}
+	return links, flows
+}
+
+// TestMultilinkGolden: the multilink adapter with Record reproduces
+// Network.Run exactly.
+func TestMultilinkGolden(t *testing.T) {
+	const steps = 600
+	links, flows := parkingLotSpecs(3)
+	n, err := multilink.New(links, flows, multilink.WithStochasticLoss(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n.Run(steps)
+
+	res, err := Run(context.Background(), Spec{
+		Substrate: &NetSpec{Links: links, Flows: flows, Opts: []multilink.Option{multilink.WithStochasticLoss(11)}, Steps: steps},
+		Record:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Net
+	if got.Steps != want.Steps {
+		t.Fatalf("Steps = %d, want %d", got.Steps, want.Steps)
+	}
+	for f := range want.Windows {
+		equalSeries(t, "windows", got.Windows[f], want.Windows[f])
+		equalSeries(t, "flow loss", got.FlowLoss[f], want.FlowLoss[f])
+		equalSeries(t, "flow rtt", got.FlowRTT[f], want.FlowRTT[f])
+	}
+	for l := range want.LinkLoss {
+		equalSeries(t, "link loss", got.LinkLoss[l], want.LinkLoss[l])
+		equalSeries(t, "link load", got.LinkLoad[l], want.LinkLoad[l])
+	}
+	for f := range want.Windows {
+		if got.AvgGoodput(f, 0.75) != want.AvgGoodput(f, 0.75) {
+			t.Fatalf("AvgGoodput(%d) mismatch", f)
+		}
+	}
+	for l := range want.LinkLoss {
+		if got.LinkUtilization(l, 0.75) != want.LinkUtilization(l, 0.75) {
+			t.Fatalf("LinkUtilization(%d) mismatch", l)
+		}
+	}
+}
+
+// TestMultilinkObserver: observers receive the network step stream with
+// Net populated, even without Record.
+func TestMultilinkObserver(t *testing.T) {
+	const steps = 100
+	links, flows := parkingLotSpecs(2)
+	var seen int
+	var lastLoad float64
+	obs := ObserverFunc(func(s Step) {
+		if s.Net == nil {
+			t.Fatal("multilink step without Net")
+		}
+		if len(s.Net.LinkLoad) != len(links) {
+			t.Fatalf("LinkLoad has %d entries, want %d", len(s.Net.LinkLoad), len(links))
+		}
+		lastLoad = s.Net.LinkLoad[0]
+		seen++
+	})
+	res, err := Run(context.Background(), Spec{
+		Substrate: &NetSpec{Links: links, Flows: flows, Steps: steps},
+		Observers: []Observer{obs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != steps {
+		t.Fatalf("observed %d steps, want %d", seen, steps)
+	}
+	if res.Net != nil {
+		t.Fatal("Net result materialized despite Record=false")
+	}
+	if lastLoad <= 0 {
+		t.Fatalf("final link load %v, want > 0", lastLoad)
+	}
+}
+
+// TestRunCancellation: a canceled context aborts all three substrates.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	senders, err := fluid.HomogeneousSenders(protocol.Reno(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{
+		{Substrate: &FluidSpec{Cfg: fluidCfg(), Senders: senders, Steps: 100000}},
+		{Substrate: &PacketSpec{Cfg: packetsim.Config{Bandwidth: 500, PropDelay: 0.02, Buffer: 25}, Flows: []packetsim.Flow{{Proto: protocol.Reno()}}, Duration: 10000}},
+	}
+	nl, nf := parkingLotSpecs(2)
+	specs = append(specs, Spec{Substrate: &NetSpec{Links: nl, Flows: nf, Steps: 1 << 20}})
+	for i, spec := range specs {
+		if _, err := Run(ctx, spec); err != context.Canceled {
+			t.Fatalf("spec %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+// TestMeta sanity-checks the substrate descriptions observers size from.
+func TestMeta(t *testing.T) {
+	cfg := fluidCfg()
+	senders, _ := fluid.HomogeneousSenders(protocol.Reno(), 2, nil)
+	m := (&FluidSpec{Cfg: cfg, Senders: senders, Steps: 500}).Meta()
+	if m.Flows != 2 || m.Horizon != 500 || m.Capacity != cfg.Capacity() || m.BaseRTT != cfg.BaseRTT() {
+		t.Fatalf("fluid meta = %+v", m)
+	}
+	pm := (&PacketSpec{Cfg: packetsim.Config{Bandwidth: 500, PropDelay: 0.02}, Flows: []packetsim.Flow{{Proto: protocol.Reno()}}, Duration: 10}).Meta()
+	if pm.Flows != 1 || pm.Horizon != int(10/0.04)+1 {
+		t.Fatalf("packet meta = %+v", pm)
+	}
+	nl, nf := parkingLotSpecs(2)
+	nm := (&NetSpec{Links: nl, Flows: nf, Steps: 77}).Meta()
+	if nm.Flows != 3 || nm.Horizon != 77 {
+		t.Fatalf("net meta = %+v", nm)
+	}
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/fluid"
+	"repro/internal/multilink"
+	"repro/internal/packetsim"
+	"repro/internal/trace"
+)
+
+// FluidSpec runs the §2 fluid-flow link for Steps synchronized steps.
+// With Record set, the resulting trace is bit-identical to
+// fluid.New(Cfg, Senders...).Run(Steps).
+type FluidSpec struct {
+	Cfg     fluid.Config
+	Senders []fluid.Sender
+	Steps   int
+}
+
+// Meta implements Substrate.
+func (s *FluidSpec) Meta() Meta {
+	return Meta{
+		Flows:    len(s.Senders),
+		Capacity: s.Cfg.Capacity(),
+		BaseRTT:  s.Cfg.BaseRTT(),
+		Horizon:  s.Steps,
+	}
+}
+
+func (s *FluidSpec) run(ctx context.Context, spec Spec) (*Result, error) {
+	l, err := fluid.New(s.Cfg, s.Senders...)
+	if err != nil {
+		return nil, err
+	}
+	var tr *trace.Trace
+	if spec.Record {
+		cfg := l.Config()
+		tr = trace.New(len(s.Senders), cfg.Capacity(), cfg.BaseRTT(), s.Steps)
+	}
+	observe := len(spec.Observers) > 0
+	for i := 0; i < s.Steps; i++ {
+		if i&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		res := l.Step()
+		if tr != nil {
+			tr.Append(res.Windows, res.RTT, res.CongLoss)
+		}
+		if observe {
+			total := 0.0
+			for _, w := range res.Windows {
+				total += w
+			}
+			emit(&spec, Step{Index: res.Step, Windows: res.Windows, Total: total, RTT: res.RTT, Loss: res.CongLoss})
+		}
+	}
+	return &Result{Trace: tr, Steps: s.Steps}, nil
+}
+
+// PacketSpec runs the packet-level testbed for Duration seconds. Without
+// Record the per-tick trace is skipped entirely (Result.Packet.Trace is
+// nil); delivery counters are always recorded, so Result.Packet.Throughput
+// works either way.
+type PacketSpec struct {
+	Cfg      packetsim.Config
+	Flows    []packetsim.Flow
+	Duration float64
+}
+
+// Meta implements Substrate. Horizon is the expected tick count, a ±1
+// hint — observers sizing tail buffers should add slack.
+func (s *PacketSpec) Meta() Meta {
+	return Meta{
+		Flows:    len(s.Flows),
+		Capacity: s.Cfg.Capacity(),
+		BaseRTT:  2 * s.Cfg.PropDelay,
+		Horizon:  int(s.Duration/s.Cfg.SampleTick()) + 1,
+	}
+}
+
+func (s *PacketSpec) run(ctx context.Context, spec Spec) (*Result, error) {
+	cfg := s.Cfg
+	if !spec.Record {
+		cfg.DisableTrace = true
+	}
+	var obs func(packetsim.TickSample)
+	if len(spec.Observers) > 0 {
+		obs = func(t packetsim.TickSample) {
+			total := 0.0
+			for _, w := range t.Windows {
+				total += w
+			}
+			emit(&spec, Step{Index: t.Index, Windows: t.Windows, Total: total, RTT: t.RTT, Loss: t.Loss})
+		}
+	}
+	res, err := packetsim.RunObserved(ctx, cfg, s.Flows, s.Duration, obs)
+	if err != nil {
+		return nil, err
+	}
+	steps := 0
+	if len(res.DeliveredSeries) > 0 {
+		steps = len(res.DeliveredSeries[0])
+	}
+	return &Result{Trace: res.Trace, Packet: res, Steps: steps}, nil
+}
+
+// NetSpec runs the §6 multilink network for Steps synchronized steps.
+// With Record set, the Result.Net is identical to
+// multilink.New(Links, Flows, Opts...).Run(Steps). Observers receive the
+// full *multilink.StepResult via Step.Net.
+type NetSpec struct {
+	Links []multilink.LinkSpec
+	Flows []multilink.FlowSpec
+	Opts  []multilink.Option
+	Steps int
+}
+
+// Meta implements Substrate. Capacity and BaseRTT are zero: a network has
+// no single bottleneck; observers needing them consult Step.Net per link.
+func (s *NetSpec) Meta() Meta {
+	return Meta{Flows: len(s.Flows), Horizon: s.Steps}
+}
+
+func (s *NetSpec) run(ctx context.Context, spec Spec) (*Result, error) {
+	n, err := multilink.New(s.Links, s.Flows, s.Opts...)
+	if err != nil {
+		return nil, err
+	}
+	var obs func(*multilink.StepResult)
+	if len(spec.Observers) > 0 {
+		obs = func(res *multilink.StepResult) {
+			total := 0.0
+			for _, w := range res.Windows {
+				total += w
+			}
+			emit(&spec, Step{Index: res.Step, Windows: res.Windows, Total: total, Net: res})
+		}
+	}
+	res, err := n.RunObserved(ctx, s.Steps, spec.Record, obs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Net: res, Steps: s.Steps}, nil
+}

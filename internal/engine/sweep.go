@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// SweepConfig controls the grid orchestrator.
+type SweepConfig struct {
+	// Workers caps concurrent cells (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// BaseSeed feeds the deterministic per-cell seed derivation; cells
+	// receive CellSeed(BaseSeed, i) regardless of scheduling order, so a
+	// sweep's results are identical at any worker count.
+	BaseSeed uint64
+	// Progress, when non-nil, is called after each completed cell with the
+	// number done so far and the total. Calls are serialized; completion
+	// order is nondeterministic under parallelism but done increments by
+	// one each call.
+	Progress func(done, total int)
+}
+
+// CellSeed derives the deterministic seed for cell i from base using a
+// SplitMix64 finalizer, so neighboring cells get well-separated streams
+// even for small bases.
+func CellSeed(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Sweep evaluates cell for every index in [0, n) across a worker pool,
+// collecting results in input order. The first cell error cancels the
+// sweep (fail fast: no new cells are claimed; in-flight cells finish) and
+// is returned; likewise ctx cancellation stops claiming and returns
+// ctx.Err().
+func Sweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, error) {
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	return parallel.MapCtx(ctx, n, cfg.Workers, func(ctx context.Context, i int) (T, error) {
+		v, err := cell(ctx, i, CellSeed(cfg.BaseSeed, i))
+		if err == nil && cfg.Progress != nil {
+			mu.Lock()
+			done++
+			cfg.Progress(done, n)
+			mu.Unlock()
+		}
+		return v, err
+	})
+}

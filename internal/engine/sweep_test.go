@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepDeterministic: results (including per-cell seeds) are identical
+// at any worker count.
+func TestSweepDeterministic(t *testing.T) {
+	const n = 64
+	run := func(workers int) []uint64 {
+		out, err := Sweep(context.Background(), n, SweepConfig{Workers: workers, BaseSeed: 42},
+			func(_ context.Context, i int, seed uint64) (uint64, error) {
+				return seed ^ uint64(i)<<32, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{0, 2, 7} {
+		got := run(w)
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: cell %d = %x, want %x", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestCellSeedSeparation: neighboring cells and bases get distinct seeds.
+func TestCellSeedSeparation(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for base := uint64(0); base < 4; base++ {
+		for i := 0; i < 256; i++ {
+			s := CellSeed(base, i)
+			if seen[s] {
+				t.Fatalf("seed collision at base=%d i=%d", base, i)
+			}
+			seen[s] = true
+		}
+	}
+	if CellSeed(1, 5) != CellSeed(1, 5) {
+		t.Fatal("CellSeed is not deterministic")
+	}
+}
+
+// TestSweepFailFast: an erroring cell aborts the sweep with its error.
+func TestSweepFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Sweep(context.Background(), 100, SweepConfig{Workers: 4},
+		func(_ context.Context, i int, _ uint64) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+}
+
+// TestSweepCancellation: canceling the context stops the sweep.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := Sweep(ctx, 1000, SweepConfig{Workers: 2},
+		func(ctx context.Context, i int, _ uint64) (int, error) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return i, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if total := ran.Load(); total >= 1000 {
+		t.Fatalf("all %d cells ran despite cancellation", total)
+	}
+}
+
+// TestSweepProgress: the callback sees done increment 1..n with a stable
+// total, serialized.
+func TestSweepProgress(t *testing.T) {
+	const n = 40
+	var calls []int
+	_, err := Sweep(context.Background(), n, SweepConfig{
+		Workers:  4,
+		Progress: func(done, total int) { calls = append(calls, done*1000+total) },
+	}, func(_ context.Context, i int, _ uint64) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != n {
+		t.Fatalf("%d progress calls, want %d", len(calls), n)
+	}
+	for i, c := range calls {
+		if c != (i+1)*1000+n {
+			t.Fatalf("call %d = done %d/total %d, want %d/%d", i, c/1000, c%1000, i+1, n)
+		}
+	}
+}
+
+// TestSweepOrder: results land at their input index regardless of
+// completion order.
+func TestSweepOrder(t *testing.T) {
+	out, err := Sweep(context.Background(), 32, SweepConfig{Workers: 8},
+		func(_ context.Context, i int, _ uint64) (string, error) {
+			return fmt.Sprintf("cell-%d", i), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("cell-%d", i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
 
 	"repro/internal/axioms"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/pareto"
 	"repro/internal/protocol"
@@ -48,36 +50,40 @@ type Figure1Check struct {
 // Figure1SpotChecks validates the frontier empirically: for each (α, β)
 // pair it measures AIMD(α, β)'s fast-utilization, efficiency (on a
 // zero-buffer link, where Table 1's worst case β is attained) and
-// TCP-friendliness, and pairs them with the Theorem 2 point.
+// TCP-friendliness, and pairs them with the Theorem 2 point. Pairs are
+// independent cells, swept through the orchestrator (opt.Workers caps the
+// pool; each cell's inner init-config runs stay serial to avoid
+// oversubscription).
 func Figure1SpotChecks(pairs [][2]float64, opt metrics.Options) ([]Figure1Check, error) {
-	var out []Figure1Check
-	for _, ab := range pairs {
-		a, b := ab[0], ab[1]
-		p := protocol.NewAIMD(a, b)
-		// A (nearly) bufferless link isolates the b(1+τ/C) → b limit.
-		cfg := FluidLink(20, 0)
-		eff, err := metrics.Efficiency(cfg, p, 1, opt)
-		if err != nil {
-			return nil, err
-		}
-		fast, err := metrics.FastUtilization(p, opt)
-		if err != nil {
-			return nil, err
-		}
-		friendly, err := metrics.TCPFriendliness(cfg, p, 1, 1, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Figure1Check{
-			Alpha:            a,
-			Beta:             b,
-			BoundFriendly:    axioms.Theorem2Bound(a, b),
-			MeasuredFriendly: friendly,
-			MeasuredFast:     fast,
-			MeasuredEff:      eff,
+	cellOpt := opt
+	cellOpt.Workers = 1
+	return engine.Sweep(context.Background(), len(pairs), engine.SweepConfig{Workers: opt.Workers},
+		func(ctx context.Context, i int, _ uint64) (Figure1Check, error) {
+			a, b := pairs[i][0], pairs[i][1]
+			p := protocol.NewAIMD(a, b)
+			// A (nearly) bufferless link isolates the b(1+τ/C) → b limit.
+			cfg := FluidLink(20, 0)
+			eff, err := metrics.Efficiency(cfg, p, 1, cellOpt)
+			if err != nil {
+				return Figure1Check{}, err
+			}
+			fast, err := metrics.FastUtilization(p, cellOpt)
+			if err != nil {
+				return Figure1Check{}, err
+			}
+			friendly, err := metrics.TCPFriendliness(cfg, p, 1, 1, cellOpt)
+			if err != nil {
+				return Figure1Check{}, err
+			}
+			return Figure1Check{
+				Alpha:            a,
+				Beta:             b,
+				BoundFriendly:    axioms.Theorem2Bound(a, b),
+				MeasuredFriendly: friendly,
+				MeasuredFast:     fast,
+				MeasuredEff:      eff,
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // RenderFigure1Checks formats the spot checks.

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/packetsim"
-	"repro/internal/parallel"
 	"repro/internal/protocol"
 	"repro/internal/stats"
 )
@@ -22,6 +24,7 @@ type HierarchyConfig struct {
 	Buffers    []int     // MSS, default {10, 100}
 	Duration   float64   // seconds per run, default 60
 	Seed       uint64
+	Workers    int // sweep concurrency (0 = GOMAXPROCS, 1 = serial)
 }
 
 func (c HierarchyConfig) withDefaults() HierarchyConfig {
@@ -111,9 +114,10 @@ func Hierarchy(hc HierarchyConfig) (*HierarchyResult, error) {
 		}
 	}
 	// Independent deterministic cells: sweep across cores.
-	cellPtrs, err := parallel.Map(len(specs), 0, func(i int) (*HierarchyCell, error) {
-		return hierarchyCell(hc, specs[i].n, specs[i].mbps, specs[i].buf)
-	})
+	cellPtrs, err := engine.Sweep(context.Background(), len(specs), engine.SweepConfig{Workers: hc.Workers},
+		func(ctx context.Context, i int, _ uint64) (*HierarchyCell, error) {
+			return hierarchyCell(ctx, hc, specs[i].n, specs[i].mbps, specs[i].buf)
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +147,7 @@ func Hierarchy(hc HierarchyConfig) (*HierarchyResult, error) {
 	return res, nil
 }
 
-func hierarchyCell(hc HierarchyConfig, n int, mbps float64, buf int) (*HierarchyCell, error) {
+func hierarchyCell(ctx context.Context, hc HierarchyConfig, n int, mbps float64, buf int) (*HierarchyCell, error) {
 	cell := &HierarchyCell{N: n, Mbps: mbps, Buffer: buf}
 	for _, p := range hierarchyProtocols() {
 		cfg := EmulabLink(mbps, buf)
@@ -154,10 +158,15 @@ func hierarchyCell(hc HierarchyConfig, n int, mbps float64, buf int) (*Hierarchy
 			// not symmetric starts (MIMD preserves ratios).
 			flows[i] = packetsim.Flow{Proto: p, Init: float64(1 + i*20)}
 		}
-		res, err := packetsim.Run(cfg, flows, hc.Duration)
+		// Tail windows and losses stream through an observer; no full
+		// trace is materialized for the grid (Record=false).
+		sub := &engine.PacketSpec{Cfg: cfg, Flows: flows, Duration: hc.Duration}
+		st := metrics.NewStream(sub.Meta(), 0.5)
+		eres, err := engine.Run(ctx, engine.Spec{Substrate: sub, Observers: []engine.Observer{st}})
 		if err != nil {
 			return nil, fmt.Errorf("experiment: hierarchy %s n=%d bw=%g buf=%d: %w", p.Name(), n, mbps, buf, err)
 		}
+		res := eres.Packet
 		var agg float64
 		thr := make([]float64, n)
 		for i := 0; i < n; i++ {
@@ -171,14 +180,13 @@ func hierarchyCell(hc HierarchyConfig, n int, mbps float64, buf int) (*Hierarchy
 		// ordering the experiment is checking.
 		conv := 1.0
 		for i := 0; i < n; i++ {
-			tail := stats.Tail(res.Trace.Window(i), 0.5)
-			if c := stats.Containment(tail, 0.05, 0.95); c < conv {
+			if c := stats.Containment(st.TailWindow(i), 0.05, 0.95); c < conv {
 				conv = c
 			}
 		}
 		cell.Names = append(cell.Names, p.Name())
 		cell.Efficiency = append(cell.Efficiency, agg/cfg.Bandwidth)
-		cell.Loss = append(cell.Loss, stats.Mean(stats.Tail(res.Trace.Loss(), 0.5)))
+		cell.Loss = append(cell.Loss, stats.Mean(st.TailLoss()))
 		cell.Fairness = append(cell.Fairness, stats.MinOverMax(thr))
 		cell.Convergence = append(cell.Convergence, maxf(conv, 0))
 	}

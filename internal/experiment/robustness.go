@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/metrics"
 	"repro/internal/multilink"
@@ -46,26 +48,38 @@ func RobustnessSweep(opt metrics.Options) ([]RobustnessEntry, error) {
 		protocol.DefaultTFRC(),
 		protocol.NewBBRish(),
 	}
-	var out []RobustnessEntry
-	for _, p := range protos {
-		thr, err := metrics.Robustness(p, 0.5, 1e-3, opt)
-		if err != nil {
-			return nil, err
-		}
-		cfg := FluidLink(20, 100)
-		cfg.Loss = fluid.NewConstantLoss(0.005)
-		tr, err := fluid.Homogeneous(cfg, p, 1, []float64{1}, optSteps(opt))
-		if err != nil {
-			return nil, err
-		}
-		util := stats.Mean(stats.Tail(tr.Utilization(), 0.75))
-		out = append(out, RobustnessEntry{
-			Name:              p.Name(),
-			Threshold:         thr,
-			UtilAtHalfPercent: util,
+	cellOpt := serialCell(opt)
+	return engine.Sweep(context.Background(), len(protos), engine.SweepConfig{Workers: opt.Workers},
+		func(ctx context.Context, i int, _ uint64) (RobustnessEntry, error) {
+			p := protos[i]
+			thr, err := metrics.Robustness(p, 0.5, 1e-3, cellOpt)
+			if err != nil {
+				return RobustnessEntry{}, err
+			}
+			cfg := FluidLink(20, 100)
+			cfg.Loss = fluid.NewConstantLoss(0.005)
+			senders, err := fluid.HomogeneousSenders(p, 1, []float64{1})
+			if err != nil {
+				return RobustnessEntry{}, err
+			}
+			sub := &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: optSteps(opt)}
+			st := metrics.NewStream(sub.Meta(), 0.75)
+			if _, err := engine.Run(ctx, engine.Spec{Substrate: sub, Observers: []engine.Observer{st}}); err != nil {
+				return RobustnessEntry{}, err
+			}
+			// Per-element total/C mirrors trace.Utilization, so the mean is
+			// identical to the recorded-trace computation.
+			tail := st.TailTotal()
+			util := make([]float64, len(tail))
+			for j, tot := range tail {
+				util[j] = tot / cfg.Capacity()
+			}
+			return RobustnessEntry{
+				Name:              p.Name(),
+				Threshold:         thr,
+				UtilAtHalfPercent: stats.Mean(util),
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // RenderRobustness formats the sweep.
@@ -107,32 +121,53 @@ func ParkingLotExperiment(hops []int, steps int, seed uint64) ([]ParkingLotEntry
 		PropDelay: 0.021,
 		Buffer:    20,
 	}
-	var out []ParkingLotEntry
-	for _, k := range hops {
-		net, err := multilink.ParkingLot(k, link, protocol.Reno(), 1, multilink.WithStochasticLoss(seed))
-		if err != nil {
-			return nil, err
-		}
-		res := net.Run(steps)
-		shortW, shortG := 0.0, 0.0
-		for i := 1; i <= k; i++ {
-			shortW += res.AvgWindow(i, 0.75)
-			shortG += res.AvgGoodput(i, 0.75)
-		}
-		shortW /= float64(k)
-		shortG /= float64(k)
-		util := 0.0
-		for l := 0; l < k; l++ {
-			util += res.LinkUtilization(l, 0.75)
-		}
-		out = append(out, ParkingLotEntry{
-			Hops:         k,
-			WindowRatio:  res.AvgWindow(0, 0.75) / shortW,
-			GoodputRatio: res.AvgGoodput(0, 0.75) / shortG,
-			LinkUtil:     util / float64(k),
+	return engine.Sweep(context.Background(), len(hops), engine.SweepConfig{},
+		func(ctx context.Context, i int, _ uint64) (ParkingLotEntry, error) {
+			k := hops[i]
+			// Same topology ParkingLot builds: one k-hop flow plus one
+			// single-hop flow per link.
+			links := make([]multilink.LinkSpec, k)
+			path := make([]int, k)
+			for l := range links {
+				links[l] = link
+				path[l] = l
+			}
+			flows := []multilink.FlowSpec{{Proto: protocol.Reno(), Init: 1, Path: path}}
+			for l := 0; l < k; l++ {
+				flows = append(flows, multilink.FlowSpec{Proto: protocol.Reno(), Init: 1, Path: []int{l}})
+			}
+			// Hop ratios need full per-flow series, so this substrate records.
+			eres, err := engine.Run(ctx, engine.Spec{
+				Substrate: &engine.NetSpec{
+					Links: links,
+					Flows: flows,
+					Opts:  []multilink.Option{multilink.WithStochasticLoss(seed)},
+					Steps: steps,
+				},
+				Record: true,
+			})
+			if err != nil {
+				return ParkingLotEntry{}, err
+			}
+			res := eres.Net
+			shortW, shortG := 0.0, 0.0
+			for i := 1; i <= k; i++ {
+				shortW += res.AvgWindow(i, 0.75)
+				shortG += res.AvgGoodput(i, 0.75)
+			}
+			shortW /= float64(k)
+			shortG /= float64(k)
+			util := 0.0
+			for l := 0; l < k; l++ {
+				util += res.LinkUtilization(l, 0.75)
+			}
+			return ParkingLotEntry{
+				Hops:         k,
+				WindowRatio:  res.AvgWindow(0, 0.75) / shortW,
+				GoodputRatio: res.AvgGoodput(0, 0.75) / shortG,
+				LinkUtil:     util / float64(k),
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // RenderParkingLot formats the sweep.

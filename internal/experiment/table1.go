@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 	"text/tabwriter"
 
 	"repro/internal/axioms"
+	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
@@ -82,19 +84,22 @@ type ProtocolScores struct {
 // protocols as induced by the theoretical results").
 func Table1Empirical(cfg fluid.Config, n int, opt metrics.Options) ([]ProtocolScores, error) {
 	lp := LinkParams(cfg, n)
-	var out []ProtocolScores
-	for _, p := range Table1Protocols() {
-		row, err := axioms.FamilyRow(p, lp)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %s: %w", p.Name(), err)
-		}
-		emp, err := metrics.Characterize(cfg, p, n, opt)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %s: %w", p.Name(), err)
-		}
-		out = append(out, ProtocolScores{Name: p.Name(), Theory: row, Empirical: emp})
-	}
-	return out, nil
+	protos := Table1Protocols()
+	cellOpt := opt
+	cellOpt.Workers = 1
+	return engine.Sweep(context.Background(), len(protos), engine.SweepConfig{Workers: opt.Workers},
+		func(ctx context.Context, i int, _ uint64) (ProtocolScores, error) {
+			p := protos[i]
+			row, err := axioms.FamilyRow(p, lp)
+			if err != nil {
+				return ProtocolScores{}, fmt.Errorf("experiment: %s: %w", p.Name(), err)
+			}
+			emp, err := metrics.Characterize(cfg, p, n, cellOpt)
+			if err != nil {
+				return ProtocolScores{}, fmt.Errorf("experiment: %s: %w", p.Name(), err)
+			}
+			return ProtocolScores{Name: p.Name(), Theory: row, Empirical: emp}, nil
+		})
 }
 
 // RenderTable1Empirical formats theory-vs-measured pairs per metric.

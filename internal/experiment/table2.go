@@ -1,13 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/engine"
 	"repro/internal/packetsim"
-	"repro/internal/parallel"
 	"repro/internal/protocol"
 	"repro/internal/stats"
 )
@@ -26,6 +27,7 @@ type Table2Config struct {
 	Duration   float64   // seconds of simulated time per run (default 60)
 	Seeds      int       // independent runs averaged per cell (default 3)
 	Seed       uint64    // base seed; run k uses Seed+k
+	Workers    int       // sweep concurrency (0 = GOMAXPROCS, 1 = serial)
 }
 
 func (c Table2Config) withDefaults() Table2Config {
@@ -73,7 +75,7 @@ type Table2Result struct {
 // perturbs flow start times (a few ms each) — the packet simulator is
 // deterministic, so phase perturbation is what decorrelates repeated runs
 // of the same cell.
-func friendlinessOnPacketLink(cfg packetsim.Config, p protocol.Protocol, nProto int, duration float64, variant int) (float64, error) {
+func friendlinessOnPacketLink(ctx context.Context, cfg packetsim.Config, p protocol.Protocol, nProto int, duration float64, variant int) (float64, error) {
 	flows := make([]packetsim.Flow, 0, nProto+1)
 	for i := 0; i < nProto; i++ {
 		flows = append(flows, packetsim.Flow{
@@ -83,10 +85,15 @@ func friendlinessOnPacketLink(cfg packetsim.Config, p protocol.Protocol, nProto 
 		})
 	}
 	flows = append(flows, packetsim.Flow{Proto: protocol.Reno(), Init: 1, Start: float64(variant) * 0.011})
-	res, err := packetsim.Run(cfg, flows, duration)
+	// Only tail throughput is consumed here, so the engine skips the trace
+	// entirely (Record=false) — the cheap path for the Table 2 grid.
+	eres, err := engine.Run(ctx, engine.Spec{
+		Substrate: &engine.PacketSpec{Cfg: cfg, Flows: flows, Duration: duration},
+	})
 	if err != nil {
 		return 0, err
 	}
+	res := eres.Packet
 	reno := res.Throughput(nProto, 0.5)
 	strongest := 0.0
 	for i := 0; i < nProto; i++ {
@@ -101,12 +108,12 @@ func friendlinessOnPacketLink(cfg packetsim.Config, p protocol.Protocol, nProto 
 }
 
 // cellFriendliness averages friendlinessOnPacketLink over seeds variants.
-func cellFriendliness(cfg packetsim.Config, p protocol.Protocol, nProto int, duration float64, seeds int) (float64, error) {
+func cellFriendliness(ctx context.Context, cfg packetsim.Config, p protocol.Protocol, nProto int, duration float64, seeds int) (float64, error) {
 	sum := 0.0
 	for k := 0; k < seeds; k++ {
 		runCfg := cfg
 		runCfg.Seed = cfg.Seed + uint64(k)
-		f, err := friendlinessOnPacketLink(runCfg, p, nProto, duration, k)
+		f, err := friendlinessOnPacketLink(ctx, runCfg, p, nProto, duration, k)
 		if err != nil {
 			return 0, err
 		}
@@ -131,28 +138,31 @@ func Table2(tc Table2Config) (*Table2Result, error) {
 			specs = append(specs, cellSpec{n: n, mbps: mbps})
 		}
 	}
-	// Cells are independent deterministic simulations; sweep them across
-	// cores.
-	cells, err := parallel.Map(len(specs), 0, func(i int) (Table2Cell, error) {
-		sp := specs[i]
-		cfg := EmulabLink(sp.mbps, tc.BufferMSS)
-		cfg.Seed = tc.Seed
-		ra, err := cellFriendliness(cfg, raimd, sp.n-1, tc.Duration, tc.Seeds)
-		if err != nil {
-			return Table2Cell{}, fmt.Errorf("experiment: table2 R-AIMD n=%d bw=%g: %w", sp.n, sp.mbps, err)
-		}
-		pc, err := cellFriendliness(cfg, pcc, sp.n-1, tc.Duration, tc.Seeds)
-		if err != nil {
-			return Table2Cell{}, fmt.Errorf("experiment: table2 PCC n=%d bw=%g: %w", sp.n, sp.mbps, err)
-		}
-		cell := Table2Cell{N: sp.n, Mbps: sp.mbps, RAIMD: ra, PCC: pc}
-		if pc > 0 {
-			cell.Improvement = ra / pc
-		} else {
-			cell.Improvement = math.Inf(1)
-		}
-		return cell, nil
-	})
+	// Cells are independent deterministic simulations; the orchestrator
+	// shards them across cores. Seeding keeps the paper's semantics (every
+	// cell uses tc.Seed; run k perturbs it by k), so results are identical
+	// at any worker count.
+	cells, err := engine.Sweep(context.Background(), len(specs), engine.SweepConfig{Workers: tc.Workers, BaseSeed: tc.Seed},
+		func(ctx context.Context, i int, _ uint64) (Table2Cell, error) {
+			sp := specs[i]
+			cfg := EmulabLink(sp.mbps, tc.BufferMSS)
+			cfg.Seed = tc.Seed
+			ra, err := cellFriendliness(ctx, cfg, raimd, sp.n-1, tc.Duration, tc.Seeds)
+			if err != nil {
+				return Table2Cell{}, fmt.Errorf("experiment: table2 R-AIMD n=%d bw=%g: %w", sp.n, sp.mbps, err)
+			}
+			pc, err := cellFriendliness(ctx, cfg, pcc, sp.n-1, tc.Duration, tc.Seeds)
+			if err != nil {
+				return Table2Cell{}, fmt.Errorf("experiment: table2 PCC n=%d bw=%g: %w", sp.n, sp.mbps, err)
+			}
+			cell := Table2Cell{N: sp.n, Mbps: sp.mbps, RAIMD: ra, PCC: pc}
+			if pc > 0 {
+				cell.Improvement = ra / pc
+			} else {
+				cell.Improvement = math.Inf(1)
+			}
+			return cell, nil
+		})
 	if err != nil {
 		return nil, err
 	}

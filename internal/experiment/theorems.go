@@ -1,17 +1,37 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 	"text/tabwriter"
 
 	"repro/internal/axioms"
+	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
-	"repro/internal/stats"
 )
+
+// serialCell strips the worker knob from opt for use inside a sweep cell,
+// so parallelism lives at the grid level and cells don't oversubscribe.
+func serialCell(opt metrics.Options) metrics.Options {
+	opt.Workers = 1
+	return opt
+}
+
+// streamMixed runs one mixed-population fluid simulation through the
+// engine with a streaming observer — the shared helper for theorem checks
+// that only consume tail statistics.
+func streamMixed(ctx context.Context, cfg fluid.Config, protos []protocol.Protocol, init []float64, steps int) (*metrics.Stream, error) {
+	sub := &engine.FluidSpec{Cfg: cfg, Senders: fluid.MixedSenders(protos, init), Steps: steps}
+	st := metrics.NewStream(sub.Meta(), metrics.DefaultTailFrac)
+	if _, err := engine.Run(ctx, engine.Spec{Substrate: sub, Observers: []engine.Observer{st}}); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
 
 // Claim1Evidence is the executable demonstration of Claim 1: the
 // probe-until-loss protocol is loss-based and, from some point on, 0-loss
@@ -23,21 +43,27 @@ type Claim1Evidence struct {
 	Holds      bool    // Claim 1's exclusion respected
 }
 
-// CheckClaim1 runs the probe on a finite link and scores its tail.
+// CheckClaim1 runs the probe on a finite link and scores its tail. The
+// run streams through the engine: no trace is materialized — the tail
+// observers retain exactly the half of the run the scores need.
 func CheckClaim1(opt metrics.Options) (*Claim1Evidence, error) {
 	if opt.Steps == 0 {
 		opt.Steps = 3000
 	}
 	cfg := FluidLink(20, 20)
-	tr, err := fluid.Homogeneous(cfg, protocol.NewProbeUntilLoss(1), 1, []float64{1}, opt.Steps)
+	senders, err := fluid.HomogeneousSenders(protocol.NewProbeUntilLoss(1), 1, []float64{1})
 	if err != nil {
 		return nil, err
 	}
-	tailFrac := 0.5
+	sub := &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: opt.Steps}
+	st := metrics.NewStream(sub.Meta(), 0.5)
+	if _, err := engine.Run(context.Background(), engine.Spec{Substrate: sub, Observers: []engine.Observer{st}}); err != nil {
+		return nil, err
+	}
 	ev := &Claim1Evidence{
-		TailLoss:   metrics.LossAvoidanceFromTrace(tr, tailFrac),
-		Efficiency: metrics.EfficiencyFromTrace(tr, tailFrac),
-		FastUtil:   metrics.FastUtilizationFromSeries(stats.Tail(tr.Window(0), tailFrac)),
+		TailLoss:   st.LossAvoidance(),
+		Efficiency: st.Efficiency(),
+		FastUtil:   metrics.FastUtilizationFromSeries(st.TailWindow(0)),
 	}
 	ev.Holds = axioms.Claim1Holds(true, ev.TailLoss, ev.FastUtil, 1e-9)
 	return ev, nil
@@ -68,32 +94,33 @@ func CheckTheorem1(opt metrics.Options, tol float64) ([]Theorem1Check, error) {
 		protocol.NewAIMD(0.5, 0.8),
 		protocol.NewRobustAIMD(1, 0.8, 0.01),
 	}
-	var out []Theorem1Check
-	for _, p := range protos {
-		conv, err := metrics.Convergence(cfg, p, 1, opt)
-		if err != nil {
-			return nil, err
-		}
-		fast, err := metrics.FastUtilization(p, opt)
-		if err != nil {
-			return nil, err
-		}
-		eff, err := metrics.Efficiency(cfg, p, 1, opt)
-		if err != nil {
-			return nil, err
-		}
-		bound := axioms.Theorem1Bound(math.Max(0, math.Min(1, conv)))
-		c := Theorem1Check{
-			Name:        p.Name(),
-			Convergence: conv,
-			FastUtil:    fast,
-			Efficiency:  eff,
-			Bound:       bound,
-		}
-		c.Holds = fast <= 0 || eff >= bound-tol
-		out = append(out, c)
-	}
-	return out, nil
+	cellOpt := serialCell(opt)
+	return engine.Sweep(context.Background(), len(protos), engine.SweepConfig{Workers: opt.Workers},
+		func(ctx context.Context, i int, _ uint64) (Theorem1Check, error) {
+			p := protos[i]
+			conv, err := metrics.Convergence(cfg, p, 1, cellOpt)
+			if err != nil {
+				return Theorem1Check{}, err
+			}
+			fast, err := metrics.FastUtilization(p, cellOpt)
+			if err != nil {
+				return Theorem1Check{}, err
+			}
+			eff, err := metrics.Efficiency(cfg, p, 1, cellOpt)
+			if err != nil {
+				return Theorem1Check{}, err
+			}
+			bound := axioms.Theorem1Bound(math.Max(0, math.Min(1, conv)))
+			c := Theorem1Check{
+				Name:        p.Name(),
+				Convergence: conv,
+				FastUtil:    fast,
+				Efficiency:  eff,
+				Bound:       bound,
+			}
+			c.Holds = fast <= 0 || eff >= bound-tol
+			return c, nil
+		})
 }
 
 // Theorem2Check tests the bound and its tightness for one AIMD(a, b): the
@@ -118,24 +145,23 @@ func CheckTheorem2(pairs [][2]float64, opt metrics.Options, tol float64) ([]Theo
 		pairs = [][2]float64{{1, 0.5}, {1, 0.7}, {2, 0.5}, {0.5, 0.5}, {1, 0.8}}
 	}
 	cfg := FluidLink(20, 0)
-	var out []Theorem2Check
-	for _, ab := range pairs {
-		a, b := ab[0], ab[1]
-		measured, err := metrics.TCPFriendliness(cfg, protocol.NewAIMD(a, b), 1, 1, opt)
-		if err != nil {
-			return nil, err
-		}
-		bound := axioms.Theorem2Bound(a, b)
-		c := Theorem2Check{
-			A: a, B: b,
-			Bound:     bound,
-			Measured:  measured,
-			Tightness: measured / bound,
-			Holds:     measured <= bound*(1+tol),
-		}
-		out = append(out, c)
-	}
-	return out, nil
+	cellOpt := serialCell(opt)
+	return engine.Sweep(context.Background(), len(pairs), engine.SweepConfig{Workers: opt.Workers},
+		func(ctx context.Context, i int, _ uint64) (Theorem2Check, error) {
+			a, b := pairs[i][0], pairs[i][1]
+			measured, err := metrics.TCPFriendliness(cfg, protocol.NewAIMD(a, b), 1, 1, cellOpt)
+			if err != nil {
+				return Theorem2Check{}, err
+			}
+			bound := axioms.Theorem2Bound(a, b)
+			return Theorem2Check{
+				A: a, B: b,
+				Bound:     bound,
+				Measured:  measured,
+				Tightness: measured / bound,
+				Holds:     measured <= bound*(1+tol),
+			}, nil
+		})
 }
 
 // Theorem3Check tests Theorem 3 for Robust-AIMD(1, 0.8, ε). The metric's
@@ -177,26 +203,25 @@ func CheckTheorem3(epsilons []float64, opt metrics.Options, tol float64) ([]Theo
 	// C+τ = 700 MSS keeps overshoot loss ≈ 2/702 below ε = 0.005.
 	cfg := FluidLink(100, 350)
 	lp := LinkParams(cfg, 2)
-	var out []Theorem3Check
-	for _, eps := range epsilons {
-		ra := protocol.NewRobustAIMD(1, 0.8, eps)
-		tr, err := fluid.Mixed(cfg, []protocol.Protocol{ra, protocol.Reno()}, []float64{1, 1}, o.Steps)
-		if err != nil {
-			return nil, err
-		}
-		tail := 0.75
-		measured := tr.AvgWindow(1, tail) / tr.AvgWindow(0, tail)
-		bound := axioms.Theorem3Bound(1, 0.8, eps, lp.C, lp.Tau)
-		ceiling := axioms.Theorem2Bound(1, 0.8)
-		out = append(out, Theorem3Check{
-			Eps:              eps,
-			Bound:            bound,
-			NonRobustCeiling: ceiling,
-			Measured:         measured,
-			Holds:            measured >= bound-tol && measured < ceiling/2,
+	return engine.Sweep(context.Background(), len(epsilons), engine.SweepConfig{Workers: opt.Workers},
+		func(ctx context.Context, i int, _ uint64) (Theorem3Check, error) {
+			eps := epsilons[i]
+			ra := protocol.NewRobustAIMD(1, 0.8, eps)
+			st, err := streamMixed(ctx, cfg, []protocol.Protocol{ra, protocol.Reno()}, []float64{1, 1}, o.Steps)
+			if err != nil {
+				return Theorem3Check{}, err
+			}
+			measured := st.AvgWindow(1) / st.AvgWindow(0)
+			bound := axioms.Theorem3Bound(1, 0.8, eps, lp.C, lp.Tau)
+			ceiling := axioms.Theorem2Bound(1, 0.8)
+			return Theorem3Check{
+				Eps:              eps,
+				Bound:            bound,
+				NonRobustCeiling: ceiling,
+				Measured:         measured,
+				Holds:            measured >= bound-tol && measured < ceiling/2,
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // MoreAggressive empirically tests the §4 relation "P is more aggressive
@@ -211,12 +236,19 @@ func MoreAggressive(cfg fluid.Config, p, q protocol.Protocol, opt metrics.Option
 	if len(inits) == 0 {
 		inits = metrics.DefaultInitConfigs(cfg, 2)
 	}
-	for _, init := range inits {
-		tr, err := fluid.Mixed(cfg, []protocol.Protocol{p, q}, init, o.Steps)
-		if err != nil {
-			return false, err
-		}
-		if tr.AvgGoodput(0, 0.75) <= tr.AvgGoodput(1, 0.75) {
+	wins, err := engine.Sweep(context.Background(), len(inits), engine.SweepConfig{Workers: opt.Workers},
+		func(ctx context.Context, i int, _ uint64) (bool, error) {
+			st, err := streamMixed(ctx, cfg, []protocol.Protocol{p, q}, inits[i], o.Steps)
+			if err != nil {
+				return false, err
+			}
+			return st.AvgGoodput(0) > st.AvgGoodput(1), nil
+		})
+	if err != nil {
+		return false, err
+	}
+	for _, win := range wins {
+		if !win {
 			return false, nil
 		}
 	}
@@ -250,20 +282,31 @@ func CheckTheorem4(opt metrics.Options, tol float64) ([]Theorem4Check, error) {
 		protocol.Scalable(),
 		protocol.NewAIMD(2, 0.5),
 	}
-	var out []Theorem4Check
-	for _, p := range ps {
-		alpha, err := metrics.TCPFriendliness(cfg, p, 1, 1, opt)
-		if err != nil {
-			return nil, err
-		}
-		for _, q := range qs {
-			agg, err := MoreAggressive(cfg, q, protocol.Reno(), opt)
+	cellOpt := serialCell(opt)
+	sweep := engine.SweepConfig{Workers: opt.Workers}
+	// Per-P and per-Q quantities are shared across the grid; sweep each axis
+	// once, then the flattened P×Q pairs.
+	alphas, err := engine.Sweep(context.Background(), len(ps), sweep,
+		func(ctx context.Context, i int, _ uint64) (float64, error) {
+			return metrics.TCPFriendliness(cfg, ps[i], 1, 1, cellOpt)
+		})
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := engine.Sweep(context.Background(), len(qs), sweep,
+		func(ctx context.Context, i int, _ uint64) (bool, error) {
+			return MoreAggressive(cfg, qs[i], protocol.Reno(), cellOpt)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return engine.Sweep(context.Background(), len(ps)*len(qs), sweep,
+		func(ctx context.Context, i int, _ uint64) (Theorem4Check, error) {
+			p, q := ps[i/len(qs)], qs[i%len(qs)]
+			alpha, agg := alphas[i/len(qs)], aggs[i%len(qs)]
+			fq, err := metrics.Friendliness(cfg, p, q, 1, 1, cellOpt)
 			if err != nil {
-				return nil, err
-			}
-			fq, err := metrics.Friendliness(cfg, p, q, 1, 1, opt)
-			if err != nil {
-				return nil, err
+				return Theorem4Check{}, err
 			}
 			c := Theorem4Check{
 				P:               p.Name(),
@@ -274,10 +317,8 @@ func CheckTheorem4(opt metrics.Options, tol float64) ([]Theorem4Check, error) {
 			}
 			// The theorem asserts nothing if Q is not more aggressive.
 			c.Holds = !agg || fq >= alpha*(1-tol)
-			out = append(out, c)
-		}
-	}
-	return out, nil
+			return c, nil
+		})
 }
 
 // Theorem5Check demonstrates that an efficient loss-based protocol starves
@@ -299,30 +340,32 @@ func CheckTheorem5(opt metrics.Options, starveThreshold float64) ([]Theorem5Chec
 	}
 	cfg := FluidLink(100, 200)
 	vegas := protocol.DefaultVegas()
-	avLat, err := metrics.LatencyAvoidance(cfg, vegas, 1, opt)
+	cellOpt := serialCell(opt)
+	avLat, err := metrics.LatencyAvoidance(cfg, vegas, 1, cellOpt)
 	if err != nil {
 		return nil, err
 	}
-	var out []Theorem5Check
-	for _, p := range []protocol.Protocol{protocol.Reno(), protocol.Scalable()} {
-		eff, err := metrics.Efficiency(cfg, p, 1, opt)
-		if err != nil {
-			return nil, err
-		}
-		fr, err := metrics.Friendliness(cfg, p, vegas, 1, 1, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Theorem5Check{
-			LossBased:      p.Name(),
-			LatencyAvoider: vegas.Name(),
-			LossBasedEff:   eff,
-			AvoiderLatency: avLat,
-			Friendliness:   fr,
-			Holds:          eff > 0 && fr < starveThreshold,
+	lossBased := []protocol.Protocol{protocol.Reno(), protocol.Scalable()}
+	return engine.Sweep(context.Background(), len(lossBased), engine.SweepConfig{Workers: opt.Workers},
+		func(ctx context.Context, i int, _ uint64) (Theorem5Check, error) {
+			p := lossBased[i]
+			eff, err := metrics.Efficiency(cfg, p, 1, cellOpt)
+			if err != nil {
+				return Theorem5Check{}, err
+			}
+			fr, err := metrics.Friendliness(cfg, p, vegas, 1, 1, cellOpt)
+			if err != nil {
+				return Theorem5Check{}, err
+			}
+			return Theorem5Check{
+				LossBased:      p.Name(),
+				LatencyAvoider: vegas.Name(),
+				LossBasedEff:   eff,
+				AvoiderLatency: avLat,
+				Friendliness:   fr,
+				Holds:          eff > 0 && fr < starveThreshold,
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // RenderChecks formats any of the theorem check slices generically.

@@ -302,6 +302,22 @@ func (l *Link) Run(steps int) *trace.Trace {
 // proto, starting from the given initial windows (init is cycled if
 // shorter than n). It is the workhorse for the all-senders-run-P axioms.
 func Homogeneous(cfg Config, proto protocol.Protocol, n int, init []float64, steps int) (*trace.Trace, error) {
+	senders, err := HomogeneousSenders(proto, n, init)
+	if err != nil {
+		return nil, err
+	}
+	l, err := New(cfg, senders...)
+	if err != nil {
+		return nil, err
+	}
+	return l.Run(steps), nil
+}
+
+// HomogeneousSenders builds the sender slice Homogeneous runs: n clones
+// of proto with init (cycled; default protocol.MinWindow) as initial
+// windows. Exposed so callers driving a link through another layer (the
+// engine adapters) construct senders identically.
+func HomogeneousSenders(proto protocol.Protocol, n int, init []float64) ([]Sender, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("fluid: need at least one sender, got %d", n)
 	}
@@ -313,17 +329,24 @@ func Homogeneous(cfg Config, proto protocol.Protocol, n int, init []float64, ste
 		}
 		senders[i] = Sender{Proto: proto.Clone(), Init: w}
 	}
-	l, err := New(cfg, senders...)
-	if err != nil {
-		return nil, err
-	}
-	return l.Run(steps), nil
+	return senders, nil
 }
 
 // Mixed builds and runs a link with one sender per protocol in protos,
 // using the matching entry of init (cycled) as initial window. It is the
 // workhorse for the friendliness axioms.
 func Mixed(cfg Config, protos []protocol.Protocol, init []float64, steps int) (*trace.Trace, error) {
+	l, err := New(cfg, MixedSenders(protos, init)...)
+	if err != nil {
+		return nil, err
+	}
+	return l.Run(steps), nil
+}
+
+// MixedSenders builds the sender slice Mixed runs: one clone per
+// protocol with init (cycled; default protocol.MinWindow) as initial
+// windows.
+func MixedSenders(protos []protocol.Protocol, init []float64) []Sender {
 	senders := make([]Sender, len(protos))
 	for i, p := range protos {
 		w := protocol.MinWindow
@@ -332,9 +355,5 @@ func Mixed(cfg Config, protos []protocol.Protocol, init []float64, steps int) (*
 		}
 		senders[i] = Sender{Proto: p.Clone(), Init: w}
 	}
-	l, err := New(cfg, senders...)
-	if err != nil {
-		return nil, err
-	}
-	return l.Run(steps), nil
+	return senders
 }

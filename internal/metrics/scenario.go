@@ -1,9 +1,11 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/protocol"
 	"repro/internal/stats"
@@ -22,6 +24,10 @@ type Options struct {
 	// are taken. Vectors shorter than the sender count are cycled. When
 	// empty, DefaultInitConfigs supplies them from the link capacity.
 	InitConfigs [][]float64
+	// Workers caps the concurrency of the per-init-config runs
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical at any worker
+	// count: cells are deterministic and collected in input order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,30 +79,41 @@ func (o Options) initConfigs(cfg fluid.Config, n int) [][]float64 {
 	return DefaultInitConfigs(cfg, n)
 }
 
-// runHomogeneous runs one trace per initial configuration.
-func runHomogeneous(cfg fluid.Config, p protocol.Protocol, n int, o Options) ([]*trace.Trace, error) {
-	var traces []*trace.Trace
-	for _, init := range o.initConfigs(cfg, n) {
-		tr, err := fluid.Homogeneous(cfg, p, n, init, o.Steps)
+// runStreams runs one streaming-observed engine run per initial
+// configuration — no trace is materialized. Sender slices are built
+// serially up front (protocol cloning is not required to be
+// goroutine-safe); the runs themselves shard across the worker pool.
+func runStreams(cfg fluid.Config, p protocol.Protocol, n int, o Options) ([]*Stream, error) {
+	inits := o.initConfigs(cfg, n)
+	subs := make([]*engine.FluidSpec, len(inits))
+	for i, init := range inits {
+		senders, err := fluid.HomogeneousSenders(p, n, init)
 		if err != nil {
 			return nil, err
 		}
-		traces = append(traces, tr)
+		subs[i] = &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: o.Steps}
 	}
-	return traces, nil
+	return engine.Sweep(context.Background(), len(subs), engine.SweepConfig{Workers: o.Workers},
+		func(ctx context.Context, i int, _ uint64) (*Stream, error) {
+			st := NewStream(subs[i].Meta(), o.TailFrac)
+			if _, err := engine.Run(ctx, engine.Spec{Substrate: subs[i], Observers: []engine.Observer{st}}); err != nil {
+				return nil, err
+			}
+			return st, nil
+		})
 }
 
 // Efficiency estimates Metric I for n senders all running p on cfg: the
 // worst case over initial configurations of the tail's minimum X(t)/C.
 func Efficiency(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
 	o := opt.withDefaults()
-	traces, err := runHomogeneous(cfg, p, n, o)
+	streams, err := runStreams(cfg, p, n, o)
 	if err != nil {
 		return 0, err
 	}
 	worst := math.Inf(1)
-	for _, tr := range traces {
-		if e := EfficiencyFromTrace(tr, o.TailFrac); e < worst {
+	for _, s := range streams {
+		if e := s.Efficiency(); e < worst {
 			worst = e
 		}
 	}
@@ -107,13 +124,13 @@ func Efficiency(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (floa
 // configurations of the tail's maximum loss rate. Lower is better.
 func LossAvoidance(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
 	o := opt.withDefaults()
-	traces, err := runHomogeneous(cfg, p, n, o)
+	streams, err := runStreams(cfg, p, n, o)
 	if err != nil {
 		return 0, err
 	}
 	worst := 0.0
-	for _, tr := range traces {
-		if l := LossAvoidanceFromTrace(tr, o.TailFrac); l > worst {
+	for _, s := range streams {
+		if l := s.LossAvoidance(); l > worst {
 			worst = l
 		}
 	}
@@ -127,13 +144,13 @@ func Fairness(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float6
 		return 0, fmt.Errorf("metrics: fairness needs ≥ 2 senders, got %d", n)
 	}
 	o := opt.withDefaults()
-	traces, err := runHomogeneous(cfg, p, n, o)
+	streams, err := runStreams(cfg, p, n, o)
 	if err != nil {
 		return 0, err
 	}
 	worst := math.Inf(1)
-	for _, tr := range traces {
-		if f := FairnessFromTrace(tr, o.TailFrac); f < worst {
+	for _, s := range streams {
+		if f := s.Fairness(); f < worst {
 			worst = f
 		}
 	}
@@ -145,13 +162,13 @@ func Fairness(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float6
 // point.
 func Convergence(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
 	o := opt.withDefaults()
-	traces, err := runHomogeneous(cfg, p, n, o)
+	streams, err := runStreams(cfg, p, n, o)
 	if err != nil {
 		return 0, err
 	}
 	worst := math.Inf(1)
-	for _, tr := range traces {
-		if c := ConvergenceFromTrace(tr, o.TailFrac); c < worst {
+	for _, s := range streams {
+		if c := s.Convergence(); c < worst {
 			worst = c
 		}
 	}
@@ -165,11 +182,30 @@ func Convergence(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (flo
 func FastUtilization(p protocol.Protocol, opt Options) (float64, error) {
 	o := opt.withDefaults()
 	cfg := fluid.Config{Infinite: true, PropDelay: 0.021, MaxWindow: math.Inf(1)}
-	tr, err := fluid.Homogeneous(cfg, p, 1, []float64{protocol.MinWindow}, o.Steps)
+	tr, err := runRecorded(cfg, p, 1, []float64{protocol.MinWindow}, o.Steps)
 	if err != nil {
 		return 0, err
 	}
 	return FastUtilizationFromSeries(tr.Window(0)), nil
+}
+
+// runRecorded runs n homogeneous senders through the engine with trace
+// recording — used by the metrics that need the full window series
+// (fast-utilization's growth sums, robustness's slope fit, the extension
+// metrics' settle scans) rather than a tail summary.
+func runRecorded(cfg fluid.Config, p protocol.Protocol, n int, init []float64, steps int) (*trace.Trace, error) {
+	senders, err := fluid.HomogeneousSenders(p, n, init)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(context.Background(), engine.Spec{
+		Substrate: &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: steps},
+		Record:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
 }
 
 // RobustTo reports whether p is robust to constant non-congestion loss of
@@ -189,7 +225,7 @@ func RobustTo(p protocol.Protocol, r float64, opt Options) (bool, error) {
 		MaxWindow: cap,
 		Loss:      fluid.NewConstantLoss(r),
 	}
-	tr, err := fluid.Homogeneous(cfg, p, 1, []float64{protocol.MinWindow}, o.Steps)
+	tr, err := runRecorded(cfg, p, 1, []float64{protocol.MinWindow}, o.Steps)
 	if err != nil {
 		return false, err
 	}
@@ -266,13 +302,25 @@ func Friendliness(cfg fluid.Config, p, q protocol.Protocol, nP, nQ int, opt Opti
 		qIdx = append(qIdx, len(protos))
 		protos = append(protos, q)
 	}
+	inits := o.initConfigs(cfg, n)
+	subs := make([]*engine.FluidSpec, len(inits))
+	for i, init := range inits {
+		subs[i] = &engine.FluidSpec{Cfg: cfg, Senders: fluid.MixedSenders(protos, init), Steps: o.Steps}
+	}
+	scores, err := engine.Sweep(context.Background(), len(subs), engine.SweepConfig{Workers: o.Workers},
+		func(ctx context.Context, i int, _ uint64) (float64, error) {
+			st := NewStream(subs[i].Meta(), o.TailFrac)
+			if _, err := engine.Run(ctx, engine.Spec{Substrate: subs[i], Observers: []engine.Observer{st}}); err != nil {
+				return 0, err
+			}
+			return st.Friendliness(pIdx, qIdx), nil
+		})
+	if err != nil {
+		return 0, err
+	}
 	worst := math.Inf(1)
-	for _, init := range o.initConfigs(cfg, n) {
-		tr, err := fluid.Mixed(cfg, protos, init, o.Steps)
-		if err != nil {
-			return 0, err
-		}
-		if f := FriendlinessFromTrace(tr, pIdx, qIdx, o.TailFrac); f < worst {
+	for _, f := range scores {
+		if f < worst {
 			worst = f
 		}
 	}
@@ -291,13 +339,13 @@ func TCPFriendliness(cfg fluid.Config, p protocol.Protocol, nP, nReno int, opt O
 // a suitably provisioned cfg. Lower is better.
 func LatencyAvoidance(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (float64, error) {
 	o := opt.withDefaults()
-	traces, err := runHomogeneous(cfg, p, n, o)
+	streams, err := runStreams(cfg, p, n, o)
 	if err != nil {
 		return 0, err
 	}
 	worst := 0.0
-	for _, tr := range traces {
-		if l := LatencyAvoidanceFromTrace(tr, o.TailFrac); l > worst {
+	for _, s := range streams {
+		if l := s.LatencyAvoidance(); l > worst {
 			worst = l
 		}
 	}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// Stream is an engine.Observer that maintains just enough state online to
+// score the tail-window axiom estimators, without materializing a full
+// *trace.Trace: per-sender window and goodput rings, plus aggregate
+// window, RTT, and loss rings, each sized to the run's tail. As long as
+// the substrate's Horizon hint was within the ring slack, every accessor
+// returns bit-identical values to its *FromTrace counterpart on a
+// recorded trace, because the retained tail and the summation order are
+// the same.
+type Stream struct {
+	tailFrac float64
+	capacity float64
+	baseRTT  float64
+	windows  []*stats.Ring
+	goodput  []*stats.Ring
+	total    *stats.Ring
+	rtt      *stats.Ring
+	loss     *stats.Ring
+}
+
+// horizonSlack absorbs the packet substrate's ±1 tick-count ambiguity
+// (and leaves margin for future substrates with fuzzier horizons).
+const horizonSlack = 8
+
+// NewStream sizes a streaming observer for a substrate described by meta.
+// tailFrac 0 selects DefaultTailFrac.
+func NewStream(meta engine.Meta, tailFrac float64) *Stream {
+	if tailFrac == 0 {
+		tailFrac = DefaultTailFrac
+	}
+	capGoal := stats.TailLen(meta.Horizon, tailFrac) + horizonSlack
+	s := &Stream{
+		tailFrac: tailFrac,
+		capacity: meta.Capacity,
+		baseRTT:  meta.BaseRTT,
+		windows:  make([]*stats.Ring, meta.Flows),
+		goodput:  make([]*stats.Ring, meta.Flows),
+		total:    stats.NewRing(capGoal),
+		rtt:      stats.NewRing(capGoal),
+		loss:     stats.NewRing(capGoal),
+	}
+	for i := range s.windows {
+		s.windows[i] = stats.NewRing(capGoal)
+		s.goodput[i] = stats.NewRing(capGoal)
+	}
+	return s
+}
+
+// Observe implements engine.Observer.
+func (s *Stream) Observe(st engine.Step) {
+	for i, w := range st.Windows {
+		s.windows[i].Push(w)
+		g := 0.0
+		if st.RTT > 0 {
+			g = w * (1 - st.Loss) / st.RTT
+		}
+		s.goodput[i].Push(g)
+	}
+	s.total.Push(st.Total)
+	s.rtt.Push(st.RTT)
+	s.loss.Push(st.Loss)
+}
+
+// Steps returns the number of samples observed.
+func (s *Stream) Steps() int { return s.total.Count() }
+
+// TailFrac returns the tail fraction the stream scores over.
+func (s *Stream) TailFrac() float64 { return s.tailFrac }
+
+// TailWindow returns sender i's retained tail-window series, equal to
+// stats.Tail of the full series.
+func (s *Stream) TailWindow(i int) []float64 { return s.windows[i].LastTail(s.tailFrac) }
+
+// TailTotal returns the retained tail of the aggregate window series X(t).
+func (s *Stream) TailTotal() []float64 { return s.total.LastTail(s.tailFrac) }
+
+// TailRTT returns the retained tail of the RTT series.
+func (s *Stream) TailRTT() []float64 { return s.rtt.LastTail(s.tailFrac) }
+
+// TailLoss returns the retained tail of the loss-rate series.
+func (s *Stream) TailLoss() []float64 { return s.loss.LastTail(s.tailFrac) }
+
+// AvgWindow returns sender i's mean tail window, as trace.AvgWindow.
+func (s *Stream) AvgWindow(i int) float64 {
+	return stats.Mean(s.windows[i].LastTail(s.tailFrac))
+}
+
+// AvgGoodput returns sender i's mean tail goodput, as trace.AvgGoodput.
+func (s *Stream) AvgGoodput(i int) float64 {
+	return stats.Mean(s.goodput[i].LastTail(s.tailFrac))
+}
+
+// Efficiency mirrors EfficiencyFromTrace: min over the tail of X(t)/C.
+func (s *Stream) Efficiency() float64 {
+	if math.IsInf(s.capacity, 1) || s.capacity <= 0 {
+		return 0
+	}
+	return stats.Min(s.TailTotal()) / s.capacity
+}
+
+// LossAvoidance mirrors LossAvoidanceFromTrace: max tail loss rate.
+func (s *Stream) LossAvoidance() float64 {
+	return stats.Max(s.TailLoss())
+}
+
+// Fairness mirrors FairnessFromTrace: min-over-max of mean tail windows.
+func (s *Stream) Fairness() float64 {
+	avgs := make([]float64, len(s.windows))
+	for i := range avgs {
+		avgs[i] = s.AvgWindow(i)
+	}
+	return stats.MinOverMax(avgs)
+}
+
+// Convergence mirrors ConvergenceFromTrace: the largest α such that every
+// tail sample stays within [αx*, (2−α)x*] of its sender's tail mean x*.
+func (s *Stream) Convergence() float64 {
+	alpha := 1.0
+	for i := range s.windows {
+		tail := s.TailWindow(i)
+		star := stats.Mean(tail)
+		if star <= 0 {
+			return 0
+		}
+		for _, x := range tail {
+			r := x / star
+			a := math.Min(r, 2-r)
+			if a < alpha {
+				alpha = a
+			}
+		}
+	}
+	return math.Max(alpha, 0)
+}
+
+// LatencyAvoidance mirrors LatencyAvoidanceFromTrace: max tail RTT
+// inflation over the base RTT.
+func (s *Stream) LatencyAvoidance() float64 {
+	if s.baseRTT <= 0 {
+		return math.NaN()
+	}
+	return math.Max(0, stats.Max(s.TailRTT())/s.baseRTT-1)
+}
+
+// Friendliness mirrors FriendlinessFromTrace: the weakest Q-sender's mean
+// tail window relative to the strongest P-sender's.
+func (s *Stream) Friendliness(pIdx, qIdx []int) float64 {
+	if len(pIdx) == 0 || len(qIdx) == 0 {
+		return math.NaN()
+	}
+	worstP := math.Inf(-1)
+	for _, i := range pIdx {
+		if a := s.AvgWindow(i); a > worstP {
+			worstP = a
+		}
+	}
+	worstQ := math.Inf(1)
+	for _, j := range qIdx {
+		if a := s.AvgWindow(j); a < worstQ {
+			worstQ = a
+		}
+	}
+	if worstP <= 0 {
+		return 1
+	}
+	return worstQ / worstP
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fluid"
+	"repro/internal/packetsim"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// within asserts |got−want| ≤ 1e-12 (the ISSUE's streaming-equivalence
+// budget; in practice the values are bit-identical).
+func within(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.IsNaN(got) && math.IsNaN(want) {
+		return
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("%s: stream %v vs trace %v (Δ=%g)", name, got, want, got-want)
+	}
+}
+
+// TestStreamMatchesTraceEstimatorsFluid runs one fluid simulation with both
+// a recording trace and a streaming observer and checks every estimator
+// pair agrees.
+func TestStreamMatchesTraceEstimatorsFluid(t *testing.T) {
+	const steps = 2000
+	cfg := fluid.Config{Bandwidth: 1200, PropDelay: 0.05, Buffer: 60}
+	protos := []protocol.Protocol{protocol.Reno(), protocol.Reno(), protocol.NewAIMD(2, 0.5)}
+	sub := &engine.FluidSpec{Cfg: cfg, Senders: fluid.MixedSenders(protos, nil), Steps: steps}
+	st := NewStream(sub.Meta(), DefaultTailFrac)
+	res, err := engine.Run(context.Background(), engine.Spec{
+		Substrate: sub,
+		Record:    true,
+		Observers: []engine.Observer{st},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+
+	within(t, "efficiency", st.Efficiency(), EfficiencyFromTrace(tr, DefaultTailFrac))
+	within(t, "loss avoidance", st.LossAvoidance(), LossAvoidanceFromTrace(tr, DefaultTailFrac))
+	within(t, "fairness", st.Fairness(), FairnessFromTrace(tr, DefaultTailFrac))
+	within(t, "convergence", st.Convergence(), ConvergenceFromTrace(tr, DefaultTailFrac))
+	within(t, "latency avoidance", st.LatencyAvoidance(), LatencyAvoidanceFromTrace(tr, DefaultTailFrac))
+	within(t, "friendliness", st.Friendliness([]int{2}, []int{0, 1}), FriendlinessFromTrace(tr, []int{2}, []int{0, 1}, DefaultTailFrac))
+	for i := range protos {
+		within(t, "avg window", st.AvgWindow(i), tr.AvgWindow(i, DefaultTailFrac))
+		within(t, "avg goodput", st.AvgGoodput(i), tr.AvgGoodput(i, DefaultTailFrac))
+	}
+
+	// The retained tails must equal stats.Tail of the recorded series.
+	wantTail := stats.Tail(tr.Window(0), DefaultTailFrac)
+	gotTail := st.TailWindow(0)
+	if len(gotTail) != len(wantTail) {
+		t.Fatalf("tail length %d, want %d", len(gotTail), len(wantTail))
+	}
+	for i := range gotTail {
+		if gotTail[i] != wantTail[i] {
+			t.Fatalf("tail[%d] = %v, want %v", i, gotTail[i], wantTail[i])
+		}
+	}
+	if st.Steps() != steps {
+		t.Fatalf("Steps = %d, want %d", st.Steps(), steps)
+	}
+}
+
+// TestStreamMatchesTraceEstimatorsPacket does the same over the packet
+// substrate, whose tick count is only a hint — the ring slack must absorb
+// it.
+func TestStreamMatchesTraceEstimatorsPacket(t *testing.T) {
+	cfg := packetsim.Config{Bandwidth: 500, PropDelay: 0.02, Buffer: 25, Seed: 3}
+	flows := []packetsim.Flow{{Proto: protocol.Reno()}, {Proto: protocol.Reno(), Start: 2}}
+	sub := &engine.PacketSpec{Cfg: cfg, Flows: flows, Duration: 60}
+	st := NewStream(sub.Meta(), DefaultTailFrac)
+	res, err := engine.Run(context.Background(), engine.Spec{
+		Substrate: sub,
+		Record:    true,
+		Observers: []engine.Observer{st},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Packet.Trace
+
+	within(t, "efficiency", st.Efficiency(), EfficiencyFromTrace(tr, DefaultTailFrac))
+	within(t, "loss avoidance", st.LossAvoidance(), LossAvoidanceFromTrace(tr, DefaultTailFrac))
+	within(t, "fairness", st.Fairness(), FairnessFromTrace(tr, DefaultTailFrac))
+	within(t, "convergence", st.Convergence(), ConvergenceFromTrace(tr, DefaultTailFrac))
+	within(t, "latency avoidance", st.LatencyAvoidance(), LatencyAvoidanceFromTrace(tr, DefaultTailFrac))
+	for i := range flows {
+		within(t, "avg window", st.AvgWindow(i), tr.AvgWindow(i, DefaultTailFrac))
+	}
+	if st.Steps() != tr.Len() {
+		t.Fatalf("Steps = %d, want %d", st.Steps(), tr.Len())
+	}
+}
+
+// TestStreamTailLenMatchesStatsTail pins the shared tail-index math.
+func TestStreamTailLenMatchesStatsTail(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 100, 4000} {
+		for _, f := range []float64{0, 0.5, 0.75, 0.99, 1} {
+			xs := make([]float64, n)
+			if got, want := stats.TailLen(n, f), len(stats.Tail(xs, f)); got != want {
+				t.Fatalf("TailLen(%d, %v) = %d, want %d", n, f, got, want)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package multilink
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -171,6 +172,7 @@ type StepResult struct {
 	Windows  []float64 // windows in effect during the step
 	LinkLoss []float64 // per-link loss rate
 	LinkRTT  []float64 // per-link round-trip contribution (seconds)
+	LinkLoad []float64 // per-link aggregate window during the step
 	FlowLoss []float64 // per-flow composed loss
 	FlowRTT  []float64 // per-flow composed RTT
 }
@@ -182,6 +184,7 @@ func (n *Network) Step() StepResult {
 		Windows:  append([]float64(nil), n.x...),
 		LinkLoss: make([]float64, len(n.links)),
 		LinkRTT:  make([]float64, len(n.links)),
+		LinkLoad: make([]float64, len(n.links)),
 		FlowLoss: make([]float64, len(n.flows)),
 		FlowRTT:  make([]float64, len(n.flows)),
 	}
@@ -190,6 +193,7 @@ func (n *Network) Step() StepResult {
 		for _, f := range n.flowsOn[l] {
 			load += n.x[f]
 		}
+		res.LinkLoad[l] = load
 		c, tau := spec.Capacity(), spec.Buffer
 		switch {
 		case load < c+tau:
@@ -248,35 +252,55 @@ type Result struct {
 
 // Run advances the network steps times, recording everything.
 func (n *Network) Run(steps int) *Result {
-	r := &Result{
-		Steps:    steps,
-		Windows:  make([][]float64, len(n.flows)),
-		FlowLoss: make([][]float64, len(n.flows)),
-		FlowRTT:  make([][]float64, len(n.flows)),
-		LinkLoss: make([][]float64, len(n.links)),
-		LinkLoad: make([][]float64, len(n.links)),
-		links:    append([]LinkSpec(nil), n.links...),
-	}
-	for f := range n.flows {
-		r.paths = append(r.paths, append([]int(nil), n.flows[f].Path...))
+	r, _ := n.RunObserved(context.Background(), steps, true, nil)
+	return r
+}
+
+// RunObserved advances the network steps times with cooperative
+// cancellation, calling obs after each step when non-nil. When record is
+// true the full Result is accumulated as in Run; when false the network
+// is only driven (observers see every step, nothing is retained) and the
+// returned Result is nil. The StepResult passed to obs is owned by the
+// callback for the duration of the call only.
+func (n *Network) RunObserved(ctx context.Context, steps int, record bool, obs func(*StepResult)) (*Result, error) {
+	var r *Result
+	if record {
+		r = &Result{
+			Steps:    steps,
+			Windows:  make([][]float64, len(n.flows)),
+			FlowLoss: make([][]float64, len(n.flows)),
+			FlowRTT:  make([][]float64, len(n.flows)),
+			LinkLoss: make([][]float64, len(n.links)),
+			LinkLoad: make([][]float64, len(n.links)),
+			links:    append([]LinkSpec(nil), n.links...),
+		}
+		for f := range n.flows {
+			r.paths = append(r.paths, append([]int(nil), n.flows[f].Path...))
+		}
 	}
 	for s := 0; s < steps; s++ {
-		res := n.Step()
-		for f := range n.flows {
-			r.Windows[f] = append(r.Windows[f], res.Windows[f])
-			r.FlowLoss[f] = append(r.FlowLoss[f], res.FlowLoss[f])
-			r.FlowRTT[f] = append(r.FlowRTT[f], res.FlowRTT[f])
-		}
-		for l := range n.links {
-			r.LinkLoss[l] = append(r.LinkLoss[l], res.LinkLoss[l])
-			load := 0.0
-			for _, f := range n.flowsOn[l] {
-				load += res.Windows[f]
+		if s&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			r.LinkLoad[l] = append(r.LinkLoad[l], load)
+		}
+		res := n.Step()
+		if record {
+			for f := range n.flows {
+				r.Windows[f] = append(r.Windows[f], res.Windows[f])
+				r.FlowLoss[f] = append(r.FlowLoss[f], res.FlowLoss[f])
+				r.FlowRTT[f] = append(r.FlowRTT[f], res.FlowRTT[f])
+			}
+			for l := range n.links {
+				r.LinkLoss[l] = append(r.LinkLoss[l], res.LinkLoss[l])
+				r.LinkLoad[l] = append(r.LinkLoad[l], res.LinkLoad[l])
+			}
+		}
+		if obs != nil {
+			obs(&res)
 		}
 	}
-	return r
+	return r, nil
 }
 
 // AvgWindow returns flow f's mean window over the tail fraction.

@@ -18,7 +18,7 @@
 package packetsim
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -52,6 +52,11 @@ type Config struct {
 	// the paper's FIFO droptail with the Buffer field as capacity; set a
 	// RED value to explore AQM interactions (a §6 extension).
 	Queue Discipline
+
+	// DisableTrace skips recording the per-tick *trace.Trace; Result.Trace
+	// is nil. Sweeps that consume only Delivered/DeliveredSeries (or a
+	// streaming observer) use this to avoid materializing the trace.
+	DisableTrace bool
 
 	// DisableRecovery turns off the one-reduction-per-loss-event rule.
 	// By default, after a monitor interval in which the protocol reduced
@@ -98,6 +103,16 @@ func (c Config) validate() error {
 // fluid model's C.
 func (c Config) Capacity() float64 { return c.Bandwidth * 2 * c.PropDelay }
 
+// SampleTick returns the effective trace-sampling interval (Tick, or its
+// 2Θ default), so callers can size tick-count-dependent buffers before a
+// run.
+func (c Config) SampleTick() float64 {
+	if c.Tick == 0 {
+		return 2 * c.PropDelay
+	}
+	return c.Tick
+}
+
 // Flow is one sender: a protocol, an initial window, and a start time
 // (staggered starts model connections joining an occupied link).
 type Flow struct {
@@ -127,6 +142,18 @@ type Result struct {
 	Duration float64
 	// TickLen is the sampling interval used, in seconds.
 	TickLen float64
+}
+
+// TickSample is one trace sample streamed to a RunObserved callback: the
+// same per-tick values that would be appended to Result.Trace, plus the
+// packets delivered per sender during the tick. Windows and Delivered
+// alias internal buffers and are valid only during the callback.
+type TickSample struct {
+	Index     int       // tick index, 0-based
+	Windows   []float64 // per-sender congestion windows
+	RTT       float64   // link RTT implied by the queue depth (2Θ + q/B)
+	Loss      float64   // loss fraction among packets arriving this tick
+	Delivered []float64 // packets delivered per sender this tick
 }
 
 // Throughput returns sender i's delivered throughput in MSS/s over the
@@ -182,9 +209,52 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].id < h[j].id
 }
 func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any         { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 func (h eventHeap) PeekTime() float64 { return h[0].at }
+
+// push and pop are container/heap's algorithm on the concrete event type:
+// the stdlib interface boxes every event into an `any`, which dominated
+// the simulator's allocation profile (two allocations per event). Less is
+// a strict total order (time, then insertion id), so pop order — and
+// therefore every simulation result — is unchanged.
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.Less(i, parent) {
+			break
+		}
+		s.Swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s.Swap(0, n)
+	e := s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(s) {
+			break
+		}
+		m := l
+		if r := l + 1; r < len(s) && s.Less(r, l) {
+			m = r
+		}
+		if !s.Less(m, i) {
+			break
+		}
+		s.Swap(i, m)
+		i = m
+	}
+	return e
+}
 
 type queuedPacket struct {
 	sender int
@@ -231,17 +301,32 @@ type sim struct {
 	tickDrops     int64
 	tickDelivered []float64
 
+	// Streaming observation (RunObserved).
+	obs           func(TickSample)
+	tickIndex     int
+	windowScratch []float64
+
 	result *Result
 }
 
 func (s *sim) schedule(at float64, kind evKind, sender int, sentAt float64) {
 	s.nextID++
-	heap.Push(&s.events, event{at: at, id: s.nextID, kind: kind, sender: sender, sentAt: sentAt})
+	s.events.push(event{at: at, id: s.nextID, kind: kind, sender: sender, sentAt: sentAt})
 }
 
 // Run simulates the flows on the link for duration seconds and returns the
 // recorded result.
 func Run(cfg Config, flows []Flow, duration float64) (*Result, error) {
+	return RunObserved(context.Background(), cfg, flows, duration, nil)
+}
+
+// RunObserved is Run with cooperative cancellation and per-tick streaming:
+// when obs is non-nil it is called once per trace sample with the same
+// values the trace records (plus per-tick deliveries), and the event loop
+// aborts with ctx.Err() soon after ctx is done. Combined with
+// Config.DisableTrace this lets sweeps consume a run online without
+// materializing the full trace.
+func RunObserved(ctx context.Context, cfg Config, flows []Flow, duration float64, obs func(TickSample)) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -259,14 +344,18 @@ func Run(cfg Config, flows []Flow, duration float64) (*Result, error) {
 		rng:           rand64.New(cfg.Seed),
 		senders:       make([]senderState, len(flows)),
 		tickDelivered: make([]float64, len(flows)),
+		obs:           obs,
+		windowScratch: make([]float64, len(flows)),
 	}
 	ticks := int(duration/cfg.Tick) + 1
 	s.result = &Result{
-		Trace:           trace.New(len(flows), cfg.Capacity(), 2*cfg.PropDelay, ticks),
 		Delivered:       make([]int64, len(flows)),
 		DeliveredSeries: make([][]float64, len(flows)),
 		Duration:        duration,
 		TickLen:         cfg.Tick,
+	}
+	if !cfg.DisableTrace {
+		s.result.Trace = trace.New(len(flows), cfg.Capacity(), 2*cfg.PropDelay, ticks)
 	}
 	for i, f := range flows {
 		if f.Proto == nil {
@@ -290,8 +379,16 @@ func Run(cfg Config, flows []Flow, duration float64) (*Result, error) {
 	s.schedule(cfg.Tick, evTick, -1, 0)
 
 	defer s.flushPartialTick()
+	var processed uint64
 	for s.events.Len() > 0 && s.events.PeekTime() <= duration {
-		e := heap.Pop(&s.events).(event)
+		// A cancellation check per event would dominate the hot loop, so
+		// poll the context every few thousand events instead.
+		if processed++; processed&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		e := s.events.pop()
 		s.now = e.at
 		switch e.kind {
 		case evFlowStart:
@@ -459,9 +556,11 @@ func (s *sim) flushPartialTick() {
 	}
 }
 
-// tick samples the link state into the trace.
+// tick samples the link state into the trace and the observer. The
+// windows scratch buffer is shared across ticks: Trace.Append copies, and
+// observers receive it under the valid-only-during-call contract.
 func (s *sim) tick() {
-	windows := make([]float64, len(s.senders))
+	windows := s.windowScratch
 	for i := range s.senders {
 		windows[i] = s.senders[i].window
 	}
@@ -470,7 +569,13 @@ func (s *sim) tick() {
 	if s.tickArrivals > 0 {
 		loss = float64(s.tickDrops) / float64(s.tickArrivals)
 	}
-	s.result.Trace.Append(windows, rtt, loss)
+	if s.result.Trace != nil {
+		s.result.Trace.Append(windows, rtt, loss)
+	}
+	if s.obs != nil {
+		s.obs(TickSample{Index: s.tickIndex, Windows: windows, RTT: rtt, Loss: loss, Delivered: s.tickDelivered})
+	}
+	s.tickIndex++
 	for i := range s.tickDelivered {
 		s.result.DeliveredSeries[i] = append(s.result.DeliveredSeries[i], s.tickDelivered[i])
 		s.tickDelivered[i] = 0

@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,6 +17,16 @@ import (
 // The first error cancels the remaining work (in-flight calls finish) and
 // is returned.
 func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, workers, func(_ context.Context, i int) (T, error) {
+		return f(i)
+	})
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, workers
+// stop claiming new items (in-flight calls finish) and the context error
+// is returned unless an item error occurred first. The per-item function
+// receives ctx so long-running cells can also abort mid-call.
+func MapCtx[T any](ctx context.Context, n, workers int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("parallel: negative item count %d", n)
 	}
@@ -31,7 +42,10 @@ func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := f(i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := f(ctx, i)
 			if err != nil {
 				return nil, err
 			}
@@ -49,7 +63,7 @@ func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	claim := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr != nil || next >= n {
+		if firstErr != nil || next >= n || ctx.Err() != nil {
 			return -1
 		}
 		i := next
@@ -72,7 +86,7 @@ func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 				if i < 0 {
 					return
 				}
-				v, err := f(i)
+				v, err := f(ctx, i)
 				if err != nil {
 					fail(fmt.Errorf("parallel: item %d: %w", i, err))
 					return
@@ -84,6 +98,9 @@ func Map[T any](n, workers int, f func(i int) (T, error)) ([]T, error) {
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

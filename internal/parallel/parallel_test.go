@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -87,5 +88,67 @@ func TestQuickMapIdentity(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMapCtxCancelStopsClaiming(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	_, err := MapCtx(ctx, 1000, 4, func(ctx context.Context, i int) (int, error) {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() > 900 {
+		t.Fatalf("%d calls despite cancellation", calls.Load())
+	}
+}
+
+func TestMapCtxSerialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	_, err := MapCtx(ctx, 100, 1, func(ctx context.Context, i int) (int, error) {
+		calls++
+		if i == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 4 {
+		t.Fatalf("%d calls after serial cancel, want 4", calls)
+	}
+}
+
+func TestMapCtxErrorBeatsCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapCtx(context.Background(), 50, 4, func(ctx context.Context, i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestMapCtxCompletesWithoutCancel(t *testing.T) {
+	out, err := MapCtx(context.Background(), 20, 3, func(ctx context.Context, i int) (int, error) {
+		return i * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
 	}
 }

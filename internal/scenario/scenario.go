@@ -8,6 +8,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/metrics"
 	"repro/internal/multilink"
@@ -164,16 +166,22 @@ type Outcome struct {
 
 // Run executes the scenario.
 func (s *Spec) Run() (*Outcome, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the scenario through the engine, honoring ctx
+// cancellation (the engine polls it between simulation steps).
+func (s *Spec) RunContext(ctx context.Context) (*Outcome, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	switch s.Model {
 	case "fluid":
-		return s.runFluid()
+		return s.runFluid(ctx)
 	case "packet":
-		return s.runPacket()
+		return s.runPacket(ctx)
 	default:
-		return s.runMultilink()
+		return s.runMultilink(ctx)
 	}
 }
 
@@ -189,7 +197,7 @@ func (s *Spec) parseProtocols() ([]protocol.Protocol, error) {
 	return out, nil
 }
 
-func (s *Spec) runFluid() (*Outcome, error) {
+func (s *Spec) runFluid(ctx context.Context) (*Outcome, error) {
 	protos, err := s.parseProtocols()
 	if err != nil {
 		return nil, err
@@ -217,33 +225,35 @@ func (s *Spec) runFluid() (*Outcome, error) {
 			Phase:  f.Phase,
 		}
 	}
-	l, err := fluid.New(cfg, senders...)
-	if err != nil {
+	// Only tail summaries are reported, so the run streams through an
+	// observer instead of materializing a trace.
+	tail := s.tail()
+	sub := &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: s.steps()}
+	st := metrics.NewStream(sub.Meta(), tail)
+	if _, err := engine.Run(ctx, engine.Spec{Substrate: sub, Observers: []engine.Observer{st}}); err != nil {
 		return nil, err
 	}
-	tr := l.Run(s.steps())
 
-	tail := s.tail()
 	out := &Outcome{Name: s.Name, Model: s.Model, Summary: map[string]float64{}}
 	var goodputs []float64
 	for i := range s.Flows {
-		g := tr.AvgGoodput(i, tail)
+		g := st.AvgGoodput(i)
 		goodputs = append(goodputs, g)
 		out.Flows = append(out.Flows, FlowOutcome{
 			Protocol:  protos[i].Name(),
-			AvgWindow: tr.AvgWindow(i, tail),
+			AvgWindow: st.AvgWindow(i),
 			Goodput:   g,
 		})
 	}
 	fillShares(out.Flows, goodputs)
-	out.Summary["efficiency"] = metrics.EfficiencyFromTrace(tr, tail)
-	out.Summary["tail_loss"] = metrics.LossAvoidanceFromTrace(tr, tail)
+	out.Summary["efficiency"] = st.Efficiency()
+	out.Summary["tail_loss"] = st.LossAvoidance()
 	out.Summary["jain_goodput"] = stats.JainIndex(goodputs)
-	out.Summary["latency_inflation"] = metrics.LatencyAvoidanceFromTrace(tr, tail)
+	out.Summary["latency_inflation"] = st.LatencyAvoidance()
 	return out, nil
 }
 
-func (s *Spec) runPacket() (*Outcome, error) {
+func (s *Spec) runPacket(ctx context.Context) (*Outcome, error) {
 	protos, err := s.parseProtocols()
 	if err != nil {
 		return nil, err
@@ -271,12 +281,15 @@ func (s *Spec) runPacket() (*Outcome, error) {
 			ExtraDelay: f.ExtraDelayMs / 1000,
 		}
 	}
-	res, err := packetsim.Run(cfg, flows, s.duration())
+	tail := s.tail()
+	sub := &engine.PacketSpec{Cfg: cfg, Flows: flows, Duration: s.duration()}
+	st := metrics.NewStream(sub.Meta(), tail)
+	eres, err := engine.Run(ctx, engine.Spec{Substrate: sub, Observers: []engine.Observer{st}})
 	if err != nil {
 		return nil, err
 	}
+	res := eres.Packet
 
-	tail := s.tail()
 	out := &Outcome{Name: s.Name, Model: s.Model, Summary: map[string]float64{}}
 	var goodputs []float64
 	total := 0.0
@@ -286,20 +299,20 @@ func (s *Spec) runPacket() (*Outcome, error) {
 		total += g
 		out.Flows = append(out.Flows, FlowOutcome{
 			Protocol:  protos[i].Name(),
-			AvgWindow: stats.Mean(stats.Tail(res.Trace.Window(i), tail)),
+			AvgWindow: st.AvgWindow(i),
 			Goodput:   g,
 		})
 	}
 	fillShares(out.Flows, goodputs)
 	out.Summary["efficiency"] = total / cfg.Bandwidth
-	out.Summary["tail_loss"] = stats.Mean(stats.Tail(res.Trace.Loss(), tail))
+	out.Summary["tail_loss"] = stats.Mean(st.TailLoss())
 	out.Summary["jain_goodput"] = stats.JainIndex(goodputs)
 	base := 2 * cfg.PropDelay
-	out.Summary["latency_inflation"] = math.Max(0, stats.Mean(stats.Tail(res.Trace.RTT(), tail))/base-1)
+	out.Summary["latency_inflation"] = math.Max(0, stats.Mean(st.TailRTT())/base-1)
 	return out, nil
 }
 
-func (s *Spec) runMultilink() (*Outcome, error) {
+func (s *Spec) runMultilink(ctx context.Context) (*Outcome, error) {
 	protos, err := s.parseProtocols()
 	if err != nil {
 		return nil, err
@@ -324,11 +337,15 @@ func (s *Spec) runMultilink() (*Outcome, error) {
 	if s.StochasticLoss {
 		opts = append(opts, multilink.WithStochasticLoss(s.Seed))
 	}
-	net, err := multilink.New(links, flows, opts...)
+	// Per-flow and per-link tail summaries need the full recorded series.
+	eres, err := engine.Run(ctx, engine.Spec{
+		Substrate: &engine.NetSpec{Links: links, Flows: flows, Opts: opts, Steps: s.steps()},
+		Record:    true,
+	})
 	if err != nil {
 		return nil, err
 	}
-	res := net.Run(s.steps())
+	res := eres.Net
 
 	tail := s.tail()
 	out := &Outcome{Name: s.Name, Model: s.Model, Summary: map[string]float64{}}

@@ -260,3 +260,82 @@ func GeoMean(xs []float64) float64 {
 	}
 	return math.Exp(sum / float64(len(xs)))
 }
+
+// Ring is a fixed-capacity keep-last buffer of float64 samples. Streaming
+// observers use it to retain exactly the tail of a series whose total
+// length is only approximately known up front: push every sample, then
+// extract the last k. Pushing to a zero-capacity ring only counts.
+type Ring struct {
+	buf   []float64
+	next  int // write position
+	count int // total samples pushed
+}
+
+// NewRing returns a ring retaining the last capacity samples.
+func NewRing(capacity int) *Ring {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Ring{buf: make([]float64, capacity)}
+}
+
+// Push appends one sample, evicting the oldest retained sample when full.
+func (r *Ring) Push(v float64) {
+	if len(r.buf) > 0 {
+		r.buf[r.next] = v
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+		}
+	}
+	r.count++
+}
+
+// Count returns the total number of samples pushed.
+func (r *Ring) Count() int { return r.count }
+
+// Last returns a fresh slice of the most recent k samples in push order.
+// k is clamped to the number of samples still retained.
+func (r *Ring) Last(k int) []float64 {
+	retained := r.count
+	if retained > len(r.buf) {
+		retained = len(r.buf)
+	}
+	if k > retained {
+		k = retained
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]float64, k)
+	start := r.next - k
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < k; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// TailLen returns the length of the f-tail of a series with n samples,
+// mirroring Tail's start index int(f·n) (clamped to keep one sample).
+func TailLen(n int, f float64) int {
+	if n == 0 {
+		return 0
+	}
+	start := int(f * float64(n))
+	if start >= n {
+		start = n - 1
+	}
+	if start < 0 {
+		start = 0
+	}
+	return n - start
+}
+
+// LastTail returns the f-tail of the pushed series, identical to
+// Tail(series, f) as long as the ring's capacity covered it.
+func (r *Ring) LastTail(f float64) []float64 {
+	return r.Last(TailLen(r.count, f))
+}
