@@ -16,11 +16,15 @@ package axiomcc_test
 //	BenchmarkFluidStep / BenchmarkPacketSimSecond   raw simulator cost
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"runtime"
 	"testing"
 
 	axiomcc "repro"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 var benchOpt = axiomcc.MetricOptions{Steps: 1500}
@@ -352,6 +356,8 @@ func BenchmarkSweep(b *testing.B) {
 		}
 		return reno / strongest, nil
 	}
+	var serialNsOp, engineNsOp int64
+	var serialMean, engineMean float64
 	b.Run("serial-recorded", func(b *testing.B) {
 		b.ReportAllocs()
 		var mean float64
@@ -374,6 +380,7 @@ func BenchmarkSweep(b *testing.B) {
 			mean = sum / float64(cells)
 		}
 		b.ReportMetric(mean, "mean-improvement")
+		serialNsOp, serialMean = b.Elapsed().Nanoseconds()/int64(b.N), mean
 	})
 	b.Run("engine-streaming", func(b *testing.B) {
 		b.ReportAllocs()
@@ -386,7 +393,50 @@ func BenchmarkSweep(b *testing.B) {
 			}
 		}
 		b.ReportMetric(res.MeanImprovement, "mean-improvement")
+		engineNsOp, engineMean = b.Elapsed().Nanoseconds()/int64(b.N), res.MeanImprovement
 	})
+	// The baseline record CI archives: same grid through both code paths,
+	// so a regression in either the engine layer or the obs hooks (which
+	// are disabled here and must stay free) shows up as a ratio shift.
+	rec := benchSweepRecord{
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		MaxProcs:        runtime.GOMAXPROCS(0),
+		SerialNsPerOp:   serialNsOp,
+		EngineNsPerOp:   engineNsOp,
+		SerialMean:      serialMean,
+		EngineMean:      engineMean,
+		ObsEnabled:      obs.Enabled(),
+		MeanImprovement: engineMean,
+	}
+	if serialNsOp > 0 && engineNsOp > 0 {
+		rec.Speedup = float64(serialNsOp) / float64(engineNsOp)
+	}
+	raw, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sweep.json", append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_sweep.json (speedup %.2fx)", rec.Speedup)
+}
+
+// benchSweepRecord is the schema of BENCH_sweep.json, the sweep perf
+// baseline BenchmarkSweep writes (and CI uploads as an artifact).
+type benchSweepRecord struct {
+	GoVersion       string  `json:"go_version"`
+	GOOS            string  `json:"os"`
+	GOARCH          string  `json:"arch"`
+	MaxProcs        int     `json:"max_procs"`
+	SerialNsPerOp   int64   `json:"serial_ns_per_op"`
+	EngineNsPerOp   int64   `json:"engine_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	SerialMean      float64 `json:"serial_mean_improvement"`
+	EngineMean      float64 `json:"engine_mean_improvement"`
+	ObsEnabled      bool    `json:"obs_enabled"`
+	MeanImprovement float64 `json:"mean_improvement"`
 }
 
 // BenchmarkMultilinkStep measures the raw cost of one network step on a

@@ -17,7 +17,12 @@ import (
 
 	axiomcc "repro"
 	"repro/internal/axcheck"
+	"repro/internal/obs"
 )
+
+// obsStop flushes profiles and the run manifest; the exiting paths invoke
+// it so the FALSIFIED exit still leaves valid artifacts. Idempotent.
+var obsStop func() error
 
 var claims = map[string]axcheck.Claim{
 	"efficient":     axcheck.Efficient,
@@ -41,7 +46,20 @@ func main() {
 		seed   = flag.Uint64("seed", 0, "search seed")
 		slack  = flag.Float64("slack", 0.02, "violation tolerance")
 	)
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := ofl.Start("axcheck")
+	if err != nil {
+		fatal(err)
+	}
+	obsStop = stop
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "axcheck:", err)
+		}
+	}()
+	obs.RecordSeed(*seed)
 
 	p, err := axiomcc.ParseProtocol(*spec)
 	if err != nil {
@@ -65,6 +83,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	obs.RecordScore("worst_measurement", res.Worst)
 
 	fmt.Printf("claim: %s is %.4g-%s on a %.0f Mbps / %.0f ms / %.0f MSS link (%d senders)\n",
 		p.Name(), *alpha, cl, *mbps, *rttMS, *buffer, *n)
@@ -72,6 +91,7 @@ func main() {
 		res.Trials, res.Worst, res.WorstInit)
 	if res.Violated {
 		fmt.Printf("verdict: FALSIFIED — %s\n", res.Witness)
+		stop()
 		os.Exit(1)
 	}
 	fmt.Println("verdict: survived (not proven — no counterexample found)")
@@ -79,5 +99,8 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "axcheck:", err)
+	if obsStop != nil {
+		obsStop()
+	}
 	os.Exit(2)
 }

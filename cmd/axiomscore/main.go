@@ -19,7 +19,12 @@ import (
 
 	axiomcc "repro"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
+
+// obsStop flushes profiles and the run manifest; fatal invokes it so
+// error exits still leave valid artifacts behind. Idempotent.
+var obsStop func() error
 
 func main() {
 	var (
@@ -31,7 +36,19 @@ func main() {
 		steps   = flag.Int("steps", 4000, "simulation horizon in RTT steps")
 		workers = flag.Int("workers", 0, "parallel workers for the per-metric init sweeps (0 = GOMAXPROCS)")
 	)
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := ofl.Start("axiomscore")
+	if err != nil {
+		fatal(err)
+	}
+	obsStop = stop
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "axiomscore:", err)
+		}
+	}()
 
 	p, err := axiomcc.ParseProtocol(*spec)
 	if err != nil {
@@ -52,6 +69,18 @@ func main() {
 	scores, err := axiomcc.Characterize(cfg, p, *n, axiomcc.MetricOptions{Steps: *steps, Workers: *workers})
 	if err != nil {
 		fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"efficiency":        scores.Efficiency,
+		"fast_utilization":  scores.FastUtilization,
+		"loss_avoidance":    scores.LossAvoidance,
+		"fairness":          scores.Fairness,
+		"convergence":       scores.Convergence,
+		"robustness":        scores.Robustness,
+		"tcp_friendliness":  scores.TCPFriendliness,
+		"latency_avoidance": scores.LatencyAvoidance,
+	} {
+		obs.RecordScore(name, v)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
@@ -96,5 +125,8 @@ func num(v float64) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "axiomscore:", err)
+	if obsStop != nil {
+		obsStop()
+	}
 	os.Exit(1)
 }

@@ -18,10 +18,15 @@ import (
 
 	axiomcc "repro"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/svgplot"
 	"repro/internal/trace"
 )
+
+// obsStop flushes profiles and the run manifest; fatal invokes it so
+// error exits still leave valid artifacts behind. Idempotent.
+var obsStop func() error
 
 func main() {
 	var (
@@ -44,7 +49,20 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "with -scenario: emit the outcome as JSON")
 		workers    = flag.Int("workers", 0, "with -scenario: parallel workers across scenario files (0 = GOMAXPROCS)")
 	)
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := ofl.Start("axiomsim")
+	if err != nil {
+		fatal(err)
+	}
+	obsStop = stop
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "axiomsim:", err)
+		}
+	}()
+	obs.RecordSeed(*seed)
 
 	if *scenarioF != "" {
 		runScenarios(strings.Split(*scenarioF, ","), *jsonOut, *workers)
@@ -86,10 +104,25 @@ func main() {
 		if *lossRate > 0 {
 			cfg.Loss = axiomcc.NewConstantLoss(*lossRate)
 		}
-		tr, err := axiomcc.RunMixed(cfg, protos, inits, *steps)
+		// Even a single run goes through the sweep orchestrator as a
+		// 1-cell grid: the trace is bit-identical to RunMixed, and with
+		// observability engaged the run record picks up the cell latency
+		// histogram and worker-pool stats.
+		trs, err := axiomcc.EngineSweep(context.Background(), 1, axiomcc.SweepConfig{BaseSeed: *seed},
+			func(ctx context.Context, _ int, _ uint64) (*trace.Trace, error) {
+				res, err := axiomcc.EngineRun(ctx, axiomcc.EngineSpec{
+					Substrate: &axiomcc.EngineFluidSpec{Cfg: cfg, Senders: axiomcc.MixedSenders(protos, inits), Steps: *steps},
+					Record:    true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return res.Trace, nil
+			})
 		if err != nil {
 			fatal(err)
 		}
+		tr := trs[0]
 		if *tsv {
 			if err := tr.WriteTSV(os.Stdout); err != nil {
 				fatal(err)
@@ -131,10 +164,21 @@ func main() {
 			}
 			flows[i] = axiomcc.PacketFlow{Proto: p, Init: init}
 		}
-		res, err := axiomcc.RunPacketLevel(cfg, flows, *duration)
+		ress, err := axiomcc.EngineSweep(context.Background(), 1, axiomcc.SweepConfig{BaseSeed: *seed},
+			func(ctx context.Context, _ int, _ uint64) (*axiomcc.PacketResult, error) {
+				eres, err := axiomcc.EngineRun(ctx, axiomcc.EngineSpec{
+					Substrate: &axiomcc.EnginePacketSpec{Cfg: cfg, Flows: flows, Duration: *duration},
+					Record:    true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return eres.Packet, nil
+			})
 		if err != nil {
 			fatal(err)
 		}
+		res := ress[0]
 		if *tsv {
 			if err := res.Trace.WriteTSV(os.Stdout); err != nil {
 				fatal(err)
@@ -292,5 +336,8 @@ func writeWindowSVG(path string, tr *trace.Trace, protos []axiomcc.Protocol) err
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "axiomsim:", err)
+	if obsStop != nil {
+		obsStop()
+	}
 	os.Exit(1)
 }

@@ -21,8 +21,13 @@ import (
 
 	axiomcc "repro"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/svgplot"
 )
+
+// obsStop flushes profiles and the run manifest; fatal invokes it so
+// error exits still leave valid artifacts behind. Idempotent.
+var obsStop func() error
 
 func main() {
 	var (
@@ -38,7 +43,19 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel workers for -check cells (0 = GOMAXPROCS)")
 		svgPath = flag.String("svg", "", "with -surface: also write a friendliness heatmap SVG to this file")
 	)
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := ofl.Start("paretoexplore")
+	if err != nil {
+		fatal(err)
+	}
+	obsStop = stop
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "paretoexplore:", err)
+		}
+	}()
 
 	did := false
 	if *surface {
@@ -100,6 +117,7 @@ func main() {
 	}
 	if !did {
 		flag.Usage()
+		stop()
 		os.Exit(2)
 	}
 }
@@ -151,5 +169,8 @@ func parseTriple(s string) ([3]float64, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "paretoexplore:", err)
+	if obsStop != nil {
+		obsStop()
+	}
 	os.Exit(1)
 }

@@ -24,8 +24,13 @@ import (
 
 	axiomcc "repro"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
+
+// obsStop flushes profiles and the run manifest; the error paths invoke
+// it so failed reproductions still leave valid artifacts. Idempotent.
+var obsStop func() error
 
 func main() {
 	var (
@@ -38,12 +43,27 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "seed for randomized components")
 		workers   = flag.Int("workers", 0, "parallel workers for sweep grids (0 = GOMAXPROCS)")
 	)
+	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stop, err := ofl.Start("reproduce")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+	obsStop = stop
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+		}
+	}()
+	obs.RecordSeed(*seed)
 
 	if *reportDir != "" {
 		path, err := report.Write(*reportDir, report.Config{Quick: *quick, Seed: *seed}, time.Now())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			obsStop()
 			os.Exit(1)
 		}
 		fmt.Println("wrote", path)
@@ -58,6 +78,7 @@ func main() {
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", id, err)
+			obsStop()
 			os.Exit(1)
 		}
 		fmt.Printf("---- %s done in %v ----\n\n", id, time.Since(start).Round(time.Millisecond))

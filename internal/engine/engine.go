@@ -20,8 +20,10 @@ package engine
 import (
 	"context"
 	"errors"
+	"time"
 
 	"repro/internal/multilink"
+	"repro/internal/obs"
 	"repro/internal/packetsim"
 	"repro/internal/trace"
 )
@@ -97,11 +99,43 @@ type Result struct {
 }
 
 // Run executes the spec. It returns ctx.Err() soon after ctx is done.
+//
+// With observability enabled (internal/obs), Run times the whole
+// substrate execution and feeds per-kind run counts, step totals, and
+// wall-time histograms into the metrics registry; disabled, the only
+// added cost is one atomic load per run.
 func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Substrate == nil {
 		return nil, errors.New("engine: spec has no substrate")
 	}
-	return spec.Substrate.run(ctx, spec)
+	if !obs.Enabled() {
+		return spec.Substrate.run(ctx, spec)
+	}
+	kind := substrateKind(spec.Substrate)
+	start := time.Now()
+	res, err := spec.Substrate.run(ctx, spec)
+	obs.GetHistogram("engine.run.duration." + kind).Observe(time.Since(start))
+	if err != nil {
+		obs.GetCounter("engine.runs.failed." + kind).Inc()
+		return res, err
+	}
+	obs.GetCounter("engine.runs." + kind).Inc()
+	obs.GetCounter("engine.steps." + kind).Add(uint64(res.Steps))
+	return res, nil
+}
+
+// substrateKind names the substrate for per-kind telemetry.
+func substrateKind(s Substrate) string {
+	switch s.(type) {
+	case *FluidSpec:
+		return "fluid"
+	case *PacketSpec:
+		return "packet"
+	case *NetSpec:
+		return "net"
+	default:
+		return "other"
+	}
 }
 
 // emit fans one step out to every observer.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fluid"
 	"repro/internal/multilink"
+	"repro/internal/obs"
 	"repro/internal/packetsim"
 	"repro/internal/protocol"
 	"repro/internal/trace"
@@ -298,5 +299,44 @@ func TestMeta(t *testing.T) {
 	nm := (&NetSpec{Links: nl, Flows: nf, Steps: 77}).Meta()
 	if nm.Flows != 3 || nm.Horizon != 77 {
 		t.Fatalf("net meta = %+v", nm)
+	}
+}
+
+// TestRunTelemetry: with obs enabled, Run records per-kind run counts,
+// step totals and a wall-time histogram; disabled, it records nothing.
+func TestRunTelemetry(t *testing.T) {
+	obs.Disable()
+	obs.Reset()
+	run := func() {
+		s, err := fluid.HomogeneousSenders(protocol.Reno(), 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(context.Background(), Spec{
+			Substrate: &FluidSpec{Cfg: fluidCfg(), Senders: s, Steps: 200},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if s := obs.TakeSnapshot(); len(s.Counters)+len(s.Histograms) != 0 {
+		t.Fatalf("disabled Run recorded metrics: %+v", s)
+	}
+
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	run()
+	s := obs.TakeSnapshot()
+	if s.Counters["engine.runs.fluid"] != 1 {
+		t.Fatalf("fluid runs = %d, want 1", s.Counters["engine.runs.fluid"])
+	}
+	if s.Counters["engine.steps.fluid"] != 200 {
+		t.Fatalf("fluid steps = %d, want 200", s.Counters["engine.steps.fluid"])
+	}
+	if s.Histograms["engine.run.duration.fluid"].Count != 1 {
+		t.Fatalf("duration histogram = %+v", s.Histograms["engine.run.duration.fluid"])
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestSweepDeterministic: results (including per-cell seeds) are identical
@@ -103,6 +105,121 @@ func TestSweepProgress(t *testing.T) {
 		if c != (i+1)*1000+n {
 			t.Fatalf("call %d = done %d/total %d, want %d/%d", i, c/1000, c%1000, i+1, n)
 		}
+	}
+}
+
+// TestSweepProgressCountsFailedCells: a cell that returns an error still
+// counts as a completion — regression test for the undercount where
+// cfg.Progress was skipped on error, so failing grids reported done <
+// cells actually executed.
+func TestSweepProgressCountsFailedCells(t *testing.T) {
+	boom := errors.New("boom")
+	var calls []int
+	_, err := Sweep(context.Background(), 10, SweepConfig{
+		Workers:  1, // serial: exactly cells 0..3 run, 3 fails, 4.. never start
+		Progress: func(done, total int) { calls = append(calls, done) },
+	}, func(_ context.Context, i int, _ uint64) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(calls) != 4 {
+		t.Fatalf("progress calls = %v, want the failing cell counted (4 calls)", calls)
+	}
+	for i, done := range calls {
+		if done != i+1 {
+			t.Fatalf("call %d reported done=%d, want %d", i, done, i+1)
+		}
+	}
+}
+
+// TestCellSeedNoCollisions1e5: the SplitMix64 derivation yields no
+// duplicate seeds across a 100 000-cell grid, for several bases at once
+// (within one base this is guaranteed — base + φ·(i+1) and the finalizer
+// are both bijections — so a duplicate means the implementation broke).
+func TestCellSeedNoCollisions1e5(t *testing.T) {
+	const cells = 100_000
+	bases := []uint64{0, 1, 42, 1 << 63}
+	seen := make(map[uint64]struct{}, cells*len(bases))
+	for _, base := range bases {
+		for i := 0; i < cells; i++ {
+			s := CellSeed(base, i)
+			if _, dup := seen[s]; dup {
+				t.Fatalf("duplicate seed %#x at base=%d i=%d", s, base, i)
+			}
+			seen[s] = struct{}{}
+		}
+	}
+}
+
+// TestSweepTelemetry: with obs enabled, a sweep records per-cell latency
+// and completion/failure counters; disabled, it records nothing.
+func TestSweepTelemetry(t *testing.T) {
+	obs.Disable()
+	obs.Reset()
+	run := func(n, failAt int) {
+		Sweep(context.Background(), n, SweepConfig{Workers: 2},
+			func(_ context.Context, i int, _ uint64) (int, error) {
+				if i == failAt {
+					return 0, errors.New("boom")
+				}
+				return i, nil
+			})
+	}
+	run(8, -1)
+	if s := obs.TakeSnapshot(); len(s.Counters)+len(s.Histograms) != 0 {
+		t.Fatalf("disabled sweep recorded metrics: %+v", s)
+	}
+
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	run(8, -1)
+	run(4, 0)
+	s := obs.TakeSnapshot()
+	if got := s.Counters["engine.sweep.cells.completed"]; got < 8 {
+		t.Fatalf("completed = %d, want ≥ 8", got)
+	}
+	if got := s.Counters["engine.sweep.cells.failed"]; got < 1 {
+		t.Fatalf("failed = %d, want ≥ 1", got)
+	}
+	if got := s.Counters["engine.sweep.grids"]; got != 2 {
+		t.Fatalf("grids = %d, want 2", got)
+	}
+	h := s.Histograms["engine.sweep.cell.duration"]
+	if h.Count < 9 {
+		t.Fatalf("cell latency histogram count = %d, want ≥ 9", h.Count)
+	}
+	if got := s.Counters["parallel.items.ok"]; got < 8 {
+		t.Fatalf("parallel ok items = %d, want ≥ 8", got)
+	}
+	util, ok := s.Gauges["parallel.worker.utilization"]
+	if !ok || util <= 0 || util > 1 {
+		t.Fatalf("worker utilization = %v (present=%v), want in (0,1]", util, ok)
+	}
+}
+
+// TestSweepGlobalProgressSink: the obs-installed sink (the -progress
+// flag) is chained in front of cfg.Progress.
+func TestSweepGlobalProgressSink(t *testing.T) {
+	var sink, local atomic.Int64
+	obs.SetSweepProgress(func(done, total int) { sink.Add(1) })
+	defer obs.SetSweepProgress(nil)
+	_, err := Sweep(context.Background(), 6, SweepConfig{
+		Workers:  2,
+		Progress: func(done, total int) { local.Add(1) },
+	}, func(_ context.Context, i int, _ uint64) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Load() != 6 || local.Load() != 6 {
+		t.Fatalf("sink saw %d, local saw %d, want 6 each", sink.Load(), local.Load())
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/axioms"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/protocol"
 )
@@ -55,6 +56,7 @@ type Figure1Check struct {
 // pool; each cell's inner init-config runs stay serial to avoid
 // oversubscription).
 func Figure1SpotChecks(pairs [][2]float64, opt metrics.Options) ([]Figure1Check, error) {
+	defer obs.StartPhase("figure1-checks")()
 	cellOpt := opt
 	cellOpt.Workers = 1
 	return engine.Sweep(context.Background(), len(pairs), engine.SweepConfig{Workers: opt.Workers},

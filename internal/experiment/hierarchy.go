@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packetsim"
 	"repro/internal/protocol"
 	"repro/internal/stats"
@@ -95,6 +96,7 @@ type HierarchyResult struct {
 
 // Hierarchy runs the §5.1 validation sweep.
 func Hierarchy(hc HierarchyConfig) (*HierarchyResult, error) {
+	defer obs.StartPhase("hierarchy")()
 	hc = hc.withDefaults()
 	theory := TheoryOrderings()
 	agreeCount := map[string]int{}

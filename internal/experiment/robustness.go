@@ -10,6 +10,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/metrics"
 	"repro/internal/multilink"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/stats"
 )
@@ -37,6 +38,7 @@ type RobustnessEntry struct {
 // and TFRC) on Metric VI: Table 1's claim is that every family scores 0
 // except Robust-AIMD, which scores its ε, while PCC tolerates ≈ 1/(1+δ).
 func RobustnessSweep(opt metrics.Options) ([]RobustnessEntry, error) {
+	defer obs.StartPhase("robustness")()
 	protos := []protocol.Protocol{
 		protocol.Reno(),
 		protocol.Scalable(),
@@ -110,6 +112,7 @@ type ParkingLotEntry struct {
 // ParkingLotExperiment sweeps parking-lot sizes for the §6 network-wide
 // extension: the long flow's share decays with hop count.
 func ParkingLotExperiment(hops []int, steps int, seed uint64) ([]ParkingLotEntry, error) {
+	defer obs.StartPhase("parking-lot")()
 	if len(hops) == 0 {
 		hops = []int{1, 2, 3, 4}
 	}

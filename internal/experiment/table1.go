@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -83,6 +84,7 @@ type ProtocolScores struct {
 // validation the paper summarizes in §5.1 ("the same hierarchy over
 // protocols as induced by the theoretical results").
 func Table1Empirical(cfg fluid.Config, n int, opt metrics.Options) ([]ProtocolScores, error) {
+	defer obs.StartPhase("table1-sim")()
 	lp := LinkParams(cfg, n)
 	protos := Table1Protocols()
 	cellOpt := opt

@@ -8,6 +8,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/packetsim"
 	"repro/internal/protocol"
 	"repro/internal/stats"
@@ -124,6 +125,7 @@ func cellFriendliness(ctx context.Context, cfg packetsim.Config, p protocol.Prot
 
 // Table2 reproduces the paper's Table 2 on the packet-level testbed.
 func Table2(tc Table2Config) (*Table2Result, error) {
+	defer obs.StartPhase("table2")()
 	tc = tc.withDefaults()
 	raimd := protocol.NewRobustAIMD(1, 0.8, 0.01)
 	pcc := protocol.DefaultPCC()
@@ -176,6 +178,8 @@ func Table2(tc Table2Config) (*Table2Result, error) {
 		}
 	}
 	result.MeanImprovement = stats.Mean(improvements)
+	obs.RecordScore("table2.mean_improvement", result.MeanImprovement)
+	obs.RecordScore("table2.min_improvement", result.MinImprovement)
 	return result, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -47,6 +48,7 @@ type Claim1Evidence struct {
 // run streams through the engine: no trace is materialized — the tail
 // observers retain exactly the half of the run the scores need.
 func CheckClaim1(opt metrics.Options) (*Claim1Evidence, error) {
+	defer obs.StartPhase("claim1")()
 	if opt.Steps == 0 {
 		opt.Steps = 3000
 	}
@@ -83,6 +85,7 @@ type Theorem1Check struct {
 // CheckTheorem1 sweeps a family of fast-utilizing protocols and verifies
 // the implication. tol absorbs estimation noise (default 0.05).
 func CheckTheorem1(opt metrics.Options, tol float64) ([]Theorem1Check, error) {
+	defer obs.StartPhase("theorem1")()
 	if tol == 0 {
 		tol = 0.05
 	}
@@ -138,6 +141,7 @@ type Theorem2Check struct {
 // AIMD(a, b) is exactly b-efficient, the regime in which the bound is
 // stated to be tight.
 func CheckTheorem2(pairs [][2]float64, opt metrics.Options, tol float64) ([]Theorem2Check, error) {
+	defer obs.StartPhase("theorem2")()
 	if tol == 0 {
 		tol = 0.15
 	}
@@ -190,6 +194,7 @@ type Theorem3Check struct {
 // CheckTheorem3 sweeps the paper's ε values (0.005, 0.007, 0.01 by
 // default).
 func CheckTheorem3(epsilons []float64, opt metrics.Options, tol float64) ([]Theorem3Check, error) {
+	defer obs.StartPhase("theorem3")()
 	if tol == 0 {
 		tol = 0.02
 	}
@@ -270,6 +275,7 @@ type Theorem4Check struct {
 // protocols P against MIMD/AIMD protocols Q that are more aggressive than
 // Reno.
 func CheckTheorem4(opt metrics.Options, tol float64) ([]Theorem4Check, error) {
+	defer obs.StartPhase("theorem4")()
 	if tol == 0 {
 		tol = 0.1
 	}
@@ -335,6 +341,7 @@ type Theorem5Check struct {
 // CheckTheorem5 runs Reno (and Scalable) against the Vegas-style avoider
 // on a generously provisioned link.
 func CheckTheorem5(opt metrics.Options, starveThreshold float64) ([]Theorem5Check, error) {
+	defer obs.StartPhase("theorem5")()
 	if starveThreshold == 0 {
 		starveThreshold = 0.1
 	}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"sync"
+)
+
+// Flags is the shared observability flag set every cmd/* tool mounts:
+//
+//	-cpuprofile f   pprof CPU profile
+//	-memprofile f   pprof heap profile (written at stop)
+//	-exectrace f    runtime execution trace
+//	-progress       live sweep progress line on stderr
+//	-runrecord f    structured run manifest (JSON)
+//
+// Engaging any flag enables the metrics registry for the process, and a
+// run manifest is written on stop (to -runrecord's path, default
+// runrecord.json). Mount with RegisterFlags before flag.Parse, then
+// bracket the tool's work between Start and the returned stop func.
+type Flags struct {
+	CPUProfile    string
+	MemProfile    string
+	ExecTrace     string
+	Progress      bool
+	RunRecordPath string
+
+	fs       *flag.FlagSet
+	tool     string
+	cpuFile  *os.File
+	trcFile  *os.File
+	progLine *Progress
+	record   *RunRecord
+}
+
+// RegisterFlags mounts the shared observability flags on fs (typically
+// flag.CommandLine) and returns the holder to Start after parsing.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{fs: fs}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&f.ExecTrace, "exectrace", "", "write a runtime execution trace to this file")
+	fs.BoolVar(&f.Progress, "progress", false, "render a live sweep progress line on stderr")
+	fs.StringVar(&f.RunRecordPath, "runrecord", "", "write a structured run manifest (JSON) to this file; default runrecord.json when any other observability flag is set")
+	return f
+}
+
+// engaged reports whether any observability flag was set.
+func (f *Flags) engaged() bool {
+	return f.CPUProfile != "" || f.MemProfile != "" || f.ExecTrace != "" ||
+		f.Progress || f.RunRecordPath != ""
+}
+
+// Start enables observability per the parsed flags and returns the stop
+// func that flushes profiles and writes the run manifest. With no obs
+// flag engaged it is a no-op returning a no-op stop. stop is idempotent,
+// so callers can both defer it and invoke it explicitly before os.Exit.
+func (f *Flags) Start(tool string) (stop func() error, err error) {
+	if !f.engaged() {
+		return func() error { return nil }, nil
+	}
+	f.tool = tool
+	Enable()
+	f.record = BeginRecord(tool)
+	if f.fs != nil {
+		// Every flag value (set or default) goes into the manifest, so
+		// the exact invocation is reconstructible from the record alone.
+		f.fs.VisitAll(func(fl *flag.Flag) {
+			f.record.SetParam(fl.Name, fl.Value.String())
+		})
+	}
+	if f.CPUProfile != "" {
+		f.cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f.cpuFile); err != nil {
+			f.cpuFile.Close()
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+	}
+	if f.ExecTrace != "" {
+		f.trcFile, err = os.Create(f.ExecTrace)
+		if err != nil {
+			f.stopCPU()
+			return nil, fmt.Errorf("obs: -exectrace: %w", err)
+		}
+		if err := trace.Start(f.trcFile); err != nil {
+			f.stopCPU()
+			f.trcFile.Close()
+			return nil, fmt.Errorf("obs: -exectrace: %w", err)
+		}
+	}
+	if f.Progress {
+		f.progLine = NewProgress(os.Stderr, tool)
+		SetSweepProgress(f.progLine.Update)
+	}
+	Log().LogAttrs(context.Background(), slog.LevelDebug, "observability started",
+		slog.String("tool", tool), slog.Bool("progress", f.Progress),
+		slog.String("cpuprofile", f.CPUProfile))
+
+	var once sync.Once
+	stop = func() error {
+		var ferr error
+		once.Do(func() { ferr = f.stop() })
+		return ferr
+	}
+	return stop, nil
+}
+
+func (f *Flags) stopCPU() {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		f.cpuFile.Close()
+		f.cpuFile = nil
+	}
+}
+
+// stop flushes every engaged sink. It keeps going past individual
+// failures and returns the first error.
+func (f *Flags) stop() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if f.progLine != nil {
+		SetSweepProgress(nil)
+		f.progLine.Finish()
+	}
+	f.stopCPU()
+	if f.trcFile != nil {
+		trace.Stop()
+		keep(f.trcFile.Close())
+		f.trcFile = nil
+	}
+	if f.MemProfile != "" {
+		mf, err := os.Create(f.MemProfile)
+		if err != nil {
+			keep(fmt.Errorf("obs: -memprofile: %w", err))
+		} else {
+			runtime.GC() // materialize up-to-date allocation stats
+			keep(pprof.WriteHeapProfile(mf))
+			keep(mf.Close())
+		}
+	}
+	if f.record != nil {
+		f.record.Finish()
+		path := f.RunRecordPath
+		if path == "" {
+			path = "runrecord.json"
+		}
+		keep(f.record.WriteFile(path))
+		EndRecord()
+	}
+	Disable()
+	return firstErr
+}
+
+// Record returns the run record Start created (nil before Start or when
+// no obs flag was engaged). Tools use it to attach seeds and scores.
+func (f *Flags) Record() *RunRecord { return f.record }

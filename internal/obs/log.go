@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// logger is the package-level slog logger instrumented code writes to.
+// The default handler discards everything, so library code is silent
+// until a host program installs a handler.
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(io.Discard, nil)))
+}
+
+// SetLogHandler installs the handler behind Log. Passing nil restores
+// the silent default.
+func SetLogHandler(h slog.Handler) {
+	if h == nil {
+		logger.Store(slog.New(slog.NewTextHandler(io.Discard, nil)))
+		return
+	}
+	logger.Store(slog.New(h))
+}
+
+// Log returns the package logger. Safe for concurrent use; never nil.
+func Log() *slog.Logger { return logger.Load() }

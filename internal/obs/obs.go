@@ -1,0 +1,38 @@
+// Package obs is the repository's observability layer: a process-wide
+// metrics registry (counters, gauges, duration histograms) with a JSON
+// snapshot, a structured run manifest ("runrecord.json") that makes any
+// table or figure reproduction replayable, a live sweep progress line,
+// and the shared profiling flag set (-cpuprofile, -memprofile,
+// -exectrace, -progress, -runrecord) every cmd/* tool mounts.
+//
+// The layer is stdlib-only and off by default: library code records
+// nothing until Enable is called (the flag helper does it when any obs
+// flag is engaged), so instrumented hot paths pay one atomic load when
+// observability is disabled. Logging goes through a package-level
+// log/slog handler that discards by default — library code stays silent
+// unless a host installs a handler via SetLogHandler.
+//
+// Instrumentation lives where the work happens: internal/engine records
+// per-run wall time and steps per substrate kind plus per-sweep-cell
+// latency and completion counters; internal/parallel records worker
+// utilization and queue wait for its pools; internal/experiment brackets
+// every grid in a named phase. Snapshot gathers all of it for the run
+// manifest.
+package obs
+
+import "sync/atomic"
+
+var enabled atomic.Bool
+
+// Enable turns metric recording on process-wide. Instrumented code
+// checks Enabled before doing any timing work, so enabling mid-run
+// starts recording at the next run/sweep/pool boundary.
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric recording back off. Already-recorded values stay
+// in the registry until Reset.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether metric recording is on. It is a single atomic
+// load — cheap enough for per-run (not per-step) hot-path checks.
+func Enabled() bool { return enabled.Load() }

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgressLine(t *testing.T) {
+	var sb strings.Builder
+	p := NewProgress(&sb, "sweep")
+	p.Update(1, 4)
+	p.Update(2, 4) // throttled: within the repaint interval and not final
+	p.Update(4, 4) // final cell always repaints
+	p.Finish()
+	out := sb.String()
+	if !strings.Contains(out, "\rsweep 1/4 cells (25.0%)") {
+		t.Fatalf("first repaint missing: %q", out)
+	}
+	if strings.Contains(out, "2/4") {
+		t.Fatalf("throttled update was painted: %q", out)
+	}
+	if !strings.Contains(out, "4/4 cells (100.0%)") {
+		t.Fatalf("final repaint missing: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Finish did not terminate the line: %q", out)
+	}
+}
+
+func TestProgressFinishWithoutDraw(t *testing.T) {
+	var sb strings.Builder
+	NewProgress(&sb, "idle").Finish()
+	if sb.Len() != 0 {
+		t.Fatalf("Finish wrote %q with nothing drawn", sb.String())
+	}
+}
+
+func TestSweepProgressSink(t *testing.T) {
+	if SweepProgressFunc() != nil {
+		t.Fatal("sink non-nil before SetSweepProgress")
+	}
+	var got int
+	SetSweepProgress(func(done, total int) { got = done*100 + total })
+	defer SetSweepProgress(nil)
+	f := SweepProgressFunc()
+	if f == nil {
+		t.Fatal("sink nil after SetSweepProgress")
+	}
+	f(3, 8)
+	if got != 308 {
+		t.Fatalf("sink saw %d", got)
+	}
+	SetSweepProgress(nil)
+	if SweepProgressFunc() != nil {
+		t.Fatal("sink survived clear")
+	}
+}

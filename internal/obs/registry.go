@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value (zero before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets are the duration histogram's upper bounds: exponential
+// from 1 µs doubling to ~1.2 h, which covers everything from a
+// packet-sim tick to a full -exp all reproduction, plus a +Inf overflow.
+const histBuckets = 33
+
+func bucketBound(i int) time.Duration { return time.Microsecond << uint(i) }
+
+// Histogram accumulates durations into fixed exponential buckets and
+// tracks count/sum/min/max exactly. Observations take a mutex; callers
+// are expected to observe per cell or per run, not per simulation step.
+type Histogram struct {
+	mu       sync.Mutex
+	buckets  [histBuckets + 1]uint64 // last bucket is +Inf overflow
+	count    uint64
+	sum      time.Duration
+	min, max time.Duration
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(histBuckets, func(i int) bool { return d <= bucketBound(i) })
+	h.mu.Lock()
+	h.buckets[i]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// quantile estimates the q-quantile (0..1) from the bucket counts,
+// attributing each bucket's mass to its upper bound. Must hold h.mu.
+func (h *Histogram) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i]
+		if seen >= rank {
+			if i >= histBuckets {
+				return h.max
+			}
+			b := bucketBound(i)
+			if b > h.max {
+				return h.max
+			}
+			return b
+		}
+	}
+	return h.max
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot.
+type Bucket struct {
+	LESeconds float64 `json:"le_seconds"` // +Inf rendered as the observed max
+	Count     uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's JSON-exportable state. Quantiles
+// are bucket-resolution estimates (upper bounds); Min/Max/Sum are exact.
+type HistogramSnapshot struct {
+	Count       uint64   `json:"count"`
+	SumSeconds  float64  `json:"sum_seconds"`
+	MinSeconds  float64  `json:"min_seconds"`
+	MaxSeconds  float64  `json:"max_seconds"`
+	MeanSeconds float64  `json:"mean_seconds"`
+	P50Seconds  float64  `json:"p50_seconds"`
+	P90Seconds  float64  `json:"p90_seconds"`
+	P99Seconds  float64  `json:"p99_seconds"`
+	Buckets     []Bucket `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:      h.count,
+		SumSeconds: h.sum.Seconds(),
+		MinSeconds: h.min.Seconds(),
+		MaxSeconds: h.max.Seconds(),
+		P50Seconds: h.quantile(0.50).Seconds(),
+		P90Seconds: h.quantile(0.90).Seconds(),
+		P99Seconds: h.quantile(0.99).Seconds(),
+	}
+	if h.count > 0 {
+		s.MeanSeconds = h.sum.Seconds() / float64(h.count)
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		le := h.max.Seconds()
+		if i < histBuckets {
+			le = bucketBound(i).Seconds()
+		}
+		s.Buckets = append(s.Buckets, Bucket{LESeconds: le, Count: c})
+	}
+	return s
+}
+
+// registry is the process-wide named-metric store. Metrics are created
+// on first access and live for the life of the process; Reset zeroes
+// values but keeps identities, so cached pointers in instrumented
+// packages stay valid.
+var registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// GetCounter returns the named counter, creating it if needed.
+// Instrumented packages cache the pointer in a package variable.
+func GetCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.counters == nil {
+		registry.counters = map[string]*Counter{}
+	}
+	c := registry.counters[name]
+	if c == nil {
+		c = &Counter{}
+		registry.counters[name] = c
+	}
+	return c
+}
+
+// GetGauge returns the named gauge, creating it if needed.
+func GetGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = map[string]*Gauge{}
+	}
+	g := registry.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		registry.gauges[name] = g
+	}
+	return g
+}
+
+// GetHistogram returns the named duration histogram, creating it if
+// needed.
+func GetHistogram(name string) *Histogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.histograms == nil {
+		registry.histograms = map[string]*Histogram{}
+	}
+	h := registry.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		registry.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is the JSON-exportable state of every registered metric.
+// Metrics that never recorded anything are omitted.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// TakeSnapshot captures the current value of every metric.
+func TakeSnapshot() Snapshot {
+	registry.mu.RLock()
+	counters := make(map[string]*Counter, len(registry.counters))
+	for k, v := range registry.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(registry.gauges))
+	for k, v := range registry.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(registry.histograms))
+	for k, v := range registry.histograms {
+		histograms[k] = v
+	}
+	registry.mu.RUnlock()
+
+	var s Snapshot
+	for k, c := range counters {
+		if v := c.Value(); v != 0 {
+			if s.Counters == nil {
+				s.Counters = map[string]uint64{}
+			}
+			s.Counters[k] = v
+		}
+	}
+	for k, g := range gauges {
+		if v := g.Value(); v != 0 {
+			if s.Gauges == nil {
+				s.Gauges = map[string]float64{}
+			}
+			s.Gauges[k] = v
+		}
+	}
+	for k, h := range histograms {
+		if hs := h.snapshot(); hs.Count != 0 {
+			if s.Histograms == nil {
+				s.Histograms = map[string]HistogramSnapshot{}
+			}
+			s.Histograms[k] = hs
+		}
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// Reset zeroes every registered metric (identities are preserved).
+func Reset() {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range registry.histograms {
+		h.mu.Lock()
+		h.buckets = [histBuckets + 1]uint64{}
+		h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+		h.mu.Unlock()
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	Reset()
+	c := GetCounter("test.counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := GetCounter("test.counter"); again != c {
+		t.Fatal("GetCounter did not return the same counter")
+	}
+	g := GetGauge("test.gauge")
+	g.Set(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Fatalf("gauge = %v, want 0.75", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	Reset()
+	h := GetHistogram("test.hist")
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.MinSeconds != 0.001 || s.MaxSeconds != 0.1 {
+		t.Fatalf("min/max = %v/%v", s.MinSeconds, s.MaxSeconds)
+	}
+	// p50 lands in the 1 ms bucket (upper bound ≤ ~1 ms rounded up to a
+	// power-of-two microsecond bound), p99 in the 100 ms one.
+	if s.P50Seconds > 0.005 {
+		t.Fatalf("p50 = %v, want ≈1ms", s.P50Seconds)
+	}
+	if s.P99Seconds < 0.05 {
+		t.Fatalf("p99 = %v, want ≈100ms", s.P99Seconds)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("buckets = %+v, want 2 non-empty", s.Buckets)
+	}
+}
+
+func TestSnapshotOmitsIdleMetrics(t *testing.T) {
+	Reset()
+	GetCounter("idle.counter")
+	GetHistogram("idle.hist")
+	GetCounter("busy.counter").Inc()
+	s := TakeSnapshot()
+	if _, ok := s.Counters["idle.counter"]; ok {
+		t.Fatal("idle counter present in snapshot")
+	}
+	if _, ok := s.Histograms["idle.hist"]; ok {
+		t.Fatal("idle histogram present in snapshot")
+	}
+	if s.Counters["busy.counter"] != 1 {
+		t.Fatalf("busy counter = %d", s.Counters["busy.counter"])
+	}
+	raw, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+}
+
+func TestResetPreservesIdentity(t *testing.T) {
+	Reset()
+	c := GetCounter("reset.counter")
+	h := GetHistogram("reset.hist")
+	c.Add(3)
+	h.Observe(time.Second)
+	Reset()
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("values survived Reset: %d / %d", c.Value(), h.Count())
+	}
+	if GetCounter("reset.counter") != c || GetHistogram("reset.hist") != h {
+		t.Fatal("Reset changed metric identities")
+	}
+	c.Inc()
+	if GetCounter("reset.counter").Value() != 1 {
+		t.Fatal("cached pointer detached after Reset")
+	}
+}
+
+// TestConcurrentRecording exercises the registry under the race
+// detector.
+func TestConcurrentRecording(t *testing.T) {
+	Reset()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				GetCounter("conc.counter").Inc()
+				GetHistogram("conc.hist").Observe(time.Duration(i) * time.Microsecond)
+				GetGauge("conc.gauge").Set(float64(i))
+				if i%100 == 0 {
+					TakeSnapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := GetCounter("conc.counter").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := GetHistogram("conc.hist").Count(); got != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", got)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("enabled after Disable")
+	}
+	Enable()
+	if !Enabled() {
+		t.Fatal("disabled after Enable")
+	}
+	Disable()
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunRecordLifecycle(t *testing.T) {
+	Reset()
+	Enable()
+	defer Disable()
+	defer EndRecord()
+
+	r := BeginRecord("testtool")
+	if ActiveRecord() != r {
+		t.Fatal("BeginRecord did not install the active record")
+	}
+	r.SetParam("mbps", "20")
+	RecordSeed(42)
+	AddCells(8)
+	AddCells(4)
+	RecordScore("efficiency", 0.97)
+	done := StartPhase("grid")
+	time.Sleep(time.Millisecond)
+	done()
+	GetCounter("rr.cells").Add(12)
+	r.Finish()
+	r.Finish() // idempotent
+
+	if r.Tool != "testtool" || r.Version == "" || r.GoVersion == "" {
+		t.Fatalf("identity fields: %+v", r)
+	}
+	if r.BaseSeed != 42 || r.Cells != 12 {
+		t.Fatalf("seed/cells = %d/%d", r.BaseSeed, r.Cells)
+	}
+	if r.Scores["efficiency"] != 0.97 {
+		t.Fatalf("scores = %v", r.Scores)
+	}
+	if len(r.Phases) != 1 || r.Phases[0].Name != "grid" || r.Phases[0].DurationSeconds <= 0 {
+		t.Fatalf("phases = %+v", r.Phases)
+	}
+	if r.Metrics == nil || r.Metrics.Counters["rr.cells"] != 12 {
+		t.Fatalf("metrics snapshot = %+v", r.Metrics)
+	}
+	if r.Metrics.Histograms["phase.grid"].Count != 1 {
+		t.Fatalf("phase histogram missing: %+v", r.Metrics.Histograms)
+	}
+
+	path := filepath.Join(t.TempDir(), "runrecord.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunRecord
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("runrecord.json does not parse: %v", err)
+	}
+	if back.Tool != "testtool" || back.Params["mbps"] != "20" || back.Cells != 12 {
+		t.Fatalf("round trip lost fields: %+v", &back)
+	}
+}
+
+// Phase timing and score recording are no-ops without an active record
+// or enablement — library code must stay silent by default.
+func TestRecordHelpersInertWhenIdle(t *testing.T) {
+	Reset()
+	Disable()
+	EndRecord()
+	StartPhase("noop")()
+	RecordScore("x", 1)
+	RecordSeed(7)
+	AddCells(3)
+	if s := TakeSnapshot(); len(s.Histograms) != 0 {
+		t.Fatalf("idle StartPhase recorded metrics: %+v", s.Histograms)
+	}
+}
+
+func TestBuildVersionNonEmpty(t *testing.T) {
+	if buildVersion() == "" {
+		t.Fatal("buildVersion returned empty string")
+	}
+}

@@ -3,6 +3,13 @@
 // repository is deterministic and cell-independent, so grid sweeps
 // parallelize without affecting results; Map preserves input order and
 // fails fast on the first error.
+//
+// With observability enabled (internal/obs), each pool reports item
+// success/failure counts, a queue-wait histogram (time a worker spends
+// between finishing one item and starting the next, i.e. claim
+// contention plus drain), and a worker-utilization gauge
+// (Σ busy time / (workers × wall time)). Disabled, the instrumentation
+// costs one atomic load per MapCtx call and nothing per item.
 package parallel
 
 import (
@@ -10,6 +17,20 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// pool telemetry; pointers cached once, values recorded only while
+// obs is enabled.
+var (
+	poolItemsOK     = obs.GetCounter("parallel.items.ok")
+	poolItemsFailed = obs.GetCounter("parallel.items.failed")
+	poolQueueWait   = obs.GetHistogram("parallel.queue.wait")
+	poolUtilization = obs.GetGauge("parallel.worker.utilization")
+	poolRuns        = obs.GetCounter("parallel.pools")
 )
 
 // Map applies f to every item index in [0, n), using up to workers
@@ -40,17 +61,50 @@ func MapCtx[T any](ctx context.Context, n, workers int, f func(ctx context.Conte
 	if n == 0 {
 		return out, nil
 	}
+	instrumented := obs.Enabled()
+	var (
+		poolStart time.Time
+		busyNs    atomic.Int64
+	)
+	if instrumented {
+		poolRuns.Inc()
+		poolStart = time.Now()
+	}
+	finishPool := func() {
+		if !instrumented {
+			return
+		}
+		wall := time.Since(poolStart)
+		if wall > 0 {
+			poolUtilization.Set(float64(busyNs.Load()) / (float64(workers) * float64(wall.Nanoseconds())))
+		}
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				finishPool()
 				return nil, err
 			}
+			var itemStart time.Time
+			if instrumented {
+				itemStart = time.Now()
+			}
 			v, err := f(ctx, i)
+			if instrumented {
+				busyNs.Add(int64(time.Since(itemStart)))
+				if err != nil {
+					poolItemsFailed.Inc()
+				} else {
+					poolItemsOK.Inc()
+				}
+			}
 			if err != nil {
+				finishPool()
 				return nil, err
 			}
 			out[i] = v
 		}
+		finishPool()
 		return out, nil
 	}
 
@@ -81,12 +135,27 @@ func MapCtx[T any](ctx context.Context, n, workers int, f func(ctx context.Conte
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			idleSince := poolStart
 			for {
 				i := claim()
 				if i < 0 {
 					return
 				}
+				var itemStart time.Time
+				if instrumented {
+					itemStart = time.Now()
+					poolQueueWait.Observe(itemStart.Sub(idleSince))
+				}
 				v, err := f(ctx, i)
+				if instrumented {
+					idleSince = time.Now()
+					busyNs.Add(int64(idleSince.Sub(itemStart)))
+					if err != nil {
+						poolItemsFailed.Inc()
+					} else {
+						poolItemsOK.Inc()
+					}
+				}
 				if err != nil {
 					fail(fmt.Errorf("parallel: item %d: %w", i, err))
 					return
@@ -96,6 +165,7 @@ func MapCtx[T any](ctx context.Context, n, workers int, f func(ctx context.Conte
 		}()
 	}
 	wg.Wait()
+	finishPool()
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTable2ReportGolden renders a small fixed Table 2 section and
+// compares it byte-for-byte against testdata/table2_report.golden, so any
+// drift in the Markdown assembly, fencing, or the experiment's tabwriter
+// layout is caught. Regenerate with `go test ./internal/report -update`.
+func TestTable2ReportGolden(t *testing.T) {
+	res := &experiment.Table2Result{
+		Cells: []experiment.Table2Cell{
+			{N: 2, Mbps: 20, RAIMD: 0.912, PCC: 0.451, Improvement: 2.022},
+			{N: 2, Mbps: 60, RAIMD: 0.874, PCC: 0.512, Improvement: 1.707},
+			{N: 3, Mbps: 20, RAIMD: 0.933, PCC: 0.488, Improvement: 1.912},
+			{N: 3, Mbps: 60, RAIMD: 0.901, PCC: 0.423, Improvement: 2.130},
+		},
+		MeanImprovement: 1.943,
+		MinImprovement:  1.707,
+	}
+	sections := []Section{{
+		Title:   "Table 2 — Robust-AIMD vs PCC TCP-friendliness",
+		Comment: "Fixed fixture grid (no simulation): exercises rendering only.",
+		Body:    fence(res.Render()),
+	}}
+	got := Render(sections, time.Unix(0, 0).UTC())
+
+	golden := filepath.Join("testdata", "table2_report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered report drifted from %s (run with -update to accept):\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestFence verifies the code-fence helper normalizes trailing newlines.
+func TestFence(t *testing.T) {
+	for _, in := range []string{"a\tb", "a\tb\n", "a\tb\n\n"} {
+		if got, want := fence(in), "```\na\tb\n```\n"; got != want {
+			t.Errorf("fence(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
