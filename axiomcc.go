@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/axcheck"
 	"repro/internal/axioms"
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/game"
@@ -292,6 +293,53 @@ var (
 func EngineSweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, error) {
 	return engine.Sweep(ctx, n, cfg, cell)
 }
+
+// EngineSweepSettled is EngineSweep without fail-fast: every cell runs
+// (panics and timeouts included) and failures are reported per cell, so
+// one pathological grid point cannot abort a long sweep.
+func EngineSweepSettled[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, []error, error) {
+	return engine.SweepSettled(ctx, n, cfg, cell)
+}
+
+// ---- Deterministic fault injection (chaos schedules) ----
+
+type (
+	// ChaosSchedule is a deterministic, seed-derived fault-injection
+	// schedule: capacity shocks/ramps/flaps, bursty Gilbert–Elliott loss,
+	// RTT jitter and base-RTT steps, and flow churn. Attach one to an
+	// EngineSpec (Chaos + ChaosSeed) or to MetricOptions.
+	ChaosSchedule = chaos.Schedule
+	// ChaosEvent is one timed fault event of a ChaosSchedule.
+	ChaosEvent = chaos.Event
+	// ChaosInjector is a schedule compiled against a substrate shape.
+	ChaosInjector = chaos.Injector
+	// EngineHardening carries process-wide sweep-hardening defaults
+	// (per-cell timeout, retries, checkpoint/resume).
+	EngineHardening = engine.Hardening
+)
+
+var (
+	// ParseChaosSchedule decodes a schedule from JSON (unknown fields are
+	// rejected; events are validated and sorted).
+	ParseChaosSchedule = chaos.Parse
+	// LoadChaosSchedule reads a schedule from a file.
+	LoadChaosSchedule = chaos.LoadFile
+	// BurstyLossSchedule builds the Gilbert–Elliott bursty-loss preset.
+	BurstyLossSchedule = chaos.BurstyLoss
+	// FlappyLinkSchedule builds the periodically-flapping-link preset.
+	FlappyLinkSchedule = chaos.FlappyLink
+	// SetEngineHardening installs process-wide sweep-hardening defaults.
+	SetEngineHardening = engine.SetHardening
+	// RegisterSweepFlags mounts -cell-timeout/-retries/-checkpoint/-resume.
+	RegisterSweepFlags = engine.RegisterSweepFlags
+	// EngineCheckpointable opts a sweep config into the process-wide
+	// checkpoint default (the cell result type must round-trip JSON).
+	EngineCheckpointable = engine.Checkpointable
+	// ErrSimulationDiverged matches (errors.Is) the typed error the fluid
+	// stepper returns when a cell's windows blow up to NaN/Inf instead of
+	// silently poisoning axiom scores.
+	ErrSimulationDiverged = fluid.ErrDiverged
+)
 
 // ---- Axioms as empirical estimators (§3) ----
 

@@ -7,6 +7,7 @@
 //	axiomsim -protocols reno,reno -mbps 20 -buffer 100 -steps 4000
 //	axiomsim -model packet -protocols raimd:1,0.8,0.01,pcc -mbps 60 -duration 60
 //	axiomsim -protocols reno -loss 0.01 -infinite -steps 500 -tsv
+//	axiomsim -protocols reno,cubic -chaos scenarios/chaos/flappy-link.json
 package main
 
 import (
@@ -48,9 +49,12 @@ func main() {
 		scenarioF  = flag.String("scenario", "", "run JSON scenario file(s), comma-separated (see scenarios/), and ignore the other flags")
 		jsonOut    = flag.Bool("json", false, "with -scenario: emit the outcome as JSON")
 		workers    = flag.Int("workers", 0, "with -scenario: parallel workers across scenario files (0 = GOMAXPROCS)")
+		chaosPath  = flag.String("chaos", "", "fault-injection schedule (JSON file) applied to the run")
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
+	sfl := axiomcc.RegisterSweepFlags(flag.CommandLine)
 	flag.Parse()
+	sfl.Apply()
 
 	stop, err := ofl.Start("axiomsim")
 	if err != nil {
@@ -90,6 +94,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var chaosSched *axiomcc.ChaosSchedule
+	if *chaosPath != "" {
+		if chaosSched, err = axiomcc.LoadChaosSchedule(*chaosPath); err != nil {
+			fatal(err)
+		}
+	}
 
 	theta := *rttMS / 1000 / 2
 	switch *model {
@@ -113,6 +123,8 @@ func main() {
 				res, err := axiomcc.EngineRun(ctx, axiomcc.EngineSpec{
 					Substrate: &axiomcc.EngineFluidSpec{Cfg: cfg, Senders: axiomcc.MixedSenders(protos, inits), Steps: *steps},
 					Record:    true,
+					Chaos:     chaosSched,
+					ChaosSeed: *seed,
 				})
 				if err != nil {
 					return nil, err
@@ -169,6 +181,8 @@ func main() {
 				eres, err := axiomcc.EngineRun(ctx, axiomcc.EngineSpec{
 					Substrate: &axiomcc.EnginePacketSpec{Cfg: cfg, Flows: flows, Duration: *duration},
 					Record:    true,
+					Chaos:     chaosSched,
+					ChaosSeed: *seed,
 				})
 				if err != nil {
 					return nil, err

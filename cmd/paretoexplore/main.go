@@ -42,9 +42,13 @@ func main() {
 		steps   = flag.Int("steps", 3000, "simulation horizon for -check")
 		workers = flag.Int("workers", 0, "parallel workers for -check cells (0 = GOMAXPROCS)")
 		svgPath = flag.String("svg", "", "with -surface: also write a friendliness heatmap SVG to this file")
+		chaosP  = flag.String("chaos", "", "with -check: fault-injection schedule (JSON file) applied to the spot-check runs")
+		seed    = flag.Uint64("seed", 0, "with -chaos: seed for the schedule's randomized components")
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
+	sfl := axiomcc.RegisterSweepFlags(flag.CommandLine)
 	flag.Parse()
+	sfl.Apply()
 
 	stop, err := ofl.Start("paretoexplore")
 	if err != nil {
@@ -109,7 +113,16 @@ func main() {
 			}
 			pairs = append(pairs, [2]float64{a, b})
 		}
-		checks, err := experiment.Figure1SpotChecks(pairs, axiomcc.MetricOptions{Steps: *steps, Workers: *workers})
+		opt := axiomcc.MetricOptions{Steps: *steps, Workers: *workers}
+		if *chaosP != "" {
+			sched, err := axiomcc.LoadChaosSchedule(*chaosP)
+			if err != nil {
+				fatal(err)
+			}
+			opt.Chaos = sched
+			opt.ChaosSeed = *seed
+		}
+		checks, err := experiment.Figure1SpotChecks(pairs, opt)
 		if err != nil {
 			fatal(err)
 		}

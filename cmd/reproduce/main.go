@@ -10,10 +10,14 @@
 //	reproduce -exp claim1        Claim 1's probe demonstration
 //	reproduce -exp theorem1..5   executable checks of Theorems 1-5
 //	reproduce -exp robustness    Metric VI sweep (Table 1's robustness column)
+//	reproduce -exp robustness-chaos  Metric VI extended with bursty-loss and flappy-link columns
 //	reproduce -exp parkinglot    §6 network-wide extension (multilink parking lot)
 //	reproduce -exp all           everything above
 //
-// -quick shrinks grids and horizons for a fast smoke pass.
+// -quick shrinks grids and horizons for a fast smoke pass. -chaos applies
+// a fault-injection schedule (JSON, see EXPERIMENTS.md) to every
+// metric-estimator run; -cell-timeout, -retries, -checkpoint, and -resume
+// harden the sweep orchestrator.
 package main
 
 import (
@@ -42,9 +46,12 @@ func main() {
 		reportDir = flag.String("report", "", "write a full Markdown+SVG reproduction report into this directory and exit")
 		seed      = flag.Uint64("seed", 0, "seed for randomized components")
 		workers   = flag.Int("workers", 0, "parallel workers for sweep grids (0 = GOMAXPROCS)")
+		chaosPath = flag.String("chaos", "", "fault-injection schedule (JSON file) applied to metric runs")
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
+	sfl := axiomcc.RegisterSweepFlags(flag.CommandLine)
 	flag.Parse()
+	sfl.Apply()
 
 	stop, err := ofl.Start("reproduce")
 	if err != nil {
@@ -91,6 +98,16 @@ func main() {
 		dur = 20
 	}
 	opt := axiomcc.MetricOptions{Steps: steps, Workers: *workers}
+	if *chaosPath != "" {
+		sched, err := axiomcc.LoadChaosSchedule(*chaosPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			obsStop()
+			os.Exit(1)
+		}
+		opt.Chaos = sched
+		opt.ChaosSeed = *seed
+	}
 
 	run("table1", func() error {
 		cfg := experiment.FluidLink(*mbps, *buf)
@@ -219,6 +236,15 @@ func main() {
 			return err
 		}
 		fmt.Print(experiment.RenderRobustness(entries))
+		return nil
+	})
+
+	run("robustness-chaos", func() error {
+		entries, err := experiment.ChaosRobustnessSweep(opt, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderChaosRobustness(entries))
 		return nil
 	})
 

@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSchedule feeds arbitrary JSON through Parse → Compile → a sampling
+// of injector queries. The contract under test: events in any order with
+// any overlap either normalize into a valid schedule or return an error —
+// never a panic — and every injector answer stays finite and in range.
+func FuzzSchedule(f *testing.F) {
+	f.Add([]byte(`{"events":[{"kind":"ge-loss","at":0,"p_good_bad":0.02,"p_bad_good":0.3,"loss_bad":0.08,"flow":-1,"link":-1}]}`))
+	f.Add([]byte(`{"events":[{"kind":"link-flap","at":1200,"duration":60,"link":-1},{"kind":"link-flap","at":400,"duration":60,"link":-1}]}`))
+	f.Add([]byte(`{"events":[{"kind":"capacity-ramp","at":10,"duration":20,"scale":0.25,"link":0},{"kind":"capacity-scale","at":15,"duration":20,"scale":3,"link":0}]}`))
+	f.Add([]byte(`{"events":[{"kind":"rtt-jitter","at":0,"amplitude":0.004,"link":-1},{"kind":"base-rtt-step","at":30,"delta":-0.01,"link":-1}]}`))
+	f.Add([]byte(`{"events":[{"kind":"flow-arrive","at":5,"flow":1},{"kind":"flow-depart","at":3,"flow":0},{"kind":"flow-arrive","at":9,"flow":0}]}`))
+	f.Add([]byte(`{"events":[]}`))
+	f.Add([]byte(`{"events":[{"kind":"capacity-scale","at":9223372036854775807,"duration":9223372036854775807,"scale":2}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Anything Parse accepts must also survive a second Normalize
+		// (idempotent) and compile against a small substrate shape, or
+		// fail with an error — Compile rejects out-of-range targets.
+		if err := s.Normalize(); err != nil {
+			t.Fatalf("re-Normalize of parsed schedule failed: %v", err)
+		}
+		in, err := s.Compile(12345, 3, 2)
+		if err != nil {
+			return
+		}
+		for step := 0; step < 64; step++ {
+			for link := 0; link < 2; link++ {
+				sc := in.CapacityScale(step, link)
+				if !(sc >= FlapScale && sc <= maxScale) {
+					t.Fatalf("step %d link %d: capacity scale %v out of [%v, %v]", step, link, sc, FlapScale, float64(maxScale))
+				}
+				off := in.RTTOffset(step, link)
+				if math.IsNaN(off) || math.IsInf(off, 0) {
+					t.Fatalf("step %d link %d: RTT offset %v not finite", step, link, off)
+				}
+			}
+			for flow := 0; flow < 3; flow++ {
+				l := in.ExtraLoss(step, flow)
+				if !(l >= 0 && l < 1) {
+					t.Fatalf("step %d flow %d: extra loss %v out of [0, 1)", step, flow, l)
+				}
+				in.FlowActive(step, flow)
+			}
+		}
+	})
+}

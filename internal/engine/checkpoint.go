@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// sweepCheckpoint is the on-disk snapshot format: the sweep's identity
+// (BaseSeed + grid size) and one entry per completed cell. Each cell
+// carries its derived seed so a resume against a different derivation —
+// or a stale file from another grid — is rejected per cell rather than
+// silently replaying wrong results. Results are stored as raw JSON;
+// encoding/json renders float64 with the shortest round-trip
+// representation, so a restored cell is bit-identical to a recomputed
+// one.
+type sweepCheckpoint struct {
+	BaseSeed uint64           `json:"base_seed"`
+	N        int              `json:"n"`
+	Cells    []checkpointCell `json:"cells"`
+}
+
+type checkpointCell struct {
+	Index  int             `json:"index"`
+	Seed   uint64          `json:"seed"`
+	Result json.RawMessage `json:"result"`
+}
+
+// checkpointer accumulates completed-cell results and flushes them to
+// disk every `every` new completions (and once more at sweep end). All
+// methods are safe for concurrent workers.
+type checkpointer struct {
+	mu    sync.Mutex
+	path  string
+	every int
+	base  uint64
+	n     int
+	cells map[int]json.RawMessage
+	dirty int
+}
+
+// newCheckpointer builds the sweep's checkpointer, or nil when the
+// config names no checkpoint file. With Resume set it pre-loads every
+// matching cell from an existing snapshot; a missing, corrupt, or
+// mismatched (different BaseSeed or grid size) file is ignored and the
+// sweep starts cold.
+func newCheckpointer(cfg *SweepConfig, n int) *checkpointer {
+	if cfg.Checkpoint == "" {
+		return nil
+	}
+	ck := &checkpointer{
+		path:  cfg.Checkpoint,
+		every: cfg.CheckpointEvery,
+		base:  cfg.BaseSeed,
+		n:     n,
+		cells: make(map[int]json.RawMessage),
+	}
+	if ck.every <= 0 {
+		ck.every = 8
+	}
+	if cfg.Resume {
+		ck.load()
+	}
+	return ck
+}
+
+func (ck *checkpointer) load() {
+	data, err := os.ReadFile(ck.path)
+	if err != nil {
+		return
+	}
+	var snap sweepCheckpoint
+	if json.Unmarshal(data, &snap) != nil {
+		return
+	}
+	if snap.BaseSeed != ck.base || snap.N != ck.n {
+		return
+	}
+	for _, c := range snap.Cells {
+		if c.Index < 0 || c.Index >= ck.n || len(c.Result) == 0 {
+			continue
+		}
+		if CellSeed(ck.base, c.Index) != c.Seed {
+			continue
+		}
+		ck.cells[c.Index] = c.Result
+	}
+}
+
+// cached returns the stored raw result for cell i, if any.
+func (ck *checkpointer) cached(i int) (json.RawMessage, bool) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	raw, ok := ck.cells[i]
+	return raw, ok
+}
+
+// record stores a completed cell. Results that don't marshal (NaN/Inf
+// floats, channels, ...) are skipped: those cells simply recompute on
+// resume.
+func (ck *checkpointer) record(i int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if _, exists := ck.cells[i]; !exists {
+		ck.dirty++
+	}
+	ck.cells[i] = raw
+	if ck.dirty >= ck.every {
+		ck.flushLocked()
+		ck.dirty = 0
+	}
+}
+
+// flush writes the snapshot unconditionally (called at sweep end).
+func (ck *checkpointer) flush() {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.flushLocked()
+	ck.dirty = 0
+}
+
+// flushLocked serializes the snapshot and writes it atomically
+// (temp file + rename) so an interrupted sweep never leaves a torn
+// checkpoint behind. Write errors are deliberately swallowed: a failed
+// checkpoint must not fail an otherwise healthy sweep.
+func (ck *checkpointer) flushLocked() {
+	snap := sweepCheckpoint{BaseSeed: ck.base, N: ck.n}
+	snap.Cells = make([]checkpointCell, 0, len(ck.cells))
+	for i, raw := range ck.cells {
+		snap.Cells = append(snap.Cells, checkpointCell{Index: i, Seed: CellSeed(ck.base, i), Result: raw})
+	}
+	sort.Slice(snap.Cells, func(a, b int) bool { return snap.Cells[a].Index < snap.Cells[b].Index })
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(ck.path), ".checkpoint-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), ck.path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

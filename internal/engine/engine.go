@@ -22,6 +22,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/multilink"
 	"repro/internal/obs"
 	"repro/internal/packetsim"
@@ -85,6 +86,15 @@ type Spec struct {
 	// Observers receive every sample in order. All observers see the same
 	// Step value.
 	Observers []Observer
+	// Chaos, when non-nil, is a fault-injection schedule compiled against
+	// the substrate's shape (flows × links) and applied while it runs.
+	// The schedule value is read-only here, so one schedule can be shared
+	// by every cell of a sweep.
+	Chaos *chaos.Schedule
+	// ChaosSeed seeds the schedule's randomized components (Gilbert–
+	// Elliott chains, RTT jitter). Same schedule + same seed ⇒
+	// bit-identical perturbations.
+	ChaosSeed uint64
 }
 
 // Result is the outcome of a run. Exactly one of Trace/Packet/Net is

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"flag"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hardening is the process-wide default for the SweepConfig hardening
+// fields, so CLI tools can mount one flag set and have the sweeps in the
+// process honor it. CellTimeout and Retries apply to every sweep whose
+// config leaves them zero; the checkpoint fields apply only to sweeps
+// that opt in via Checkpointable (restore requires a JSON-faithful cell
+// result type, which the engine cannot verify generically).
+type Hardening struct {
+	// CellTimeout bounds each cell attempt (0 = none).
+	CellTimeout time.Duration
+	// Retries is the per-cell transient-failure retry budget.
+	Retries int
+	// Checkpoint is the snapshot file path. When more than one opted-in
+	// sweep runs in a process, the second and later sweeps write to an
+	// ordinal variant (foo.json → foo.2.json) so they don't clobber each
+	// other.
+	Checkpoint string
+	// Resume loads the checkpoint before sweeping.
+	Resume bool
+}
+
+var (
+	hardeningMu  sync.Mutex
+	hardening    Hardening
+	checkpointed atomic.Int64 // sweeps that adopted the default checkpoint path
+)
+
+// SetHardening installs the process-wide defaults and resets the
+// checkpoint-path ordinal.
+func SetHardening(h Hardening) {
+	hardeningMu.Lock()
+	hardening = h
+	hardeningMu.Unlock()
+	checkpointed.Store(0)
+}
+
+// applyHardening fills zero-valued timeout/retry fields of cfg from the
+// process-wide defaults. The checkpoint default is deliberately NOT
+// applied here: restore requires the cell result type to round-trip
+// encoding/json faithfully (a type with unexported fields marshals as
+// "{}" and would silently restore empty), and the engine cannot verify
+// that generically — sweeps opt in via Checkpointable.
+func applyHardening(cfg *SweepConfig) {
+	hardeningMu.Lock()
+	h := hardening
+	hardeningMu.Unlock()
+	if cfg.CellTimeout == 0 {
+		cfg.CellTimeout = h.CellTimeout
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = h.Retries
+	}
+}
+
+// Checkpointable returns cfg with the process-wide checkpoint defaults
+// applied (explicit per-sweep values win). Call it only for sweeps whose
+// cell result type round-trips encoding/json faithfully — i.e. all state
+// lives in exported fields — since that is what restore replays. When
+// several opted-in sweeps run in one process, the second and later
+// adopters write to ordinal variants of the default path (foo.json →
+// foo.2.json) so they don't clobber each other.
+func Checkpointable(cfg SweepConfig) SweepConfig {
+	hardeningMu.Lock()
+	h := hardening
+	hardeningMu.Unlock()
+	if cfg.Checkpoint == "" && h.Checkpoint != "" {
+		cfg.Checkpoint = h.Checkpoint
+		cfg.Resume = cfg.Resume || h.Resume
+		if seq := checkpointed.Add(1); seq > 1 {
+			cfg.Checkpoint = ordinalPath(h.Checkpoint, int(seq))
+		}
+	}
+	return cfg
+}
+
+// ordinalPath inserts the sweep ordinal before the extension:
+// sweep.json → sweep.2.json (extension-less paths get a plain suffix).
+func ordinalPath(path string, seq int) string {
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + strconv.Itoa(seq) + ext
+}
+
+// SweepFlags holds the parsed values of the shared sweep-hardening
+// flags. Mount with RegisterSweepFlags before flag.Parse, then call
+// Apply once parsing is done.
+type SweepFlags struct {
+	CellTimeout time.Duration
+	Retries     int
+	Checkpoint  string
+	Resume      bool
+}
+
+// RegisterSweepFlags mounts -cell-timeout, -retries, -checkpoint, and
+// -resume on fs (typically flag.CommandLine) and returns the holder to
+// Apply after parsing.
+func RegisterSweepFlags(fs *flag.FlagSet) *SweepFlags {
+	f := &SweepFlags{}
+	fs.DurationVar(&f.CellTimeout, "cell-timeout", 0, "per-cell attempt deadline for sweeps (0 = none)")
+	fs.IntVar(&f.Retries, "retries", 0, "extra attempts for transiently failing sweep cells")
+	fs.StringVar(&f.Checkpoint, "checkpoint", "", "periodically snapshot completed sweep cells to this JSON file")
+	fs.BoolVar(&f.Resume, "resume", false, "resume from -checkpoint, skipping already-completed cells")
+	return f
+}
+
+// Apply installs the parsed flag values as the process-wide hardening
+// defaults.
+func (f *SweepFlags) Apply() {
+	SetHardening(Hardening{
+		CellTimeout: f.CellTimeout,
+		Retries:     f.Retries,
+		Checkpoint:  f.Checkpoint,
+		Resume:      f.Resume,
+	})
+}

@@ -3,11 +3,21 @@ package engine
 import (
 	"context"
 
+	"repro/internal/chaos"
 	"repro/internal/fluid"
 	"repro/internal/multilink"
 	"repro/internal/packetsim"
 	"repro/internal/trace"
 )
+
+// compileChaos builds the spec's injector for a substrate shape, or nil
+// when the spec carries no schedule.
+func compileChaos(spec *Spec, flows, links int) (*chaos.Injector, error) {
+	if spec.Chaos == nil {
+		return nil, nil
+	}
+	return spec.Chaos.Compile(spec.ChaosSeed, flows, links)
+}
 
 // FluidSpec runs the §2 fluid-flow link for Steps synchronized steps.
 // With Record set, the resulting trace is bit-identical to
@@ -29,7 +39,15 @@ func (s *FluidSpec) Meta() Meta {
 }
 
 func (s *FluidSpec) run(ctx context.Context, spec Spec) (*Result, error) {
-	l, err := fluid.New(s.Cfg, s.Senders...)
+	cfg := s.Cfg
+	inj, err := compileChaos(&spec, len(s.Senders), 1)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		cfg.Perturb = inj
+	}
+	l, err := fluid.New(cfg, s.Senders...)
 	if err != nil {
 		return nil, err
 	}
@@ -46,6 +64,9 @@ func (s *FluidSpec) run(ctx context.Context, spec Spec) (*Result, error) {
 			}
 		}
 		res := l.Step()
+		if err := l.Err(); err != nil {
+			return nil, err
+		}
 		if tr != nil {
 			tr.Append(res.Windows, res.RTT, res.CongLoss)
 		}
@@ -86,6 +107,13 @@ func (s *PacketSpec) run(ctx context.Context, spec Spec) (*Result, error) {
 	if !spec.Record {
 		cfg.DisableTrace = true
 	}
+	inj, err := compileChaos(&spec, len(s.Flows), 1)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		cfg.Perturb = inj
+	}
 	var obs func(packetsim.TickSample)
 	if len(spec.Observers) > 0 {
 		obs = func(t packetsim.TickSample) {
@@ -125,7 +153,15 @@ func (s *NetSpec) Meta() Meta {
 }
 
 func (s *NetSpec) run(ctx context.Context, spec Spec) (*Result, error) {
-	n, err := multilink.New(s.Links, s.Flows, s.Opts...)
+	opts := s.Opts
+	inj, err := compileChaos(&spec, len(s.Flows), len(s.Links))
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		opts = append(append([]multilink.Option(nil), s.Opts...), multilink.WithPerturber(inj))
+	}
+	n, err := multilink.New(s.Links, s.Flows, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -2,9 +2,13 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"repro/internal/fluid"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -24,6 +28,30 @@ type SweepConfig struct {
 	// each call. On a fail-fast abort the remaining (never-started) cells
 	// produce no calls, so done may stop short of total.
 	Progress func(done, total int)
+
+	// CellTimeout bounds each cell attempt; an attempt whose context
+	// deadline expires counts as a transient failure. 0 means no
+	// per-cell deadline (the process-wide default from SetHardening
+	// applies when set).
+	CellTimeout time.Duration
+	// Retries is the number of extra attempts granted to a cell whose
+	// failure looks transient (timeouts and unclassified errors — not
+	// divergence, panics, or parent-context cancellation). Retry k runs
+	// with the reseeded CellSeed(cellSeed, k) after a short deterministic
+	// backoff.
+	Retries int
+	// Checkpoint, when non-empty, is a JSON file that periodically
+	// snapshots completed-cell results keyed by CellSeed. The cell result
+	// type must round-trip encoding/json (floats do so bit-exactly);
+	// cells whose results don't marshal are silently not checkpointed.
+	Checkpoint string
+	// CheckpointEvery is the number of newly completed cells between
+	// checkpoint writes (default 8).
+	CheckpointEvery int
+	// Resume loads Checkpoint before sweeping and skips every cell whose
+	// (index, seed) matches, returning the stored result instead. A
+	// checkpoint from a different grid shape or BaseSeed is ignored.
+	Resume bool
 }
 
 // CellSeed derives the deterministic seed for cell i from base by
@@ -53,6 +81,9 @@ func CellSeed(base uint64, i int) uint64 {
 var (
 	sweepCellsCompleted = obs.GetCounter("engine.sweep.cells.completed")
 	sweepCellsFailed    = obs.GetCounter("engine.sweep.cells.failed")
+	sweepCellsPanicked  = obs.GetCounter("engine.sweep.cells.panicked")
+	sweepCellsRetried   = obs.GetCounter("engine.sweep.cells.retried")
+	sweepCellsRestored  = obs.GetCounter("engine.sweep.cells.restored")
 	sweepCellDuration   = obs.GetHistogram("engine.sweep.cell.duration")
 	sweepGrids          = obs.GetCounter("engine.sweep.grids")
 )
@@ -61,7 +92,12 @@ var (
 // collecting results in input order. The first cell error cancels the
 // sweep (fail fast: no new cells are claimed; in-flight cells finish) and
 // is returned; likewise ctx cancellation stops claiming and returns
-// ctx.Err().
+// ctx.Err(). A panicking cell is recovered into a per-cell
+// *parallel.PanicError instead of killing the process.
+//
+// Per-cell deadlines, bounded retries, and checkpoint/resume are
+// governed by the SweepConfig hardening fields (process-wide defaults
+// via SetHardening / RegisterSweepFlags).
 //
 // With observability enabled, every cell's latency lands in the
 // engine.sweep.cell.duration histogram with completed/failed counters
@@ -69,33 +105,100 @@ var (
 // — the -progress flag of the cmd/* tools) is chained in front of
 // cfg.Progress.
 func Sweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, error) {
-	progress := cfg.Progress
+	h := newHarness[T](n, &cfg)
+	defer h.close()
+	return parallel.MapCtx(ctx, n, cfg.Workers, h.wrap(cell))
+}
+
+// SweepSettled is Sweep without fail-fast: every cell runs to completion
+// and failures — panics, timeouts, divergence — are reported per cell in
+// the second return value (nil for successes) while the other cells'
+// results stay valid. The third value is ctx.Err() when cancellation
+// stopped cells from being claimed; those cells carry the context error.
+func SweepSettled[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, []error, error) {
+	h := newHarness[T](n, &cfg)
+	defer h.close()
+	return parallel.MapSettled(ctx, n, cfg.Workers, h.wrap(cell))
+}
+
+// harness carries the per-sweep state shared by Sweep and SweepSettled:
+// the chained progress sink, the instrumentation flag, and the optional
+// checkpointer.
+type harness[T any] struct {
+	cfg          *SweepConfig
+	n            int
+	instrumented bool
+	progress     func(done, total int)
+	ck           *checkpointer
+	mu           sync.Mutex
+	done         int
+}
+
+func newHarness[T any](n int, cfg *SweepConfig) *harness[T] {
+	applyHardening(cfg)
+	h := &harness[T]{cfg: cfg, n: n, instrumented: obs.Enabled(), progress: cfg.Progress}
 	if sink := obs.SweepProgressFunc(); sink != nil {
-		if inner := progress; inner != nil {
-			progress = func(done, total int) {
+		if inner := h.progress; inner != nil {
+			h.progress = func(done, total int) {
 				sink(done, total)
 				inner(done, total)
 			}
 		} else {
-			progress = sink
+			h.progress = sink
 		}
 	}
-	instrumented := obs.Enabled()
-	if instrumented {
+	if h.instrumented {
 		sweepGrids.Inc()
 		obs.AddCells(n)
 	}
-	var (
-		mu   sync.Mutex
-		done int
-	)
-	return parallel.MapCtx(ctx, n, cfg.Workers, func(ctx context.Context, i int) (T, error) {
+	h.ck = newCheckpointer(cfg, n)
+	return h
+}
+
+// close flushes any pending checkpoint state, including after a
+// fail-fast abort, so a -resume rerun picks up the completed cells.
+func (h *harness[T]) close() {
+	if h.ck != nil {
+		h.ck.flush()
+	}
+}
+
+// tick advances the serialized progress callback. Restored cells count
+// like executed ones: done increments by one per cell either way.
+func (h *harness[T]) tick() {
+	if h.progress == nil {
+		return
+	}
+	h.mu.Lock()
+	h.done++
+	h.progress(h.done, h.n)
+	h.mu.Unlock()
+}
+
+// wrap builds the per-item function the worker pool runs: checkpoint
+// restore, the deadline+retry attempt loop, instrumentation, checkpoint
+// recording, and progress.
+func (h *harness[T]) wrap(cell func(ctx context.Context, i int, seed uint64) (T, error)) func(ctx context.Context, i int) (T, error) {
+	return func(ctx context.Context, i int) (T, error) {
+		seed := CellSeed(h.cfg.BaseSeed, i)
+		if h.ck != nil {
+			if raw, ok := h.ck.cached(i); ok {
+				var v T
+				if json.Unmarshal(raw, &v) == nil {
+					if h.instrumented {
+						sweepCellsRestored.Inc()
+					}
+					h.tick()
+					return v, nil
+				}
+			}
+		}
 		var start time.Time
-		if instrumented {
+		if h.instrumented {
 			start = time.Now()
 		}
-		v, err := cell(ctx, i, CellSeed(cfg.BaseSeed, i))
-		if instrumented {
+		v, err := runCellAttempts(ctx, h.cfg, i, seed, cell)
+		if h.instrumented {
 			sweepCellDuration.Observe(time.Since(start))
 			if err != nil {
 				sweepCellsFailed.Inc()
@@ -103,15 +206,75 @@ func Sweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx con
 				sweepCellsCompleted.Inc()
 			}
 		}
+		if err == nil && h.ck != nil {
+			h.ck.record(i, v)
+		}
 		// Completions count toward progress whether or not the cell
 		// errored: on a failing grid the bar keeps moving while in-flight
 		// cells drain instead of silently undercounting.
-		if progress != nil {
-			mu.Lock()
-			done++
-			progress(done, n)
-			mu.Unlock()
-		}
+		h.tick()
 		return v, err
-	})
+	}
+}
+
+// runCellAttempts executes one cell under the configured deadline and
+// retry budget. Attempt k > 0 runs with the reseeded CellSeed(seed, k)
+// after a short deterministic backoff. Panics (recovered per attempt),
+// divergence, and parent-context cancellation are permanent; deadline
+// expiry and unclassified errors are transient.
+func runCellAttempts[T any](ctx context.Context, cfg *SweepConfig, i int, seed uint64, cell func(ctx context.Context, i int, seed uint64) (T, error)) (T, error) {
+	var zero T
+	for attempt := 0; ; attempt++ {
+		s := seed
+		if attempt > 0 {
+			s = CellSeed(seed, attempt)
+		}
+		actx, cancel := ctx, func() {}
+		if cfg.CellTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, cfg.CellTimeout)
+		}
+		v, err := runAttempt(actx, i, s, cell)
+		cancel()
+		if err == nil {
+			return v, nil
+		}
+		var pe *parallel.PanicError
+		if errors.As(err, &pe) {
+			if obs.Enabled() {
+				sweepCellsPanicked.Inc()
+			}
+			return zero, err
+		}
+		if errors.Is(err, fluid.ErrDiverged) {
+			return zero, err // deterministic blow-up: a retry replays it
+		}
+		if ctx.Err() != nil {
+			return zero, err // the whole sweep is being torn down
+		}
+		if attempt >= cfg.Retries {
+			return zero, err
+		}
+		if obs.Enabled() {
+			sweepCellsRetried.Inc()
+		}
+		backoff := time.Duration(5<<uint(min(attempt, 6))) * time.Millisecond
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return zero, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// runAttempt invokes cell with per-attempt panic recovery, so a panic on
+// attempt 0 is classified (and counted) before the retry logic runs.
+func runAttempt[T any](ctx context.Context, i int, seed uint64, cell func(ctx context.Context, i int, seed uint64) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &parallel.PanicError{Item: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return cell(ctx, i, seed)
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/metrics"
@@ -34,12 +35,10 @@ type RobustnessEntry struct {
 	UtilAtHalfPercent float64
 }
 
-// RobustnessSweep scores the paper's protocol set (plus the PCC stand-in
-// and TFRC) on Metric VI: Table 1's claim is that every family scores 0
-// except Robust-AIMD, which scores its ε, while PCC tolerates ≈ 1/(1+δ).
-func RobustnessSweep(opt metrics.Options) ([]RobustnessEntry, error) {
-	defer obs.StartPhase("robustness")()
-	protos := []protocol.Protocol{
+// robustnessProtocols is the protocol set both robustness experiments
+// score: the paper's families plus the PCC stand-in, TFRC, and BBRish.
+func robustnessProtocols() []protocol.Protocol {
+	return []protocol.Protocol{
 		protocol.Reno(),
 		protocol.Scalable(),
 		protocol.SQRT(),
@@ -50,38 +49,130 @@ func RobustnessSweep(opt metrics.Options) ([]RobustnessEntry, error) {
 		protocol.DefaultTFRC(),
 		protocol.NewBBRish(),
 	}
+}
+
+// lossyUtil measures a single p-sender's mean tail utilization on the
+// standard 20 Mbps link under a constant non-congestion loss rate and/or
+// a chaos schedule. Both robustness sweeps reduce to this helper, so
+// their shared columns are bit-identical by construction.
+func lossyUtil(ctx context.Context, p protocol.Protocol, opt metrics.Options, constLoss float64, sched *chaos.Schedule, seed uint64) (float64, error) {
+	cfg := FluidLink(20, 100)
+	if constLoss > 0 {
+		cfg.Loss = fluid.NewConstantLoss(constLoss)
+	}
+	senders, err := fluid.HomogeneousSenders(p, 1, []float64{1})
+	if err != nil {
+		return 0, err
+	}
+	sub := &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: optSteps(opt)}
+	st := metrics.NewStream(sub.Meta(), 0.75)
+	spec := engine.Spec{Substrate: sub, Observers: []engine.Observer{st}, Chaos: sched, ChaosSeed: seed}
+	if _, err := engine.Run(ctx, spec); err != nil {
+		return 0, err
+	}
+	// Per-element total/C mirrors trace.Utilization, so the mean is
+	// identical to the recorded-trace computation.
+	tail := st.TailTotal()
+	util := make([]float64, len(tail))
+	for j, tot := range tail {
+		util[j] = tot / cfg.Capacity()
+	}
+	return stats.Mean(util), nil
+}
+
+// robustnessCell computes one protocol's Metric VI row: the bisected
+// loss-tolerance threshold and the constant-0.5%-loss utilization.
+func robustnessCell(ctx context.Context, p protocol.Protocol, opt, cellOpt metrics.Options) (RobustnessEntry, error) {
+	thr, err := metrics.Robustness(p, 0.5, 1e-3, cellOpt)
+	if err != nil {
+		return RobustnessEntry{}, err
+	}
+	util, err := lossyUtil(ctx, p, opt, 0.005, nil, 0)
+	if err != nil {
+		return RobustnessEntry{}, err
+	}
+	return RobustnessEntry{Name: p.Name(), Threshold: thr, UtilAtHalfPercent: util}, nil
+}
+
+// RobustnessSweep scores the paper's protocol set (plus the PCC stand-in
+// and TFRC) on Metric VI: Table 1's claim is that every family scores 0
+// except Robust-AIMD, which scores its ε, while PCC tolerates ≈ 1/(1+δ).
+func RobustnessSweep(opt metrics.Options) ([]RobustnessEntry, error) {
+	defer obs.StartPhase("robustness")()
+	protos := robustnessProtocols()
 	cellOpt := serialCell(opt)
-	return engine.Sweep(context.Background(), len(protos), engine.SweepConfig{Workers: opt.Workers},
+	return engine.Sweep(context.Background(), len(protos), engine.Checkpointable(engine.SweepConfig{Workers: opt.Workers}),
 		func(ctx context.Context, i int, _ uint64) (RobustnessEntry, error) {
+			return robustnessCell(ctx, protos[i], opt, cellOpt)
+		})
+}
+
+// ChaosRobustnessEntry extends the Metric VI row with two scheduled-fault
+// columns: utilization under bursty correlated (Gilbert–Elliott) loss and
+// under a periodically flapping link.
+type ChaosRobustnessEntry struct {
+	RobustnessEntry
+	// UtilBurstyLoss is the utilization under a two-state Gilbert–Elliott
+	// loss chain whose stationary mean is ≈ 0.5% — the bursty counterpart
+	// of the constant-loss column.
+	UtilBurstyLoss float64
+	// UtilFlappyLink is the utilization on a link that goes down for 40
+	// steps out of every 800.
+	UtilFlappyLink float64
+}
+
+// ChaosRobustnessSweep is the chaos-aware extension of RobustnessSweep:
+// the constant-loss columns are computed by the same code path (and are
+// bit-identical to RobustnessSweep's), while the extra columns rerun the
+// lossy-link scenario under deterministic fault-injection schedules
+// seeded per cell from chaosSeed.
+func ChaosRobustnessSweep(opt metrics.Options, chaosSeed uint64) ([]ChaosRobustnessEntry, error) {
+	defer obs.StartPhase("robustness-chaos")()
+	protos := robustnessProtocols()
+	cellOpt := serialCell(opt)
+	// A GE chain dwelling ~3% of the time in an 8%-loss bad state gives a
+	// stationary loss of 0.02/(0.02+0.3)·0.08 ≈ 0.5% — matched to the
+	// constant-loss column so the two are directly comparable.
+	bursty := chaos.BurstyLoss(0.02, 0.3, 0.08)
+	flappy := chaos.FlappyLink(optSteps(opt), 800, 800, 40)
+	for _, s := range []*chaos.Schedule{bursty, flappy} {
+		if err := s.Normalize(); err != nil {
+			return nil, err
+		}
+	}
+	return engine.Sweep(context.Background(), len(protos), engine.Checkpointable(engine.SweepConfig{Workers: opt.Workers, BaseSeed: chaosSeed}),
+		func(ctx context.Context, i int, seed uint64) (ChaosRobustnessEntry, error) {
 			p := protos[i]
-			thr, err := metrics.Robustness(p, 0.5, 1e-3, cellOpt)
+			base, err := robustnessCell(ctx, p, opt, cellOpt)
 			if err != nil {
-				return RobustnessEntry{}, err
+				return ChaosRobustnessEntry{}, err
 			}
-			cfg := FluidLink(20, 100)
-			cfg.Loss = fluid.NewConstantLoss(0.005)
-			senders, err := fluid.HomogeneousSenders(p, 1, []float64{1})
+			burstyUtil, err := lossyUtil(ctx, p, opt, 0, bursty, seed)
 			if err != nil {
-				return RobustnessEntry{}, err
+				return ChaosRobustnessEntry{}, err
 			}
-			sub := &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: optSteps(opt)}
-			st := metrics.NewStream(sub.Meta(), 0.75)
-			if _, err := engine.Run(ctx, engine.Spec{Substrate: sub, Observers: []engine.Observer{st}}); err != nil {
-				return RobustnessEntry{}, err
+			flappyUtil, err := lossyUtil(ctx, p, opt, 0, flappy, seed)
+			if err != nil {
+				return ChaosRobustnessEntry{}, err
 			}
-			// Per-element total/C mirrors trace.Utilization, so the mean is
-			// identical to the recorded-trace computation.
-			tail := st.TailTotal()
-			util := make([]float64, len(tail))
-			for j, tot := range tail {
-				util[j] = tot / cfg.Capacity()
-			}
-			return RobustnessEntry{
-				Name:              p.Name(),
-				Threshold:         thr,
-				UtilAtHalfPercent: stats.Mean(util),
+			return ChaosRobustnessEntry{
+				RobustnessEntry: base,
+				UtilBurstyLoss:  burstyUtil,
+				UtilFlappyLink:  flappyUtil,
 			}, nil
 		})
+}
+
+// RenderChaosRobustness formats the extended sweep.
+func RenderChaosRobustness(entries []ChaosRobustnessEntry) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\tMetric VI threshold\tutil @0.5% loss\tutil @bursty loss\tutil @flappy link")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.3f\n", e.Name, e.Threshold, e.UtilAtHalfPercent, e.UtilBurstyLoss, e.UtilFlappyLink)
+	}
+	w.Flush()
+	return sb.String()
 }
 
 // RenderRobustness formats the sweep.
@@ -124,7 +215,7 @@ func ParkingLotExperiment(hops []int, steps int, seed uint64) ([]ParkingLotEntry
 		PropDelay: 0.021,
 		Buffer:    20,
 	}
-	return engine.Sweep(context.Background(), len(hops), engine.SweepConfig{},
+	return engine.Sweep(context.Background(), len(hops), engine.Checkpointable(engine.SweepConfig{}),
 		func(ctx context.Context, i int, _ uint64) (ParkingLotEntry, error) {
 			k := hops[i]
 			// Same topology ParkingLot builds: one k-hop flow plus one

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -38,6 +39,51 @@ func TestRobustnessSweep(t *testing.T) {
 	}
 	out := RenderRobustness(entries)
 	if !strings.Contains(out, "Metric VI") || !strings.Contains(out, "PCC") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+// Golden guarantee for the extended robustness report: the Metric VI
+// threshold and constant-loss utilization columns are bit-identical to
+// RobustnessSweep's output, and the chaos columns behave sanely (bounded,
+// deterministic in the seed, and degraded by the flapping link).
+func TestChaosRobustnessSweepGolden(t *testing.T) {
+	opt := metrics.Options{Steps: 1500}
+	plain, err := RobustnessSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended, err := ChaosRobustnessSweep(opt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(extended) != len(plain) {
+		t.Fatalf("extended report has %d rows, plain has %d", len(extended), len(plain))
+	}
+	for i := range plain {
+		if extended[i].RobustnessEntry != plain[i] {
+			t.Errorf("row %d: constant columns diverged: %+v vs %+v", i, extended[i].RobustnessEntry, plain[i])
+		}
+		// Windows count buffered packets, so total/C can exceed 1; the
+		// guard is against NaN/Inf/negative values escaping the chaos runs.
+		for _, u := range []float64{extended[i].UtilBurstyLoss, extended[i].UtilFlappyLink} {
+			if u < 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+				t.Errorf("row %d: chaos utilization %v invalid: %+v", i, u, extended[i])
+			}
+		}
+	}
+	// Deterministic in the seed.
+	again, err := ChaosRobustnessSweep(opt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range extended {
+		if again[i] != extended[i] {
+			t.Errorf("row %d: rerun with same seed differs: %+v vs %+v", i, again[i], extended[i])
+		}
+	}
+	out := RenderChaosRobustness(extended)
+	if !strings.Contains(out, "bursty") || !strings.Contains(out, "flappy") {
 		t.Errorf("render malformed:\n%s", out)
 	}
 }

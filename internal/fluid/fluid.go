@@ -71,6 +71,12 @@ type Config struct {
 	// nominal value used for Capacity() and trace normalization.
 	BandwidthSchedule func(step int) float64
 
+	// Perturb, when non-nil, applies a deterministic fault-injection
+	// schedule (capacity shocks, link flaps, bursty loss, RTT jitter,
+	// flow churn) each step — typically a compiled chaos.Schedule. The
+	// nil path is bit-identical to the unperturbed model.
+	Perturb Perturber
+
 	// Seed seeds any randomized LossProcess; runs are deterministic for a
 	// fixed seed.
 	Seed uint64
@@ -140,11 +146,15 @@ type Link struct {
 	x       []float64 // current windows
 	step    int
 	rng     *rand64.Source
+	err     error // first divergence, sticky
 
 	// Per-sender epoch accumulators for unsynchronized feedback.
 	epochSurvive []float64 // Π(1−loss) since the sender's last update
 	epochRTTSum  []float64
 	epochSteps   []int
+
+	// active tracks per-sender churn state; only used with Perturb set.
+	active []bool
 }
 
 // New returns a link with the given configuration and senders. It returns
@@ -179,7 +189,22 @@ func New(cfg Config, senders ...Sender) (*Link, error) {
 		l.x[i] = protocol.Clamp(s.Init, cfg.MaxWindow)
 		l.epochSurvive[i] = 1
 	}
+	if cfg.Perturb != nil {
+		l.active = make([]bool, len(senders))
+	}
 	return l, nil
+}
+
+// Err returns the first divergence detected so far (nil if none). Once a
+// run diverges its windows are meaningless; callers driving the link
+// step-by-step should stop and propagate the error.
+func (l *Link) Err() error { return l.err }
+
+// fail records the first divergence; later ones are ignored.
+func (l *Link) fail(step, sender int, v float64) {
+	if l.err == nil {
+		l.err = &DivergedError{Step: step, Sender: sender, Value: v}
+	}
 }
 
 // MustNew is New that panics on error, for tests and examples.
@@ -220,11 +245,19 @@ func (l *Link) congestion(x float64) (rtt, loss float64) {
 			b = v
 		}
 	}
+	if l.cfg.Perturb != nil {
+		b *= l.cfg.Perturb.CapacityScale(l.step, 0)
+	}
 	c := b * 2 * l.cfg.PropDelay
 	tau := l.cfg.Buffer
 	if x < c+tau {
 		// eq. 1's queueing branch; loss needs X > C+τ, so none here.
 		rtt = math.Max(l.cfg.BaseRTT(), (x-c)/b+l.cfg.BaseRTT())
+		if l.cfg.Perturb != nil && rtt > l.cfg.TimeoutRTT {
+			// A flapped link's queueing delay explodes as 1/b; the
+			// timeout cap is the model's "sender gave up" bound.
+			rtt = l.cfg.TimeoutRTT
+		}
 		return rtt, 0
 	}
 	// X ≥ C+τ: timeout-capped RTT; loss only for strict overflow.
@@ -238,11 +271,36 @@ func (l *Link) congestion(x float64) (rtt, loss float64) {
 // the current windows, lets every protocol observe its feedback, and
 // installs the clamped next windows.
 func (l *Link) Step() StepResult {
+	p := l.cfg.Perturb
+	if p != nil {
+		for i := range l.senders {
+			on := p.FlowActive(l.step, i)
+			if on && !l.active[i] && l.step > 0 {
+				// (Re)arrival mid-run: restart from the initial window
+				// with fresh feedback accumulators.
+				l.x[i] = protocol.Clamp(l.senders[i].Init, l.cfg.MaxWindow)
+				l.epochSurvive[i], l.epochRTTSum[i], l.epochSteps[i] = 1, 0, 0
+			}
+			l.active[i] = on
+		}
+	}
 	x := 0.0
-	for _, w := range l.x {
+	for i, w := range l.x {
+		if p != nil && !l.active[i] {
+			continue
+		}
 		x += w
 	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		l.fail(l.step, -1, x)
+	}
 	rtt, congLoss := l.congestion(x)
+	if p != nil {
+		rtt += p.RTTOffset(l.step, 0)
+		if rtt < minPerturbedRTT {
+			rtt = minPerturbedRTT
+		}
+	}
 
 	res := StepResult{
 		Step:     l.step,
@@ -252,10 +310,21 @@ func (l *Link) Step() StepResult {
 		Loss:     make([]float64, len(l.x)),
 	}
 	for i := range l.senders {
+		if p != nil && !l.active[i] {
+			// Departed flow: no packets in flight, no feedback, window
+			// frozen until re-arrival resets it.
+			res.Windows[i] = 0
+			continue
+		}
 		loss := congLoss
 		if l.cfg.Loss != nil {
 			r := l.cfg.Loss.Rate(l.step, i, l.x[i], l.rng)
 			loss = 1 - (1-loss)*(1-r)
+		}
+		if p != nil {
+			if r := p.ExtraLoss(l.step, i); r > 0 {
+				loss = 1 - (1-loss)*(1-r)
+			}
 		}
 		res.Loss[i] = loss
 		l.epochSurvive[i] *= 1 - loss
@@ -272,10 +341,17 @@ func (l *Link) Step() StepResult {
 			RTT:    l.epochRTTSum[i] / float64(l.epochSteps[i]),
 			Loss:   1 - l.epochSurvive[i],
 		})
-		if math.IsNaN(next) {
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			l.fail(l.step, i, next)
 			next = protocol.MinWindow
 		}
-		l.x[i] = protocol.Clamp(next, l.cfg.MaxWindow)
+		w := protocol.Clamp(next, l.cfg.MaxWindow)
+		if math.IsInf(w, 0) || w < 0 {
+			// Reachable when MaxWindow is +Inf and the protocol runs away.
+			l.fail(l.step, i, w)
+			w = protocol.MinWindow
+		}
+		l.x[i] = w
 		l.epochSurvive[i] = 1
 		l.epochRTTSum[i] = 0
 		l.epochSteps[i] = 0

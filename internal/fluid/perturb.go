@@ -1,0 +1,54 @@
+package fluid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Perturber is the fault-injection hook the fluid model consults each
+// step. It is a structural copy of the chaos.Injector method set — the
+// fluid package stays free of chaos imports; any compiled chaos schedule
+// satisfies it. The single bottleneck is link 0. Implementations may
+// assume steps are queried in non-decreasing order.
+type Perturber interface {
+	// CapacityScale returns the bandwidth multiplier for link at step.
+	CapacityScale(step, link int) float64
+	// ExtraLoss returns an additional non-congestion loss rate in [0, 1)
+	// for flow at step, composed with the congestion and LossProcess
+	// rates as independent drops.
+	ExtraLoss(step, flow int) float64
+	// RTTOffset returns an additive RTT perturbation in seconds for link
+	// at step; the resulting RTT is floored at a small positive value.
+	RTTOffset(step, link int) float64
+	// FlowActive reports whether flow is live at step; inactive flows
+	// hold no window and skip protocol updates.
+	FlowActive(step, flow int) bool
+}
+
+// ErrDiverged is the sentinel every divergence error unwraps to: the
+// model produced a non-finite or negative window. Test with
+// errors.Is(err, fluid.ErrDiverged).
+var ErrDiverged = errors.New("fluid: simulation diverged")
+
+// DivergedError reports where a run diverged: the step, the sender whose
+// window went bad (-1 for the aggregate), and the offending value.
+type DivergedError struct {
+	Step   int
+	Sender int
+	Value  float64
+}
+
+func (e *DivergedError) Error() string {
+	who := fmt.Sprintf("sender %d window", e.Sender)
+	if e.Sender < 0 {
+		who = "aggregate window"
+	}
+	return fmt.Sprintf("fluid: simulation diverged at step %d: %s = %v", e.Step, who, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrDiverged) work.
+func (e *DivergedError) Unwrap() error { return ErrDiverged }
+
+// minPerturbedRTT floors the RTT after a negative chaos offset: one
+// microsecond, far below any modeled propagation delay.
+const minPerturbedRTT = 1e-6

@@ -1,0 +1,204 @@
+package fluid
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// stubPerturber implements Perturber with plain functions; nil fields
+// mean "no perturbation".
+type stubPerturber struct {
+	scale  func(step, link int) float64
+	loss   func(step, flow int) float64
+	rtt    func(step, link int) float64
+	active func(step, flow int) bool
+}
+
+func (s stubPerturber) CapacityScale(step, link int) float64 {
+	if s.scale == nil {
+		return 1
+	}
+	return s.scale(step, link)
+}
+
+func (s stubPerturber) ExtraLoss(step, flow int) float64 {
+	if s.loss == nil {
+		return 0
+	}
+	return s.loss(step, flow)
+}
+
+func (s stubPerturber) RTTOffset(step, link int) float64 {
+	if s.rtt == nil {
+		return 0
+	}
+	return s.rtt(step, link)
+}
+
+func (s stubPerturber) FlowActive(step, flow int) bool {
+	if s.active == nil {
+		return true
+	}
+	return s.active(step, flow)
+}
+
+// Regression for the divergence guard: an MIMD sender with absurd
+// parameters and an uncapped window must yield ErrDiverged, not NaN/Inf
+// windows silently flowing into axiom scores.
+func TestDivergenceGuardMIMDRunaway(t *testing.T) {
+	cfg := Config{Infinite: true, PropDelay: 0.05, MaxWindow: math.Inf(1)}
+	l := MustNew(cfg, Sender{Proto: protocol.NewMIMD(1e200, 0.5), Init: 1})
+	for i := 0; i < 100 && l.Err() == nil; i++ {
+		l.Step()
+	}
+	err := l.Err()
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("runaway MIMD: Err() = %v, want ErrDiverged", err)
+	}
+	var de *DivergedError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v is not a *DivergedError", err)
+	}
+	if de.Sender != 0 {
+		t.Fatalf("diverged sender = %d, want 0", de.Sender)
+	}
+}
+
+// Two absurd MIMD senders on a tiny-buffer link overflow the aggregate
+// window in one step; the guard must catch the non-finite sum.
+func TestDivergenceGuardAggregateOverflow(t *testing.T) {
+	cfg := Config{Bandwidth: 100, PropDelay: 0.05, Buffer: 1, MaxWindow: math.Inf(1)}
+	p := protocol.NewMIMD(1e308, 0.5)
+	l := MustNew(cfg, Sender{Proto: p.Clone(), Init: 1}, Sender{Proto: p.Clone(), Init: 1})
+	for i := 0; i < 100 && l.Err() == nil; i++ {
+		l.Step()
+	}
+	if !errors.Is(l.Err(), ErrDiverged) {
+		t.Fatalf("aggregate overflow: Err() = %v, want ErrDiverged", l.Err())
+	}
+}
+
+// A sane protocol on the same link must never trip the guard.
+func TestDivergenceGuardQuietOnHealthyRun(t *testing.T) {
+	cfg := Config{Bandwidth: 100, PropDelay: 0.05, Buffer: 1}
+	l := MustNew(cfg, Sender{Proto: protocol.Reno(), Init: 1})
+	for i := 0; i < 2000; i++ {
+		l.Step()
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("healthy Reno run diverged: %v", err)
+	}
+}
+
+func TestPerturbNilPathBitIdentical(t *testing.T) {
+	cfg := Config{Bandwidth: 2000, PropDelay: 0.025, Buffer: 50}
+	mk := func(c Config) *Link {
+		return MustNew(c, Sender{Proto: protocol.Reno(), Init: 1}, Sender{Proto: protocol.Scalable(), Init: 4})
+	}
+	plain := mk(cfg)
+	cfgIdentity := cfg
+	cfgIdentity.Perturb = stubPerturber{} // identity perturber
+	perturbed := mk(cfgIdentity)
+	for i := 0; i < 1500; i++ {
+		a, b := plain.Step(), perturbed.Step()
+		if a.RTT != b.RTT || a.CongLoss != b.CongLoss {
+			t.Fatalf("step %d: identity perturber changed link feedback: (%v,%v) vs (%v,%v)",
+				i, a.RTT, a.CongLoss, b.RTT, b.CongLoss)
+		}
+		for s := range a.Windows {
+			if a.Windows[s] != b.Windows[s] {
+				t.Fatalf("step %d sender %d: window %v vs %v", i, s, a.Windows[s], b.Windows[s])
+			}
+		}
+	}
+}
+
+func TestPerturbCapacityScaleShrinksLink(t *testing.T) {
+	cfg := Config{Bandwidth: 2000, PropDelay: 0.025, Buffer: 50}
+	cfg.Perturb = stubPerturber{scale: func(step, link int) float64 {
+		if step >= 500 {
+			return 0.25
+		}
+		return 1
+	}}
+	l := MustNew(cfg, Sender{Proto: protocol.Reno(), Init: 1})
+	var before, after float64
+	for i := 0; i < 1000; i++ {
+		res := l.Step()
+		if i >= 400 && i < 500 {
+			before += res.Windows[0]
+		}
+		if i >= 900 {
+			after += res.Windows[0]
+		}
+	}
+	before /= 100
+	after /= 100
+	if after >= before*0.7 {
+		t.Fatalf("quartering the link did not shrink the window: before %v, after %v", before, after)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("capacity shock diverged: %v", err)
+	}
+}
+
+func TestPerturbExtraLossObserved(t *testing.T) {
+	cfg := Config{Infinite: true, PropDelay: 0.025}
+	cfg.Perturb = stubPerturber{loss: func(step, flow int) float64 { return 0.25 }}
+	l := MustNew(cfg, Sender{Proto: protocol.Reno(), Init: 1})
+	res := l.Step()
+	if res.CongLoss != 0 {
+		t.Fatalf("infinite link reported congestion loss %v", res.CongLoss)
+	}
+	if res.Loss[0] != 0.25 {
+		t.Fatalf("sender loss = %v, want the injected 0.25", res.Loss[0])
+	}
+}
+
+func TestPerturbRTTOffsetAndFloor(t *testing.T) {
+	cfg := Config{Infinite: true, PropDelay: 0.025}
+	cfg.Perturb = stubPerturber{rtt: func(step, link int) float64 {
+		if step == 0 {
+			return 0.1
+		}
+		return -1 // absurdly negative: must floor, not go negative
+	}}
+	l := MustNew(cfg, Sender{Proto: protocol.Reno(), Init: 1})
+	if res := l.Step(); math.Abs(res.RTT-0.15) > 1e-12 {
+		t.Fatalf("offset RTT = %v, want 0.15", res.RTT)
+	}
+	if res := l.Step(); res.RTT != minPerturbedRTT {
+		t.Fatalf("floored RTT = %v, want %v", res.RTT, minPerturbedRTT)
+	}
+}
+
+func TestPerturbFlowChurn(t *testing.T) {
+	cfg := Config{Bandwidth: 2000, PropDelay: 0.025, Buffer: 50}
+	cfg.Perturb = stubPerturber{active: func(step, flow int) bool {
+		if flow != 1 {
+			return true
+		}
+		return step < 100 || step >= 200 // flow 1 departs for [100, 200)
+	}}
+	l := MustNew(cfg, Sender{Proto: protocol.Reno(), Init: 1}, Sender{Proto: protocol.Reno(), Init: 30})
+	var res StepResult
+	for i := 0; i < 100; i++ {
+		res = l.Step()
+	}
+	if res.Windows[1] == 0 {
+		t.Fatal("flow 1 inactive before its departure")
+	}
+	for i := 100; i < 200; i++ {
+		res = l.Step()
+		if res.Windows[1] != 0 {
+			t.Fatalf("step %d: departed flow reports window %v, want 0", i, res.Windows[1])
+		}
+	}
+	res = l.Step()
+	if res.Windows[1] != 30 {
+		t.Fatalf("re-arrived flow window = %v, want its initial 30", res.Windows[1])
+	}
+}

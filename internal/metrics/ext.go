@@ -29,7 +29,7 @@ func ConvergenceTime(cfg fluid.Config, p protocol.Protocol, n int, band float64,
 	o := opt.withDefaults()
 	worst := 0
 	for _, init := range o.initConfigs(cfg, n) {
-		tr, err := runRecorded(cfg, p, n, init, o.Steps)
+		tr, err := runRecorded(cfg, p, n, init, o)
 		if err != nil {
 			return 0, err
 		}
@@ -81,7 +81,7 @@ func Smoothness(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (floa
 	o := opt.withDefaults()
 	worst := 0.0
 	for _, init := range o.initConfigs(cfg, n) {
-		tr, err := runRecorded(cfg, p, n, init, o.Steps)
+		tr, err := runRecorded(cfg, p, n, init, o)
 		if err != nil {
 			return 0, err
 		}
@@ -123,7 +123,7 @@ func Responsiveness(cfg fluid.Config, p protocol.Protocol, n int, frac float64, 
 		}
 		return base
 	}
-	tr, err := runRecorded(sched, p, n, nil, o.Steps)
+	tr, err := runRecorded(sched, p, n, nil, o)
 	if err != nil {
 		return 0, err
 	}

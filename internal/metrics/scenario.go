@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/fluid"
 	"repro/internal/protocol"
@@ -28,6 +29,13 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = serial). Results are identical at any worker
 	// count: cells are deterministic and collected in input order.
 	Workers int
+	// Chaos, when non-nil, applies the fault-injection schedule to every
+	// run an estimator performs, so axiom scores can be measured under
+	// capacity shocks, bursty loss, RTT jitter, or flow churn. Nil leaves
+	// every run bit-identical to the unperturbed estimator.
+	Chaos *chaos.Schedule
+	// ChaosSeed seeds the schedule's randomized components.
+	ChaosSeed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -96,7 +104,8 @@ func runStreams(cfg fluid.Config, p protocol.Protocol, n int, o Options) ([]*Str
 	return engine.Sweep(context.Background(), len(subs), engine.SweepConfig{Workers: o.Workers},
 		func(ctx context.Context, i int, _ uint64) (*Stream, error) {
 			st := NewStream(subs[i].Meta(), o.TailFrac)
-			if _, err := engine.Run(ctx, engine.Spec{Substrate: subs[i], Observers: []engine.Observer{st}}); err != nil {
+			spec := engine.Spec{Substrate: subs[i], Observers: []engine.Observer{st}, Chaos: o.Chaos, ChaosSeed: o.ChaosSeed}
+			if _, err := engine.Run(ctx, spec); err != nil {
 				return nil, err
 			}
 			return st, nil
@@ -182,7 +191,7 @@ func Convergence(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (flo
 func FastUtilization(p protocol.Protocol, opt Options) (float64, error) {
 	o := opt.withDefaults()
 	cfg := fluid.Config{Infinite: true, PropDelay: 0.021, MaxWindow: math.Inf(1)}
-	tr, err := runRecorded(cfg, p, 1, []float64{protocol.MinWindow}, o.Steps)
+	tr, err := runRecorded(cfg, p, 1, []float64{protocol.MinWindow}, o)
 	if err != nil {
 		return 0, err
 	}
@@ -192,15 +201,18 @@ func FastUtilization(p protocol.Protocol, opt Options) (float64, error) {
 // runRecorded runs n homogeneous senders through the engine with trace
 // recording — used by the metrics that need the full window series
 // (fast-utilization's growth sums, robustness's slope fit, the extension
-// metrics' settle scans) rather than a tail summary.
-func runRecorded(cfg fluid.Config, p protocol.Protocol, n int, init []float64, steps int) (*trace.Trace, error) {
+// metrics' settle scans) rather than a tail summary. o supplies the
+// horizon and the optional chaos schedule.
+func runRecorded(cfg fluid.Config, p protocol.Protocol, n int, init []float64, o Options) (*trace.Trace, error) {
 	senders, err := fluid.HomogeneousSenders(p, n, init)
 	if err != nil {
 		return nil, err
 	}
 	res, err := engine.Run(context.Background(), engine.Spec{
-		Substrate: &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: steps},
+		Substrate: &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: o.Steps},
 		Record:    true,
+		Chaos:     o.Chaos,
+		ChaosSeed: o.ChaosSeed,
 	})
 	if err != nil {
 		return nil, err
@@ -225,7 +237,7 @@ func RobustTo(p protocol.Protocol, r float64, opt Options) (bool, error) {
 		MaxWindow: cap,
 		Loss:      fluid.NewConstantLoss(r),
 	}
-	tr, err := runRecorded(cfg, p, 1, []float64{protocol.MinWindow}, o.Steps)
+	tr, err := runRecorded(cfg, p, 1, []float64{protocol.MinWindow}, o)
 	if err != nil {
 		return false, err
 	}
@@ -310,7 +322,8 @@ func Friendliness(cfg fluid.Config, p, q protocol.Protocol, nP, nQ int, opt Opti
 	scores, err := engine.Sweep(context.Background(), len(subs), engine.SweepConfig{Workers: o.Workers},
 		func(ctx context.Context, i int, _ uint64) (float64, error) {
 			st := NewStream(subs[i].Meta(), o.TailFrac)
-			if _, err := engine.Run(ctx, engine.Spec{Substrate: subs[i], Observers: []engine.Observer{st}}); err != nil {
+			spec := engine.Spec{Substrate: subs[i], Observers: []engine.Observer{st}, Chaos: o.Chaos, ChaosSeed: o.ChaosSeed}
+			if _, err := engine.Run(ctx, spec); err != nil {
 				return 0, err
 			}
 			return st.Friendliness(pIdx, qIdx), nil

@@ -87,7 +87,26 @@ type Network struct {
 
 	// rng is non-nil in stochastic-loss mode (WithStochasticLoss).
 	rng *rand64.Source
+
+	// perturb and active implement fault injection (WithPerturber).
+	perturb Perturber
+	active  []bool
 }
+
+// Perturber is the fault-injection hook the network consults each step —
+// a structural copy of the chaos.Injector method set, so this package
+// stays free of chaos imports. Link and flow arguments are this
+// network's indices.
+type Perturber interface {
+	CapacityScale(step, link int) float64
+	ExtraLoss(step, flow int) float64
+	RTTOffset(step, link int) float64
+	FlowActive(step, flow int) bool
+}
+
+// minPerturbedRTT floors a link's RTT contribution after a negative
+// chaos offset.
+const minPerturbedRTT = 1e-6
 
 // Option tweaks network construction.
 type Option func(*Network)
@@ -111,6 +130,13 @@ func WithMaxWindow(m float64) Option {
 // exactly as on a packet network. Runs remain deterministic per seed.
 func WithStochasticLoss(seed uint64) Option {
 	return func(n *Network) { n.rng = rand64.New(seed) }
+}
+
+// WithPerturber applies a deterministic fault-injection schedule
+// (typically a compiled chaos.Schedule) while the network runs. The nil
+// path is bit-identical to the unperturbed model.
+func WithPerturber(p Perturber) Option {
+	return func(n *Network) { n.perturb = p }
 }
 
 // New builds a network. Every flow's path must be non-empty and reference
@@ -160,6 +186,9 @@ func New(links []LinkSpec, flows []FlowSpec, opts ...Option) (*Network, error) {
 		n.protos[f] = spec.Proto.Clone()
 		n.x[f] = protocol.Clamp(spec.Init, n.maxWindow)
 	}
+	if n.perturb != nil {
+		n.active = make([]bool, len(flows))
+	}
 	return n, nil
 }
 
@@ -179,6 +208,17 @@ type StepResult struct {
 
 // Step advances the network one synchronized time step.
 func (n *Network) Step() StepResult {
+	p := n.perturb
+	if p != nil {
+		for f := range n.flows {
+			on := p.FlowActive(n.step, f)
+			if on && !n.active[f] && n.step > 0 {
+				// (Re)arrival mid-run restarts from the initial window.
+				n.x[f] = protocol.Clamp(n.flows[f].Init, n.maxWindow)
+			}
+			n.active[f] = on
+		}
+	}
 	res := StepResult{
 		Step:     n.step,
 		Windows:  append([]float64(nil), n.x...),
@@ -191,26 +231,54 @@ func (n *Network) Step() StepResult {
 	for l, spec := range n.links {
 		load := 0.0
 		for _, f := range n.flowsOn[l] {
+			if p != nil && !n.active[f] {
+				continue
+			}
 			load += n.x[f]
 		}
 		res.LinkLoad[l] = load
 		c, tau := spec.Capacity(), spec.Buffer
+		b := spec.Bandwidth
+		if p != nil {
+			b *= p.CapacityScale(n.step, l)
+			c = b * 2 * spec.PropDelay
+		}
 		switch {
 		case load < c+tau:
-			res.LinkRTT[l] = math.Max(2*spec.PropDelay, (load-c)/spec.Bandwidth+2*spec.PropDelay)
+			res.LinkRTT[l] = math.Max(2*spec.PropDelay, (load-c)/b+2*spec.PropDelay)
 		case load > c+tau:
 			res.LinkLoss[l] = 1 - (c+tau)/load
 			res.LinkRTT[l] = spec.TimeoutRTT
 		default:
 			res.LinkRTT[l] = spec.TimeoutRTT
 		}
+		if p != nil {
+			// A drained link's queueing delay explodes as 1/b; the
+			// timeout cap is the model's "sender gave up" bound.
+			if res.LinkRTT[l] > spec.TimeoutRTT {
+				res.LinkRTT[l] = spec.TimeoutRTT
+			}
+			res.LinkRTT[l] += p.RTTOffset(n.step, l)
+			if res.LinkRTT[l] < minPerturbedRTT {
+				res.LinkRTT[l] = minPerturbedRTT
+			}
+		}
 	}
 	for f := range n.flows {
+		if p != nil && !n.active[f] {
+			// Departed flow: no load, no feedback, window frozen until
+			// re-arrival resets it.
+			res.Windows[f] = 0
+			continue
+		}
 		survive := 1.0
 		rtt := 0.0
 		for _, l := range n.flows[f].Path {
 			survive *= 1 - res.LinkLoss[l]
 			rtt += res.LinkRTT[l]
+		}
+		if p != nil {
+			survive *= 1 - p.ExtraLoss(n.step, f)
 		}
 		res.FlowLoss[f] = 1 - survive
 		res.FlowRTT[f] = rtt

@@ -58,6 +58,13 @@ type Config struct {
 	// streaming observer) use this to avoid materializing the trace.
 	DisableTrace bool
 
+	// Perturb, when non-nil, applies a deterministic fault-injection
+	// schedule (typically a compiled chaos.Schedule) while the simulator
+	// runs. Schedule time is mapped onto the continuous clock as steps of
+	// one Tick each. The nil path is bit-identical to the unperturbed
+	// simulator.
+	Perturb Perturber
+
 	// DisableRecovery turns off the one-reduction-per-loss-event rule.
 	// By default, after a monitor interval in which the protocol reduced
 	// its window in response to loss, losses detected during the next
@@ -102,6 +109,22 @@ func (c Config) validate() error {
 // Capacity returns the bandwidth-delay product B·2Θ in MSS, matching the
 // fluid model's C.
 func (c Config) Capacity() float64 { return c.Bandwidth * 2 * c.PropDelay }
+
+// Perturber is the fault-injection hook the simulator consults — a
+// structural copy of the chaos.Injector method set, so this package
+// stays free of chaos imports. The single bottleneck is link 0; steps
+// are Tick-sized slices of the simulation clock, queried in
+// non-decreasing order.
+type Perturber interface {
+	CapacityScale(step, link int) float64
+	ExtraLoss(step, flow int) float64
+	RTTOffset(step, link int) float64
+	FlowActive(step, flow int) bool
+}
+
+// minPerturbedDelay floors perturbed propagation delays and service
+// times so events never schedule into the past.
+const minPerturbedDelay = 1e-9
 
 // SampleTick returns the effective trace-sampling interval (Tick, or its
 // 2Θ default), so callers can size tick-count-dependent buffers before a
@@ -281,6 +304,9 @@ type senderState struct {
 	// inRecovery suppresses loss attribution for one monitor interval
 	// after a loss-driven window reduction (see Config.DisableRecovery).
 	inRecovery bool
+
+	// churnOn is the flow's chaos churn state (Config.Perturb only).
+	churnOn bool
 }
 
 // sim is the running simulation state.
@@ -374,6 +400,9 @@ func RunObserved(ctx context.Context, cfg Config, flows []Flow, duration float64
 			lastRTT: 2 * (cfg.PropDelay + f.ExtraDelay),
 			extra:   f.ExtraDelay,
 		}
+		if cfg.Perturb != nil {
+			s.senders[i].churnOn = cfg.Perturb.FlowActive(0, i)
+		}
 		s.schedule(f.Start, evFlowStart, i, 0)
 	}
 	s.schedule(cfg.Tick, evTick, -1, 0)
@@ -421,11 +450,52 @@ func (s *sim) miLen(i int) float64 {
 	return math.Max(s.senders[i].lastRTT, s.cfg.Tick)
 }
 
+// step maps the continuous clock onto chaos schedule steps of one Tick.
+func (s *sim) step() int { return int(s.now / s.cfg.Tick) }
+
+// minServiceScale floors the chaos capacity multiplier for service-time
+// purposes: a depart is scheduled when service *starts*, so a 1e-9 flap
+// scale would strand the in-service packet far beyond the run's end and
+// wedge the queue permanently. 1e-3 keeps a flapped link effectively
+// dead (drops dominate) while letting service resume after the flap.
+const minServiceScale = 1e-3
+
+// serviceTime is the bottleneck's per-packet service time, honoring any
+// chaos capacity scale.
+func (s *sim) serviceTime() float64 {
+	if p := s.cfg.Perturb; p != nil {
+		sc := p.CapacityScale(s.step(), 0)
+		if sc < minServiceScale {
+			sc = minServiceScale
+		}
+		return math.Max(1/(s.cfg.Bandwidth*sc), minPerturbedDelay)
+	}
+	return 1 / s.cfg.Bandwidth
+}
+
 // trySend emits packets until the sender's window is full.
 func (s *sim) trySend(i int) {
 	st := &s.senders[i]
 	if !st.started {
 		return
+	}
+	if p := s.cfg.Perturb; p != nil {
+		on := p.FlowActive(s.step(), i)
+		if on && !st.churnOn {
+			// Re-arrival mid-run: restart from the initial window with
+			// fresh monitor accumulators.
+			init := s.flows[i].Init
+			if init == 0 {
+				init = 1
+			}
+			st.window = protocol.Clamp(init, s.cfg.MaxWindow)
+			st.acked, st.lost, st.rttSum, st.rttCnt = 0, 0, 0, 0
+			st.inRecovery = false
+		}
+		st.churnOn = on
+		if !on {
+			return // departed: in-flight packets drain, nothing new sent
+		}
 	}
 	for float64(st.inflight) < math.Floor(st.window+1e-9) {
 		st.inflight++
@@ -439,14 +509,28 @@ func (s *sim) trySend(i int) {
 // feedback loop: forward propagation to the receiver plus the ACK's way
 // back through both propagation legs.
 func (s *sim) returnDelay(sender int) float64 {
-	return 2*s.cfg.PropDelay + s.senders[sender].extra
+	d := 2*s.cfg.PropDelay + s.senders[sender].extra
+	if p := s.cfg.Perturb; p != nil {
+		d += p.RTTOffset(s.step(), 0)
+		if d < minPerturbedDelay {
+			d = minPerturbedDelay
+		}
+	}
+	return d
 }
 
 // arrive handles a packet reaching the bottleneck queue.
 func (s *sim) arrive(sender int, sentAt float64) {
 	s.tickArrivals++
-	// Non-congestion loss strikes before the queue.
-	if s.cfg.RandomLoss > 0 && s.rng.Bernoulli(s.cfg.RandomLoss) {
+	// Non-congestion loss strikes before the queue: the configured rate
+	// composed with any scheduled chaos loss, as independent drops.
+	drop := s.cfg.RandomLoss
+	if p := s.cfg.Perturb; p != nil {
+		if r := p.ExtraLoss(s.step(), sender); r > 0 {
+			drop = 1 - (1-drop)*(1-r)
+		}
+	}
+	if drop > 0 && s.rng.Bernoulli(drop) {
 		s.tickDrops++
 		s.schedule(s.now+s.returnDelay(sender), evLossNotify, sender, sentAt)
 		return
@@ -461,7 +545,7 @@ func (s *sim) arrive(sender int, sentAt float64) {
 	s.queue = append(s.queue, queuedPacket{sender: sender, sentAt: sentAt})
 	if !s.serving {
 		s.serving = true
-		s.schedule(s.now+1/s.cfg.Bandwidth, evQueueDepart, -1, 0)
+		s.schedule(s.now+s.serviceTime(), evQueueDepart, -1, 0)
 	}
 }
 
@@ -475,7 +559,7 @@ func (s *sim) depart() {
 	s.tickDelivered[pkt.sender]++
 	s.schedule(s.now+s.returnDelay(pkt.sender), evAck, pkt.sender, pkt.sentAt)
 	if len(s.queue) > 0 {
-		s.schedule(s.now+1/s.cfg.Bandwidth, evQueueDepart, -1, 0)
+		s.schedule(s.now+s.serviceTime(), evQueueDepart, -1, 0)
 	} else {
 		s.serving = false
 	}
@@ -511,6 +595,14 @@ func (s *sim) lossNotify(sender int) {
 // and mean RTT feed the §2 protocol update.
 func (s *sim) monitorEnd(i int) {
 	st := &s.senders[i]
+	if p := s.cfg.Perturb; p != nil && !p.FlowActive(s.step(), i) {
+		// Departed flow: discard the interval's observations and keep the
+		// monitor clock running so a re-arrival picks updates back up.
+		st.churnOn = false
+		st.acked, st.lost, st.rttSum, st.rttCnt = 0, 0, 0, 0
+		s.schedule(s.now+s.miLen(i), evMonitorEnd, i, 0)
+		return
+	}
 	var lossRate float64
 	if total := st.acked + st.lost; total > 0 {
 		lossRate = float64(st.lost) / float64(total)
@@ -563,8 +655,17 @@ func (s *sim) tick() {
 	windows := s.windowScratch
 	for i := range s.senders {
 		windows[i] = s.senders[i].window
+		if s.cfg.Perturb != nil && !s.senders[i].churnOn {
+			windows[i] = 0
+		}
 	}
 	rtt := 2*s.cfg.PropDelay + float64(len(s.queue))/s.cfg.Bandwidth
+	if p := s.cfg.Perturb; p != nil {
+		rtt += p.RTTOffset(s.step(), 0)
+		if rtt < minPerturbedDelay {
+			rtt = minPerturbedDelay
+		}
+	}
 	var loss float64
 	if s.tickArrivals > 0 {
 		loss = float64(s.tickDrops) / float64(s.tickArrivals)

@@ -16,12 +16,37 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// PanicError is a worker panic converted into a per-item error: the item
+// index, the recovered value, and the goroutine stack at the panic site.
+// A panicking cell no longer kills the whole process — it fails like any
+// other erroring item. Test with errors.As.
+type PanicError struct {
+	Item  int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v\n%s", e.Item, e.Value, e.Stack)
+}
+
+// call invokes f with panic recovery.
+func call[T any](ctx context.Context, i int, f func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Item: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f(ctx, i)
+}
 
 // pool telemetry; pointers cached once, values recorded only while
 // obs is enabled.
@@ -89,7 +114,7 @@ func MapCtx[T any](ctx context.Context, n, workers int, f func(ctx context.Conte
 			if instrumented {
 				itemStart = time.Now()
 			}
-			v, err := f(ctx, i)
+			v, err := call(ctx, i, f)
 			if instrumented {
 				busyNs.Add(int64(time.Since(itemStart)))
 				if err != nil {
@@ -146,7 +171,7 @@ func MapCtx[T any](ctx context.Context, n, workers int, f func(ctx context.Conte
 					itemStart = time.Now()
 					poolQueueWait.Observe(itemStart.Sub(idleSince))
 				}
-				v, err := f(ctx, i)
+				v, err := call(ctx, i, f)
 				if instrumented {
 					idleSince = time.Now()
 					busyNs.Add(int64(idleSince.Sub(itemStart)))
@@ -173,4 +198,97 @@ func MapCtx[T any](ctx context.Context, n, workers int, f func(ctx context.Conte
 		return nil, err
 	}
 	return out, nil
+}
+
+// MapSettled is MapCtx without fail-fast: every item runs to completion
+// (panics included, recovered into PanicError) and failures are reported
+// per item instead of aborting the pool. It returns the results, a
+// parallel slice of per-item errors (nil for successes), and ctx.Err()
+// if cancellation stopped items from being claimed — those items carry
+// the context error in their errs slot.
+func MapSettled[T any](ctx context.Context, n, workers int, f func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
+	if n < 0 {
+		return nil, nil, fmt.Errorf("parallel: negative item count %d", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, errs, nil
+	}
+	instrumented := obs.Enabled()
+	var (
+		poolStart time.Time
+		busyNs    atomic.Int64
+	)
+	if instrumented {
+		poolRuns.Inc()
+		poolStart = time.Now()
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	worker := func() {
+		defer wg.Done()
+		idleSince := poolStart
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			var itemStart time.Time
+			if instrumented {
+				itemStart = time.Now()
+				poolQueueWait.Observe(itemStart.Sub(idleSince))
+			}
+			v, err := call(ctx, i, f)
+			if instrumented {
+				idleSince = time.Now()
+				busyNs.Add(int64(idleSince.Sub(itemStart)))
+				if err != nil {
+					poolItemsFailed.Inc()
+				} else {
+					poolItemsOK.Inc()
+				}
+			}
+			out[i], errs[i] = v, err
+		}
+	}
+	if workers <= 1 {
+		wg.Add(1)
+		worker()
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go worker()
+		}
+		wg.Wait()
+	}
+	if instrumented {
+		wall := time.Since(poolStart)
+		if wall > 0 {
+			poolUtilization.Set(float64(busyNs.Load()) / (float64(workers) * float64(wall.Nanoseconds())))
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Workers check ctx before claiming, so exactly the indexes below
+		// next were handed out and ran; everything from next on never
+		// started and carries the context error instead of a zero result.
+		for i := int(next.Load()); i < n; i++ {
+			if i >= 0 && errs[i] == nil {
+				errs[i] = err
+			}
+		}
+		return out, errs, err
+	}
+	return out, errs, nil
 }

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// A worker panic becomes a per-item PanicError instead of crashing the
+// process, and the other items' results are unaffected.
+func TestMapCtxPanicRecovered(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := MapCtx(context.Background(), 8, workers, func(_ context.Context, i int) (int, error) {
+			if i == 2 {
+				panic("item 2 exploded")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want a *PanicError", workers, err)
+		}
+		if pe.Item != 2 {
+			t.Fatalf("workers=%d: panicked item = %d, want 2", workers, pe.Item)
+		}
+		if !strings.Contains(pe.Error(), "item 2 exploded") || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic error lacks value or stack: %v", workers, pe)
+		}
+	}
+}
+
+// MapSettled reports failures per item; healthy items keep their
+// results.
+func TestMapSettledPerItemErrors(t *testing.T) {
+	boom := errors.New("boom")
+	out, errs, err := MapSettled(context.Background(), 10, 3, func(_ context.Context, i int) (int, error) {
+		switch i {
+		case 1:
+			panic("item 1 exploded")
+		case 5:
+			return 0, boom
+		}
+		return i * 2, nil
+	})
+	if err != nil {
+		t.Fatalf("pool error = %v, want nil", err)
+	}
+	var pe *PanicError
+	if !errors.As(errs[1], &pe) {
+		t.Fatalf("errs[1] = %v, want a *PanicError", errs[1])
+	}
+	if !errors.Is(errs[5], boom) {
+		t.Fatalf("errs[5] = %v, want %v", errs[5], boom)
+	}
+	for i := 0; i < 10; i++ {
+		if i == 1 || i == 5 {
+			continue
+		}
+		if errs[i] != nil || out[i] != i*2 {
+			t.Fatalf("item %d: out=%d errs=%v, want %d/nil", i, out[i], errs[i], i*2)
+		}
+	}
+}
+
+// Cancellation stops claiming; never-started items carry the context
+// error and MapSettled reports ctx.Err() as its third value.
+func TestMapSettledCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, errs, err := MapSettled(ctx, 1000, 2, func(_ context.Context, i int) (int, error) {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if total := ran.Load(); total >= 1000 {
+		t.Fatalf("all %d items ran despite cancellation", total)
+	}
+	var canceled int
+	for _, e := range errs {
+		if errors.Is(e, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no item carries the context error")
+	}
+}
+
+func TestMapSettledSerialAndEmpty(t *testing.T) {
+	out, errs, err := MapSettled(context.Background(), 4, 1, func(_ context.Context, i int) (int, error) {
+		return i + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != i+1 || errs[i] != nil {
+			t.Fatalf("item %d: %d/%v", i, out[i], errs[i])
+		}
+	}
+	out, errs, err = MapSettled(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil || len(out) != 0 || len(errs) != 0 {
+		t.Fatalf("empty settled map: %v %v %v", out, errs, err)
+	}
+}
