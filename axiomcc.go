@@ -349,6 +349,22 @@ type MetricOptions = metrics.Options
 // MetricScores is a protocol's measured 8-tuple.
 type MetricScores = metrics.Scores
 
+// MetricSession is the content-addressed run cache: runs whose complete
+// inputs fingerprint identically are simulated once and shared across the
+// estimators (and across sweep cells that share a session via
+// MetricOptions.Session). Cached scores are bit-identical to uncached.
+type MetricSession = metrics.Session
+
+// MetricSessionStats reports a session's hit/miss/steps-saved counters.
+type MetricSessionStats = metrics.SessionStats
+
+// DefaultMetricPropDelay is the 21 ms propagation delay (the paper's
+// 42 ms reference RTT) of the metric-specific infinite-link scenarios.
+const DefaultMetricPropDelay = metrics.DefaultPropDelay
+
+// NewMetricSession builds an empty run-deduplication session.
+var NewMetricSession = metrics.NewSession
+
 var (
 	Efficiency       = metrics.Efficiency
 	FastUtilization  = metrics.FastUtilization
@@ -428,6 +444,9 @@ var (
 	Figure1Surface = pareto.Figure1Surface
 	// Grid builds evenly spaced parameter grids.
 	Grid = pareto.Grid
+	// CharacterizeAll scores a protocol menu into oriented Pareto points,
+	// sharing one run-dedup session across all candidates.
+	CharacterizeAll = pareto.CharacterizeAll
 )
 
 // ---- Falsification (internal/axcheck) ----

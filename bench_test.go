@@ -14,6 +14,15 @@ package axiomcc_test
 //	BenchmarkTheorem1Sweep ...     executable theorem checks
 //	BenchmarkAblation*             design-choice ablations
 //	BenchmarkFluidStep / BenchmarkPacketSimSecond   raw simulator cost
+//
+// Two benchmarks double as CI perf baselines and emit JSON records:
+// BenchmarkSweep (BENCH_sweep.json) compares the pre-engine serial code
+// path to the orchestrated engine.Sweep, and BenchmarkCharacterize
+// (BENCH_characterize.json) compares a full eight-axiom characterization
+// with the content-addressed run cache off and on — the cached pass
+// simulates each unique (config, init) run once (4× fewer steps for Reno,
+// n = 2) and the fluid/stream hot loops are allocation-free, so -benchmem
+// numbers track both wins.
 
 import (
 	"encoding/json"
@@ -437,6 +446,109 @@ type benchSweepRecord struct {
 	EngineMean      float64 `json:"engine_mean_improvement"`
 	ObsEnabled      bool    `json:"obs_enabled"`
 	MeanImprovement float64 `json:"mean_improvement"`
+}
+
+// BenchmarkCharacterize is the perf baseline for the run-deduplication
+// layer: a full eight-axiom characterization of Reno (2 senders) with the
+// content-addressed cache disabled — the pre-cache baseline, every
+// estimator re-simulating its own runs — and enabled, where the five
+// tail estimators and the Reno-vs-Reno friendliness mix all share the
+// same simulated cells. Alongside wall clock it records the simulated-
+// vs-saved step counts from the session, the acceptance metric for the
+// dedup layer, into BENCH_characterize.json (mirroring BENCH_sweep.json).
+func BenchmarkCharacterize(b *testing.B) {
+	cfg := link20()
+	var uncachedNs, cachedNs int64
+	var uncached, cached axiomcc.MetricScores
+	var stats axiomcc.MetricSessionStats
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		opt := benchOpt
+		opt.NoCache = true
+		for i := 0; i < b.N; i++ {
+			var err error
+			uncached, err = axiomcc.Characterize(cfg, axiomcc.Reno(), 2, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		uncachedNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		b.ReportMetric(uncached.Efficiency, "reno-eff")
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh session per iteration: the measured win is intra-call
+			// dedup, not reuse across iterations.
+			opt := benchOpt
+			opt.Session = axiomcc.NewMetricSession()
+			var err error
+			cached, err = axiomcc.Characterize(cfg, axiomcc.Reno(), 2, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats = opt.Session.Stats()
+		}
+		cachedNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		b.ReportMetric(cached.Efficiency, "reno-eff")
+		b.ReportMetric(float64(stats.Misses), "runs-simulated")
+		b.ReportMetric(float64(stats.Hits), "runs-deduped")
+	})
+	// The cache must never move a score: bit-identity is part of the
+	// baseline contract.
+	if math.Float64bits(uncached.Efficiency) != math.Float64bits(cached.Efficiency) ||
+		math.Float64bits(uncached.TCPFriendliness) != math.Float64bits(cached.TCPFriendliness) {
+		b.Fatalf("cached scores diverged from uncached:\n  uncached %v\n  cached   %v", uncached, cached)
+	}
+	rec := benchCharacterizeRecord{
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		MaxProcs:        runtime.GOMAXPROCS(0),
+		UncachedNsPerOp: uncachedNs,
+		CachedNsPerOp:   cachedNs,
+		RunsSimulated:   stats.Misses,
+		RunsDeduped:     stats.Hits,
+		StepsSimulated:  stats.StepsSimulated,
+		StepsSaved:      stats.StepsSaved,
+		ObsEnabled:      obs.Enabled(),
+		RenoEfficiency:  cached.Efficiency,
+	}
+	if uncachedNs > 0 && cachedNs > 0 {
+		rec.Speedup = float64(uncachedNs) / float64(cachedNs)
+	}
+	if stats.StepsSimulated > 0 {
+		rec.StepsRatio = float64(stats.StepsSimulated+stats.StepsSaved) / float64(stats.StepsSimulated)
+	}
+	raw, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_characterize.json", append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_characterize.json (steps ratio %.2fx, wall %.2fx)", rec.StepsRatio, rec.Speedup)
+}
+
+// benchCharacterizeRecord is the schema of BENCH_characterize.json, the
+// run-cache perf baseline BenchmarkCharacterize writes (and CI uploads as
+// an artifact). steps_ratio is the acceptance metric: simulated steps the
+// same call would have cost uncached, relative to what actually ran.
+type benchCharacterizeRecord struct {
+	GoVersion       string  `json:"go_version"`
+	GOOS            string  `json:"os"`
+	GOARCH          string  `json:"arch"`
+	MaxProcs        int     `json:"max_procs"`
+	UncachedNsPerOp int64   `json:"uncached_ns_per_op"`
+	CachedNsPerOp   int64   `json:"cached_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	RunsSimulated   int64   `json:"runs_simulated"`
+	RunsDeduped     int64   `json:"runs_deduped"`
+	StepsSimulated  int64   `json:"steps_simulated"`
+	StepsSaved      int64   `json:"steps_saved"`
+	StepsRatio      float64 `json:"steps_ratio"`
+	ObsEnabled      bool    `json:"obs_enabled"`
+	RenoEfficiency  float64 `json:"reno_eff"`
 }
 
 // BenchmarkMultilinkStep measures the raw cost of one network step on a

@@ -35,6 +35,8 @@ func main() {
 		n       = flag.Int("n", 2, "number of senders for the multi-sender axioms")
 		steps   = flag.Int("steps", 4000, "simulation horizon in RTT steps")
 		workers = flag.Int("workers", 0, "parallel workers for the per-metric init sweeps (0 = GOMAXPROCS)")
+		nocache = flag.Bool("nocache", false, "disable run deduplication (re-simulate every estimator's runs; scores are bit-identical either way)")
+		stats   = flag.Bool("cache-stats", false, "print run-cache hit/miss/steps-saved counters to stderr")
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,9 +68,18 @@ func main() {
 		p.Name(), *mbps, *rttMS, *buffer, lp.C, *n)
 
 	row, rowErr := axiomcc.FamilyRow(p, lp)
-	scores, err := axiomcc.Characterize(cfg, p, *n, axiomcc.MetricOptions{Steps: *steps, Workers: *workers})
+	opt := axiomcc.MetricOptions{Steps: *steps, Workers: *workers, NoCache: *nocache}
+	if !*nocache {
+		opt.Session = axiomcc.NewMetricSession()
+	}
+	scores, err := axiomcc.Characterize(cfg, p, *n, opt)
 	if err != nil {
 		fatal(err)
+	}
+	if *stats && opt.Session != nil {
+		st := opt.Session.Stats()
+		fmt.Fprintf(os.Stderr, "run cache: %d simulated, %d deduped, %d uncacheable; %d steps simulated, %d saved\n",
+			st.Misses, st.Hits, st.Uncacheable, st.StepsSimulated, st.StepsSaved)
 	}
 	for name, v := range map[string]float64{
 		"efficiency":        scores.Efficiency,

@@ -36,18 +36,18 @@ func main() {
 	}
 
 	// Measure every candidate's full 8-tuple and embed it as a point in
-	// the (higher-is-better) oriented score space.
+	// the (higher-is-better) oriented score space. CharacterizeAll shares
+	// one run-dedup session across the whole menu, so runs common to
+	// several candidates simulate once.
 	fmt.Println("measuring candidates on a 20 Mbps / 42 ms / 20-MSS-buffer link...")
-	var points []axiomcc.ParetoPoint
+	points, scores, err := axiomcc.CharacterizeAll(cfg, candidates, 2, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	byName := map[string]axiomcc.MetricScores{}
-	for _, p := range candidates {
-		s, err := axiomcc.Characterize(cfg, p, 2, opt)
-		if err != nil {
-			log.Fatal(err)
-		}
-		byName[p.Name()] = s
-		points = append(points, axiomcc.ParetoPoint{Label: p.Name(), Coords: axiomcc.OrientScores(s)})
-		fmt.Printf("  %-24s %s\n", p.Name(), s)
+	for i, p := range candidates {
+		byName[p.Name()] = scores[i]
+		fmt.Printf("  %-24s %s\n", p.Name(), scores[i])
 	}
 
 	// Prune dominated designs.

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestInSweepCell(t *testing.T) {
+	if InSweepCell(context.Background()) {
+		t.Fatal("background context must not look like a sweep cell")
+	}
+	_, err := Sweep(context.Background(), 1, SweepConfig{},
+		func(ctx context.Context, i int, _ uint64) (bool, error) {
+			return InSweepCell(ctx), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNestedSweepDefaultsSerial verifies the oversubscription guard: a
+// sweep launched from inside another sweep's cell with Workers unset runs
+// its cells serially, while an explicit Workers value is honored.
+func TestNestedSweepDefaultsSerial(t *testing.T) {
+	maxConcurrent := func(workers int) int32 {
+		var cur, max int32
+		_, err := Sweep(context.Background(), 2, SweepConfig{Workers: 2},
+			func(ctx context.Context, _ int, _ uint64) (int, error) {
+				_, err := Sweep(ctx, 8, SweepConfig{Workers: workers},
+					func(ctx context.Context, _ int, _ uint64) (int, error) {
+						c := atomic.AddInt32(&cur, 1)
+						for {
+							m := atomic.LoadInt32(&max)
+							if c <= m || atomic.CompareAndSwapInt32(&max, m, c) {
+								break
+							}
+						}
+						time.Sleep(2 * time.Millisecond)
+						atomic.AddInt32(&cur, -1)
+						return 0, nil
+					})
+				return 0, err
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return atomic.LoadInt32(&max)
+	}
+	// Workers unset inside a cell: each inner sweep stays serial, so at
+	// most the 2 outer cells run inner work concurrently.
+	if m := maxConcurrent(0); m > 2 {
+		t.Fatalf("nested sweep with unset Workers reached concurrency %d, want ≤ 2 (serial per cell)", m)
+	}
+	// An explicit inner Workers overrides the guard.
+	if m := maxConcurrent(4); m <= 2 {
+		t.Fatalf("explicit inner Workers=4 was capped: max concurrency %d", m)
+	}
+}

@@ -105,6 +105,7 @@ var (
 // — the -progress flag of the cmd/* tools) is chained in front of
 // cfg.Progress.
 func Sweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, error) {
+	capNestedWorkers(ctx, &cfg)
 	h := newHarness[T](n, &cfg)
 	defer h.close()
 	return parallel.MapCtx(ctx, n, cfg.Workers, h.wrap(cell))
@@ -116,9 +117,30 @@ func Sweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx con
 // results stay valid. The third value is ctx.Err() when cancellation
 // stopped cells from being claimed; those cells carry the context error.
 func SweepSettled[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, []error, error) {
+	capNestedWorkers(ctx, &cfg)
 	h := newHarness[T](n, &cfg)
 	defer h.close()
 	return parallel.MapSettled(ctx, n, cfg.Workers, h.wrap(cell))
+}
+
+// nestedSweepKey marks contexts handed to sweep cells, so a sweep started
+// from inside a cell can tell it is nested.
+type nestedSweepKey struct{}
+
+// InSweepCell reports whether ctx descends from a sweep cell's context.
+func InSweepCell(ctx context.Context) bool {
+	return ctx != nil && ctx.Value(nestedSweepKey{}) != nil
+}
+
+// capNestedWorkers defaults an unset worker count to serial when the
+// sweep is launched from inside another sweep's cell: the outer grid
+// already owns the cores, and a nested GOMAXPROCS-wide pool would
+// oversubscribe them quadratically. An explicit cfg.Workers is honored —
+// the caller has claimed responsibility for the budget.
+func capNestedWorkers(ctx context.Context, cfg *SweepConfig) {
+	if cfg.Workers == 0 && InSweepCell(ctx) {
+		cfg.Workers = 1
+	}
 }
 
 // harness carries the per-sweep state shared by Sweep and SweepSettled:
@@ -180,6 +202,9 @@ func (h *harness[T]) tick() {
 // recording, and progress.
 func (h *harness[T]) wrap(cell func(ctx context.Context, i int, seed uint64) (T, error)) func(ctx context.Context, i int) (T, error) {
 	return func(ctx context.Context, i int) (T, error) {
+		// Mark the cell's context so nested sweeps default to serial
+		// (see capNestedWorkers).
+		ctx = context.WithValue(ctx, nestedSweepKey{}, true)
 		seed := CellSeed(h.cfg.BaseSeed, i)
 		if h.ck != nil {
 			if raw, ok := h.ck.cached(i); ok {

@@ -15,10 +15,18 @@ import (
 	"repro/internal/protocol"
 )
 
-// serialCell strips the worker knob from opt for use inside a sweep cell,
-// so parallelism lives at the grid level and cells don't oversubscribe.
+// serialCell prepares opt for use inside a sweep cell: the worker knob is
+// stripped so parallelism lives at the grid level and cells don't
+// oversubscribe, and — unless the caller brought a Session or set NoCache
+// — a shared run-deduplication session is installed so every cell of the
+// sweep reuses common baselines (the Reno comparator of each friendliness
+// cell, repeated robustness probes) instead of re-simulating them. Call
+// it once per sweep, before the cell closures are built.
 func serialCell(opt metrics.Options) metrics.Options {
 	opt.Workers = 1
+	if opt.Session == nil && !opt.NoCache {
+		opt.Session = metrics.NewSession()
+	}
 	return opt
 }
 

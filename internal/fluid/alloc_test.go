@@ -1,0 +1,53 @@
+package fluid
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// TestLinkStepAllocFree pins the hot-loop contract: once a Link is
+// constructed, Step performs zero heap allocations in steady state — the
+// StepResult borrows the per-link reuse buffers instead of copying. This
+// is the regression guard for the allocation-free property; if it fires,
+// something in Step (or a protocol's Next) started allocating per step.
+func TestLinkStepAllocFree(t *testing.T) {
+	theta := 0.021
+	cfg := Config{
+		Bandwidth: 100 / (2 * theta),
+		PropDelay: theta,
+		Buffer:    20,
+	}
+	l, err := New(cfg, Sender{Proto: protocol.Reno(), Init: 1}, Sender{Proto: protocol.Reno(), Init: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm past the transient so the loss path has been exercised too.
+	for i := 0; i < 200; i++ {
+		l.Step()
+	}
+	if avg := testing.AllocsPerRun(500, func() { l.Step() }); avg != 0 {
+		t.Fatalf("Link.Step allocates %.2f times per step in steady state, want 0", avg)
+	}
+}
+
+// TestLinkStepAllocFreeUnderLoss repeats the guard with a non-congestion
+// loss process attached, the other hot path the axiom estimators drive.
+func TestLinkStepAllocFreeUnderLoss(t *testing.T) {
+	cfg := Config{
+		Infinite:  true,
+		PropDelay: 0.021,
+		MaxWindow: 1e12,
+		Loss:      NewConstantLoss(0.01),
+	}
+	l, err := New(cfg, Sender{Proto: protocol.Reno(), Init: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		l.Step()
+	}
+	if avg := testing.AllocsPerRun(500, func() { l.Step() }); avg != 0 {
+		t.Fatalf("Link.Step allocates %.2f times per step under constant loss, want 0", avg)
+	}
+}

@@ -155,6 +155,12 @@ type Link struct {
 
 	// active tracks per-sender churn state; only used with Perturb set.
 	active []bool
+
+	// resWin and resLoss back StepResult's slices, reused every step so
+	// the hot loop stays allocation-free (see StepResult's borrowing
+	// contract).
+	resWin  []float64
+	resLoss []float64
 }
 
 // New returns a link with the given configuration and senders. It returns
@@ -175,6 +181,8 @@ func New(cfg Config, senders ...Sender) (*Link, error) {
 		epochSurvive: make([]float64, len(senders)),
 		epochRTTSum:  make([]float64, len(senders)),
 		epochSteps:   make([]int, len(senders)),
+		resWin:       make([]float64, len(senders)),
+		resLoss:      make([]float64, len(senders)),
 	}
 	for i, s := range senders {
 		if s.Proto == nil {
@@ -225,12 +233,17 @@ func (l *Link) Windows() []float64 {
 }
 
 // StepResult reports what happened during one time step.
+//
+// Windows and Loss are BORROWED: they alias per-link buffers that the
+// next Step call overwrites, keeping the hot loop allocation-free.
+// Callers that retain them across steps must copy (trace.Append and the
+// engine's streaming observers already do, or consume them in place).
 type StepResult struct {
 	Step     int       // the step index that was just executed
-	Windows  []float64 // windows during the step (before updates)
+	Windows  []float64 // windows during the step (before updates); borrowed
 	RTT      float64   // RTT(t) per eq. 1, in seconds
 	CongLoss float64   // congestion loss rate L(t)
-	Loss     []float64 // per-sender total loss (congestion ⊕ random)
+	Loss     []float64 // per-sender total loss (congestion ⊕ random); borrowed
 }
 
 // congestion returns (RTT, loss) for aggregate window x per the paper's
@@ -302,12 +315,18 @@ func (l *Link) Step() StepResult {
 		}
 	}
 
+	// Snapshot the in-effect windows into the reused result buffers
+	// before the protocol updates below mutate l.x.
+	copy(l.resWin, l.x)
+	for i := range l.resLoss {
+		l.resLoss[i] = 0
+	}
 	res := StepResult{
 		Step:     l.step,
-		Windows:  append([]float64(nil), l.x...),
+		Windows:  l.resWin,
 		RTT:      rtt,
 		CongLoss: congLoss,
-		Loss:     make([]float64, len(l.x)),
+		Loss:     l.resLoss,
 	}
 	for i := range l.senders {
 		if p != nil && !l.active[i] {

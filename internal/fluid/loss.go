@@ -2,6 +2,8 @@ package fluid
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 
 	"repro/internal/rand64"
 )
@@ -93,4 +95,28 @@ func (o OnOffLoss) Rate(step, sender int, window float64, rng *rand64.Source) fl
 		return o.R
 	}
 	return 0
+}
+
+// The builtin loss processes implement the same optional Fingerprint
+// contract as protocol.Fingerprinter: a canonical string that completely
+// determines the process's behavior (together with the link's Seed for
+// the randomized ones), so the metrics run cache can key simulations by
+// it. The hex IEEE-754 bit pattern makes equal fingerprints imply
+// bit-identical rate sequences.
+
+func lossFP(kind string, r float64) string {
+	return kind + "[" + strconv.FormatUint(math.Float64bits(r), 16) + "]"
+}
+
+// Fingerprint canonically identifies the process for run caching.
+func (c ConstantLoss) Fingerprint() string { return lossFP("const", c.R) }
+
+// Fingerprint canonically identifies the process for run caching. The
+// realized loss additionally depends on the link's Seed, which the cache
+// keys separately.
+func (p PacketLoss) Fingerprint() string { return lossFP("packet", p.R) }
+
+// Fingerprint canonically identifies the process for run caching.
+func (o OnOffLoss) Fingerprint() string {
+	return lossFP("onoff", o.R) + "/" + strconv.Itoa(o.OnSteps) + "/" + strconv.Itoa(o.Period)
 }

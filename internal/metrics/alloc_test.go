@@ -1,0 +1,23 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestStreamObserveAllocFree pins the observer half of the hot-loop
+// contract: Observe pushes into preallocated rings and must not allocate
+// per step, even after the rings wrap.
+func TestStreamObserveAllocFree(t *testing.T) {
+	meta := engine.Meta{Flows: 2, Capacity: 100, BaseRTT: 0.042, Horizon: 1000}
+	s := NewStream(meta, DefaultTailFrac)
+	step := engine.Step{Windows: []float64{10, 20}, Total: 30, RTT: 0.05, Loss: 0.01}
+	// Fill beyond ring capacity so the wrap-around path is what's measured.
+	for i := 0; i < 2000; i++ {
+		s.Observe(step)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { s.Observe(step) }); avg != 0 {
+		t.Fatalf("Stream.Observe allocates %.2f times per step, want 0", avg)
+	}
+}

@@ -146,7 +146,16 @@ type ExtScores struct {
 // CharacterizeExt measures the extension metrics for p with n senders.
 // Convergence uses a ±25% band; responsiveness targets 80% of the doubled
 // capacity.
+//
+// Like Characterize, the call deduplicates runs through opt.Session
+// (installing a private one unless opt.NoCache is set): ConvergenceTime
+// and Smoothness record the same traces, so they simulate once.
+// Responsiveness attaches a bandwidth-schedule closure and is therefore
+// uncacheable by design. Scores are bit-identical with caching on or off.
 func CharacterizeExt(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (ExtScores, error) {
+	if opt.Session == nil && !opt.NoCache {
+		opt.Session = NewSession()
+	}
 	var out ExtScores
 	var err error
 	if out.ConvergenceTime, err = ConvergenceTime(cfg, p, n, 0.25, opt); err != nil {

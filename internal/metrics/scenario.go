@@ -36,7 +36,31 @@ type Options struct {
 	Chaos *chaos.Schedule
 	// ChaosSeed seeds the schedule's randomized components.
 	ChaosSeed uint64
+	// PropDelay is the one-way propagation delay Θ, in seconds, of the
+	// synthetic infinite-capacity links that FastUtilization and
+	// Robustness build for their metric-specific scenarios (the finite-link
+	// metrics take Θ from cfg). 0 selects DefaultPropDelay.
+	PropDelay float64
+	// Session, when non-nil, deduplicates simulation runs across estimator
+	// calls: runs whose complete inputs fingerprint identically are
+	// simulated once and shared (see Session). Characterize and
+	// CharacterizeExt install a private Session automatically when none is
+	// set; sweeps pass one Session through every cell so cross-cell
+	// baselines (e.g. the Reno friendliness comparator) also run once.
+	// Cached results are bit-identical to fresh runs.
+	Session *Session
+	// NoCache disables the automatic Session in Characterize and
+	// CharacterizeExt, re-simulating every run. Scores are bit-identical
+	// either way; the knob exists for benchmarks and golden tests.
+	NoCache bool
 }
+
+// DefaultPropDelay is the propagation delay Θ (21 ms, i.e. a 42 ms RTT)
+// of the metric-specific infinite-link scenarios. 42 ms is the RTT of the
+// paper's reference dumbbell (HotNets-XVI §2 evaluates on a 20 Mbps,
+// 42 ms-RTT link), so the single-sender fast-utilization and robustness
+// probes see the same feedback delay as the finite-link experiments.
+const DefaultPropDelay = 0.021
 
 func (o Options) withDefaults() Options {
 	if o.Steps == 0 {
@@ -44,6 +68,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TailFrac == 0 {
 		o.TailFrac = DefaultTailFrac
+	}
+	if o.PropDelay == 0 {
+		o.PropDelay = DefaultPropDelay
 	}
 	return o
 }
@@ -87,29 +114,67 @@ func (o Options) initConfigs(cfg fluid.Config, n int) [][]float64 {
 	return DefaultInitConfigs(cfg, n)
 }
 
-// runStreams runs one streaming-observed engine run per initial
-// configuration — no trace is materialized. Sender slices are built
-// serially up front (protocol cloning is not required to be
-// goroutine-safe); the runs themselves shard across the worker pool.
-func runStreams(cfg fluid.Config, p protocol.Protocol, n int, o Options) ([]*Stream, error) {
-	inits := o.initConfigs(cfg, n)
-	subs := make([]*engine.FluidSpec, len(inits))
-	for i, init := range inits {
-		senders, err := fluid.HomogeneousSenders(p, n, init)
-		if err != nil {
+// runStream executes (or retrieves from o.Session) one streaming-observed
+// engine run. key/cacheable come from runKey over the same inputs that
+// built sub.
+func runStream(ctx context.Context, sub *engine.FluidSpec, key string, cacheable bool, o Options) (*Stream, error) {
+	exec := func() (*Stream, error) {
+		st := NewStream(sub.Meta(), o.TailFrac)
+		spec := engine.Spec{Substrate: sub, Observers: []engine.Observer{st}, Chaos: o.Chaos, ChaosSeed: o.ChaosSeed}
+		if _, err := engine.Run(ctx, spec); err != nil {
 			return nil, err
 		}
-		subs[i] = &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: o.Steps}
+		return st, nil
+	}
+	if o.Session == nil {
+		return exec()
+	}
+	if !cacheable {
+		st, err := exec()
+		if err == nil {
+			o.Session.noteUncacheable(o.Steps)
+		}
+		return st, err
+	}
+	st, _, err := o.Session.do(key, o.Steps, func() (*Stream, *trace.Trace, error) {
+		st, err := exec()
+		return st, nil, err
+	})
+	return st, err
+}
+
+// streamRuns runs one streaming-observed engine run per initial
+// configuration — no trace is materialized — for the given per-sender
+// protocol slice (homogeneous estimators pass n copies of one protocol;
+// Friendliness passes its mix). Sender slices are built serially up front
+// (protocol cloning is not required to be goroutine-safe); the runs
+// themselves shard across the worker pool, and identical runs are
+// deduplicated through o.Session when one is set.
+func streamRuns(cfg fluid.Config, protos []protocol.Protocol, o Options, inits [][]float64) ([]*Stream, error) {
+	subs := make([]*engine.FluidSpec, len(inits))
+	keys := make([]string, len(inits))
+	cacheable := make([]bool, len(inits))
+	for i, init := range inits {
+		subs[i] = &engine.FluidSpec{Cfg: cfg, Senders: fluid.MixedSenders(protos, init), Steps: o.Steps}
+		keys[i], cacheable[i] = runKey(cfg, protos, init, o, false)
 	}
 	return engine.Sweep(context.Background(), len(subs), engine.SweepConfig{Workers: o.Workers},
 		func(ctx context.Context, i int, _ uint64) (*Stream, error) {
-			st := NewStream(subs[i].Meta(), o.TailFrac)
-			spec := engine.Spec{Substrate: subs[i], Observers: []engine.Observer{st}, Chaos: o.Chaos, ChaosSeed: o.ChaosSeed}
-			if _, err := engine.Run(ctx, spec); err != nil {
-				return nil, err
-			}
-			return st, nil
+			return runStream(ctx, subs[i], keys[i], cacheable[i], o)
 		})
+}
+
+// runStreams is streamRuns for n homogeneous p-senders over the default
+// (or configured) initial configurations.
+func runStreams(cfg fluid.Config, p protocol.Protocol, n int, o Options) ([]*Stream, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fluid: need at least one sender, got %d", n)
+	}
+	protos := make([]protocol.Protocol, n)
+	for i := range protos {
+		protos[i] = p
+	}
+	return streamRuns(cfg, protos, o, o.initConfigs(cfg, n))
 }
 
 // Efficiency estimates Metric I for n senders all running p on cfg: the
@@ -187,10 +252,12 @@ func Convergence(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (flo
 // FastUtilization estimates Metric II by running a single p-sender on an
 // infinite-capacity, loss-free link — the regime the metric's definition
 // isolates ("does not experience loss, nor increased RTT") — and scoring
-// the window-growth sums per FastUtilizationFromSeries.
+// the window-growth sums per FastUtilizationFromSeries. The link's
+// propagation delay comes from Options.PropDelay (default
+// DefaultPropDelay, the paper's 42 ms reference RTT).
 func FastUtilization(p protocol.Protocol, opt Options) (float64, error) {
 	o := opt.withDefaults()
-	cfg := fluid.Config{Infinite: true, PropDelay: 0.021, MaxWindow: math.Inf(1)}
+	cfg := fluid.Config{Infinite: true, PropDelay: o.PropDelay, MaxWindow: math.Inf(1)}
 	tr, err := runRecorded(cfg, p, 1, []float64{protocol.MinWindow}, o)
 	if err != nil {
 		return 0, err
@@ -202,22 +269,45 @@ func FastUtilization(p protocol.Protocol, opt Options) (float64, error) {
 // recording — used by the metrics that need the full window series
 // (fast-utilization's growth sums, robustness's slope fit, the extension
 // metrics' settle scans) rather than a tail summary. o supplies the
-// horizon and the optional chaos schedule.
+// horizon, the optional chaos schedule, and the optional run-dedup
+// Session; cached traces are shared read-only between callers.
 func runRecorded(cfg fluid.Config, p protocol.Protocol, n int, init []float64, o Options) (*trace.Trace, error) {
 	senders, err := fluid.HomogeneousSenders(p, n, init)
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(context.Background(), engine.Spec{
-		Substrate: &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: o.Steps},
-		Record:    true,
-		Chaos:     o.Chaos,
-		ChaosSeed: o.ChaosSeed,
-	})
-	if err != nil {
-		return nil, err
+	exec := func() (*trace.Trace, error) {
+		res, err := engine.Run(context.Background(), engine.Spec{
+			Substrate: &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: o.Steps},
+			Record:    true,
+			Chaos:     o.Chaos,
+			ChaosSeed: o.ChaosSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Trace, nil
 	}
-	return res.Trace, nil
+	if o.Session == nil {
+		return exec()
+	}
+	protos := make([]protocol.Protocol, n)
+	for i := range protos {
+		protos[i] = p
+	}
+	key, cacheable := runKey(cfg, protos, init, o, true)
+	if !cacheable {
+		tr, err := exec()
+		if err == nil {
+			o.Session.noteUncacheable(o.Steps)
+		}
+		return tr, err
+	}
+	_, tr, err := o.Session.do(key, o.Steps, func() (*Stream, *trace.Trace, error) {
+		tr, err := exec()
+		return nil, tr, err
+	})
+	return tr, err
 }
 
 // RobustTo reports whether p is robust to constant non-congestion loss of
@@ -233,7 +323,7 @@ func RobustTo(p protocol.Protocol, r float64, opt Options) (bool, error) {
 	const cap = 1e12
 	cfg := fluid.Config{
 		Infinite:  true,
-		PropDelay: 0.021,
+		PropDelay: o.PropDelay,
 		MaxWindow: cap,
 		Loss:      fluid.NewConstantLoss(r),
 	}
@@ -314,26 +404,13 @@ func Friendliness(cfg fluid.Config, p, q protocol.Protocol, nP, nQ int, opt Opti
 		qIdx = append(qIdx, len(protos))
 		protos = append(protos, q)
 	}
-	inits := o.initConfigs(cfg, n)
-	subs := make([]*engine.FluidSpec, len(inits))
-	for i, init := range inits {
-		subs[i] = &engine.FluidSpec{Cfg: cfg, Senders: fluid.MixedSenders(protos, init), Steps: o.Steps}
-	}
-	scores, err := engine.Sweep(context.Background(), len(subs), engine.SweepConfig{Workers: o.Workers},
-		func(ctx context.Context, i int, _ uint64) (float64, error) {
-			st := NewStream(subs[i].Meta(), o.TailFrac)
-			spec := engine.Spec{Substrate: subs[i], Observers: []engine.Observer{st}, Chaos: o.Chaos, ChaosSeed: o.ChaosSeed}
-			if _, err := engine.Run(ctx, spec); err != nil {
-				return 0, err
-			}
-			return st.Friendliness(pIdx, qIdx), nil
-		})
+	streams, err := streamRuns(cfg, protos, o, o.initConfigs(cfg, n))
 	if err != nil {
 		return 0, err
 	}
 	worst := math.Inf(1)
-	for _, f := range scores {
-		if f < worst {
+	for _, st := range streams {
+		if f := st.Friendliness(pIdx, qIdx); f < worst {
 			worst = f
 		}
 	}
@@ -389,7 +466,17 @@ func (s Scores) String() string {
 // cfg, the empirical analogue of one row of the paper's Table 1.
 // Fast-utilization and robustness use the metric-specific infinite-link
 // scenarios; TCP-friendliness runs one p-sender against one Reno sender.
+//
+// Unless opt.NoCache is set, the call deduplicates its simulation runs
+// through opt.Session (installing a private one when nil): Efficiency,
+// LossAvoidance, Fairness, Convergence, and LatencyAvoidance all need the
+// same runs, and the TCP-friendliness mix of a Reno-parameterized AIMD
+// collapses onto the homogeneous runs, so each unique (config, init) cell
+// simulates exactly once. Scores are bit-identical with caching on or off.
 func Characterize(cfg fluid.Config, p protocol.Protocol, n int, opt Options) (Scores, error) {
+	if opt.Session == nil && !opt.NoCache {
+		opt.Session = NewSession()
+	}
 	var s Scores
 	var err error
 	if s.Efficiency, err = Efficiency(cfg, p, n, opt); err != nil {

@@ -1,0 +1,244 @@
+package metrics
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/fluid"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// Session is a content-addressed cache of simulation runs shared by the
+// axiom estimators. Every run an estimator needs is keyed by a canonical
+// fingerprint of its complete inputs — link config, protocol parameters,
+// initial windows, horizon, tail fraction, and chaos schedule + seed — so
+// a Characterize call simulates each unique (config, init) cell exactly
+// once and fans all tail estimators out over the shared result, and a
+// sweep that passes one Session through Options reuses cross-cell
+// baselines (e.g. the Reno comparator of every friendliness cell).
+//
+// Runs are deterministic, so a cached result is bit-identical to a fresh
+// simulation; the cache changes cost, never scores. Concurrent lookups of
+// the same key are single-flighted: one goroutine simulates, the rest
+// wait and share. Cached *Stream/*trace.Trace values are returned to
+// multiple callers and must be treated as read-only, which every
+// estimator accessor already guarantees.
+//
+// Inputs without a canonical identity — a protocol or loss process that
+// doesn't implement Fingerprint, a Perturb or BandwidthSchedule closure —
+// are never cached: those runs execute directly and count as Uncacheable
+// in Stats.
+type Session struct {
+	mu      sync.Mutex
+	entries map[string]*sessionEntry
+	stats   SessionStats
+}
+
+// sessionEntry is one single-flighted run: done closes when the claimant
+// finishes, after which exactly one of stream/tr (on success) or err is
+// set.
+type sessionEntry struct {
+	done   chan struct{}
+	stream *Stream
+	tr     *trace.Trace
+	err    error
+}
+
+// NewSession returns an empty run cache. A zero-value Session is not
+// usable; estimators treat a nil *Session as "no caching".
+func NewSession() *Session {
+	return &Session{entries: make(map[string]*sessionEntry)}
+}
+
+// SessionStats summarizes what a Session saved. StepsSaved/StepsSimulated
+// is the dedup factor: how many simulated steps the same calls would have
+// cost without the cache, relative to what actually ran.
+type SessionStats struct {
+	// Hits is the number of runs served from a previous simulation.
+	Hits int64
+	// Misses is the number of runs actually simulated through the cache.
+	Misses int64
+	// Uncacheable is the number of runs executed outside the cache
+	// because some input had no canonical fingerprint.
+	Uncacheable int64
+	// StepsSimulated is the total simulated steps of Misses + Uncacheable.
+	StepsSimulated int64
+	// StepsSaved is the total simulated steps Hits avoided.
+	StepsSaved int64
+}
+
+// Stats returns a snapshot of the session's counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// session telemetry, recorded only while obs is enabled. Cached pointers:
+// the registry preserves metric identity across Reset.
+var (
+	sessionHits        = obs.GetCounter("metrics.session.hits")
+	sessionMisses      = obs.GetCounter("metrics.session.misses")
+	sessionUncacheable = obs.GetCounter("metrics.session.uncacheable")
+)
+
+// errSessionPanicked is handed to waiters whose claimant panicked; the
+// panic itself propagates on the claimant's goroutine (where the sweep
+// harness recovers it into a per-cell PanicError).
+var errSessionPanicked = errors.New("metrics: cached run panicked in another goroutine")
+
+// noteUncacheable records a run that executed outside the cache.
+func (s *Session) noteUncacheable(steps int) {
+	s.mu.Lock()
+	s.stats.Uncacheable++
+	s.stats.StepsSimulated += int64(steps)
+	s.mu.Unlock()
+	if obs.Enabled() {
+		sessionUncacheable.Inc()
+	}
+}
+
+// do returns the cached result for key, or claims the key and runs exec
+// exactly once while concurrent callers wait. Errors are returned to the
+// claimant and any current waiters but never cached: the claim is evicted
+// so later calls retry (a canceled context must not poison the session —
+// and runs are deterministic, so a genuine failure simply reproduces).
+func (s *Session) do(key string, steps int, exec func() (*Stream, *trace.Trace, error)) (*Stream, *trace.Trace, error) {
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			s.mu.Unlock()
+			<-e.done
+			if e.err != nil {
+				if e.err == errSessionPanicked {
+					return nil, nil, e.err
+				}
+				continue // claim was evicted; retry (bounded: we claim next)
+			}
+			s.mu.Lock()
+			s.stats.Hits++
+			s.stats.StepsSaved += int64(steps)
+			s.mu.Unlock()
+			if obs.Enabled() {
+				sessionHits.Inc()
+			}
+			return e.stream, e.tr, nil
+		}
+		e := &sessionEntry{done: make(chan struct{})}
+		s.entries[key] = e
+		s.mu.Unlock()
+
+		finished := false
+		defer func() {
+			if !finished {
+				// exec panicked. Evict the claim and release waiters with
+				// a sentinel error so nobody blocks forever; the panic
+				// keeps unwinding on this goroutine.
+				s.mu.Lock()
+				delete(s.entries, key)
+				s.mu.Unlock()
+				e.err = errSessionPanicked
+				close(e.done)
+			}
+		}()
+		e.stream, e.tr, e.err = exec()
+		finished = true
+		s.mu.Lock()
+		if e.err != nil {
+			delete(s.entries, key)
+		} else {
+			s.stats.Misses++
+			s.stats.StepsSimulated += int64(steps)
+		}
+		s.mu.Unlock()
+		if e.err == nil && obs.Enabled() {
+			sessionMisses.Inc()
+		}
+		close(e.done)
+		return e.stream, e.tr, e.err
+	}
+}
+
+// lossFingerprinter is the optional contract the builtin fluid loss
+// processes implement (mirroring protocol.Fingerprinter).
+type lossFingerprinter interface{ Fingerprint() string }
+
+// hexBits renders a float64 as the hex of its IEEE-754 bit pattern —
+// collision-free, unlike decimal formatting, and cheap to compare.
+func hexBits(sb *strings.Builder, v float64) {
+	sb.WriteString(strconv.FormatUint(math.Float64bits(v), 16))
+}
+
+// runKey builds the canonical content address of one simulated run: the
+// defaulted link config, the per-sender protocol fingerprints and initial
+// windows (init cycled exactly as the sender builders cycle it), the
+// horizon, the chaos schedule + seed, and — for streamed runs — the tail
+// fraction baked into the Stream's rings. ok is false when any input
+// lacks a canonical identity; such runs must execute uncached.
+func runKey(cfg fluid.Config, protos []protocol.Protocol, init []float64, o Options, recorded bool) (key string, ok bool) {
+	if cfg.Perturb != nil || cfg.BandwidthSchedule != nil {
+		return "", false // opaque closures have no canonical identity
+	}
+	var sb strings.Builder
+	if recorded {
+		sb.WriteString("v1|trace|")
+	} else {
+		sb.WriteString("v1|stream|tf=")
+		hexBits(&sb, o.TailFrac)
+		sb.WriteByte('|')
+	}
+	sb.WriteString("steps=")
+	sb.WriteString(strconv.Itoa(o.Steps))
+	sb.WriteString("|link=")
+	for _, v := range []float64{cfg.Bandwidth, cfg.PropDelay, cfg.Buffer, cfg.MaxWindow, cfg.TimeoutRTT} {
+		hexBits(&sb, v)
+		sb.WriteByte(',')
+	}
+	if cfg.Infinite {
+		sb.WriteString("inf")
+	}
+	sb.WriteString("|seed=")
+	sb.WriteString(strconv.FormatUint(cfg.Seed, 16))
+	sb.WriteByte('|')
+	if cfg.Loss != nil {
+		fp, ok := cfg.Loss.(lossFingerprinter)
+		if !ok {
+			return "", false
+		}
+		sb.WriteString("loss=")
+		sb.WriteString(fp.Fingerprint())
+		sb.WriteByte('|')
+	}
+	if o.Chaos != nil {
+		raw, err := json.Marshal(o.Chaos)
+		if err != nil {
+			return "", false
+		}
+		sb.WriteString("chaos=")
+		sb.Write(raw)
+		sb.WriteString(";cs=")
+		sb.WriteString(strconv.FormatUint(o.ChaosSeed, 16))
+		sb.WriteByte('|')
+	}
+	for i, p := range protos {
+		f, ok := p.(protocol.Fingerprinter)
+		if !ok {
+			return "", false
+		}
+		sb.WriteString(f.Fingerprint())
+		sb.WriteByte('@')
+		w := protocol.MinWindow
+		if len(init) > 0 {
+			w = init[i%len(init)]
+		}
+		hexBits(&sb, w)
+		sb.WriteByte(';')
+	}
+	return sb.String(), true
+}

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/fluid"
+	"repro/internal/protocol"
+)
+
+// scoresBitsEqual compares two 8-tuples bit for bit (NaN == NaN), which is
+// exactly the cache's contract: a cached run must not move any score by
+// even one ULP.
+func scoresBitsEqual(a, b Scores) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return eq(a.Efficiency, b.Efficiency) &&
+		eq(a.FastUtilization, b.FastUtilization) &&
+		eq(a.LossAvoidance, b.LossAvoidance) &&
+		eq(a.Fairness, b.Fairness) &&
+		eq(a.Convergence, b.Convergence) &&
+		eq(a.Robustness, b.Robustness) &&
+		eq(a.TCPFriendliness, b.TCPFriendliness) &&
+		eq(a.LatencyAvoidance, b.LatencyAvoidance)
+}
+
+func TestCharacterizeCacheBitIdentical(t *testing.T) {
+	cfg := cap100()
+	for _, p := range []protocol.Protocol{protocol.Reno(), protocol.CubicLinux()} {
+		opt := Options{Steps: 800}
+		opt.NoCache = true
+		plain, err := Characterize(cfg, p, 2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.NoCache = false
+		opt.Session = NewSession()
+		cached, err := Characterize(cfg, p, 2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !scoresBitsEqual(plain, cached) {
+			t.Fatalf("%s: cached scores differ from uncached:\n  uncached %v\n  cached   %v", p.Name(), plain, cached)
+		}
+		if st := opt.Session.Stats(); st.Hits == 0 {
+			t.Fatalf("%s: session saw no cache hits: %+v", p.Name(), st)
+		}
+	}
+}
+
+func TestCharacterizeCacheBitIdenticalWithChaos(t *testing.T) {
+	cfg := cap100()
+	sched := chaos.BurstyLoss(0.02, 0.3, 0.08)
+	opt := Options{Steps: 800, Chaos: sched, ChaosSeed: 7, NoCache: true}
+	plain, err := Characterize(cfg, protocol.Reno(), 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.NoCache = false
+	opt.Session = NewSession()
+	cached, err := Characterize(cfg, protocol.Reno(), 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scoresBitsEqual(plain, cached) {
+		t.Fatalf("cached scores differ under chaos:\n  uncached %v\n  cached   %v", plain, cached)
+	}
+	// A different chaos seed must not collide with the cached runs.
+	opt2 := Options{Steps: 800, Chaos: sched, ChaosSeed: 8, Session: opt.Session}
+	other, err := Characterize(cfg, protocol.Reno(), 2, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoresBitsEqual(cached, other) {
+		t.Fatal("distinct chaos seeds produced identical scores — seed is missing from the run key")
+	}
+}
+
+func TestCharacterizeExtCacheBitIdentical(t *testing.T) {
+	cfg := cap100()
+	opt := Options{Steps: 800, NoCache: true}
+	plain, err := CharacterizeExt(cfg, protocol.Reno(), 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.NoCache = false
+	opt.Session = NewSession()
+	cached, err := CharacterizeExt(cfg, protocol.Reno(), 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != cached {
+		t.Fatalf("cached ext scores differ: uncached %v cached %v", plain, cached)
+	}
+	st := opt.Session.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("ConvergenceTime and Smoothness record identical traces; expected hits, got %+v", st)
+	}
+	if st.Uncacheable == 0 {
+		t.Fatalf("Responsiveness attaches a BandwidthSchedule and must bypass the cache, got %+v", st)
+	}
+}
+
+func TestCharacterizeSessionDedupStats(t *testing.T) {
+	// Reno, n = 2: Efficiency / LossAvoidance / Fairness / Convergence /
+	// LatencyAvoidance all need the same 3 streamed runs, and the
+	// TCP-friendliness mix (Reno vs Reno) collapses onto them; Robustness
+	// quick-exits after one recorded probe and FastUtilization records one
+	// more. So 20 requested runs shrink to 5 simulated — a 4× step
+	// reduction, comfortably above the 3× acceptance floor.
+	opt := Options{Steps: 800, Session: NewSession()}
+	if _, err := Characterize(cap100(), protocol.Reno(), 2, opt); err != nil {
+		t.Fatal(err)
+	}
+	st := opt.Session.Stats()
+	if st.Misses != 5 || st.Hits != 15 || st.Uncacheable != 0 {
+		t.Fatalf("expected 5 misses / 15 hits / 0 uncacheable, got %+v", st)
+	}
+	ratio := float64(st.StepsSimulated+st.StepsSaved) / float64(st.StepsSimulated)
+	if ratio < 3 {
+		t.Fatalf("step dedup ratio %.2f < 3×: %+v", ratio, st)
+	}
+
+	// A second identical call on the same session is served entirely from
+	// cache.
+	if _, err := Characterize(cap100(), protocol.Reno(), 2, opt); err != nil {
+		t.Fatal(err)
+	}
+	st2 := opt.Session.Stats()
+	if st2.Misses != st.Misses {
+		t.Fatalf("second call simulated %d new runs, want 0", st2.Misses-st.Misses)
+	}
+	if st2.Hits != st.Hits+20 {
+		t.Fatalf("second call hit %d times, want 20", st2.Hits-st.Hits)
+	}
+}
+
+func TestCharacterizeUncacheableFuncProtocol(t *testing.T) {
+	// protocol.Func carries no fingerprint, so every run must execute
+	// uncached — and still produce the same scores as a NoCache run.
+	mk := func() protocol.Protocol {
+		return &protocol.Func{
+			Label: "custom-aimd",
+			Fn: func(fb protocol.Feedback) float64 {
+				if fb.Loss > 0 {
+					return fb.Window * 0.5
+				}
+				return fb.Window + 1
+			},
+		}
+	}
+	cfg := cap100()
+	plain, err := Characterize(cfg, mk(), 2, Options{Steps: 600, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Steps: 600, Session: NewSession()}
+	cached, err := Characterize(cfg, mk(), 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scoresBitsEqual(plain, cached) {
+		t.Fatalf("Func scores differ with a session attached:\n  plain  %v\n  session %v", plain, cached)
+	}
+	st := opt.Session.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Func runs must bypass the cache entirely, got %+v", st)
+	}
+	if st.Uncacheable == 0 {
+		t.Fatal("uncacheable runs were not counted")
+	}
+}
+
+func TestSessionConcurrentSharing(t *testing.T) {
+	// Many goroutines characterizing the same protocol through one session
+	// must single-flight the runs and all observe identical scores.
+	opt := Options{Steps: 600, Session: NewSession()}
+	cfg := cap100()
+	const goroutines = 4
+	scores := make([]Scores, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			scores[g], errs[g] = Characterize(cfg, protocol.Reno(), 2, opt)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if !scoresBitsEqual(scores[0], scores[g]) {
+			t.Fatalf("goroutine %d saw different scores:\n  %v\n  %v", g, scores[0], scores[g])
+		}
+	}
+	if st := opt.Session.Stats(); st.Misses != 5 {
+		t.Fatalf("concurrent callers re-simulated runs: %+v (want 5 misses)", st)
+	}
+}
+
+func TestRunKeyDistinguishesInputs(t *testing.T) {
+	base := cap100()
+	protos := []protocol.Protocol{protocol.Reno(), protocol.Reno()}
+	o := Options{Steps: 800, TailFrac: 0.75}
+	key := func(cfg fluid.Config, init []float64, o Options, recorded bool) string {
+		k, ok := runKey(cfg, protos, init, o, recorded)
+		if !ok {
+			t.Fatalf("expected cacheable key for %+v", cfg)
+		}
+		return k
+	}
+	ref := key(base, []float64{1, 50}, o, false)
+	if key(base, []float64{1, 50}, o, false) != ref {
+		t.Fatal("identical inputs produced different keys")
+	}
+	distinct := map[string]string{
+		"init":     key(base, []float64{1, 51}, o, false),
+		"recorded": key(base, []float64{1, 50}, o, true),
+	}
+	o2 := o
+	o2.Steps = 801
+	distinct["steps"] = key(base, []float64{1, 50}, o2, false)
+	o3 := o
+	o3.TailFrac = 0.8
+	distinct["tailfrac"] = key(base, []float64{1, 50}, o3, false)
+	cfg2 := base
+	cfg2.Bandwidth++
+	distinct["bandwidth"] = key(cfg2, []float64{1, 50}, o, false)
+	cfg3 := base
+	cfg3.Loss = fluid.NewConstantLoss(0.01)
+	distinct["loss"] = key(cfg3, []float64{1, 50}, o, false)
+	for what, k := range distinct {
+		if k == ref {
+			t.Fatalf("changing %s did not change the run key", what)
+		}
+	}
+
+	// Closures kill cacheability.
+	cfgSched := base
+	cfgSched.BandwidthSchedule = func(int) float64 { return base.Bandwidth }
+	if _, ok := runKey(cfgSched, protos, nil, o, false); ok {
+		t.Fatal("BandwidthSchedule runs must be uncacheable")
+	}
+	if _, ok := runKey(base, []protocol.Protocol{&protocol.Func{Fn: func(fb protocol.Feedback) float64 { return fb.Window }}}, nil, o, false); ok {
+		t.Fatal("protocol.Func runs must be uncacheable")
+	}
+}

@@ -1,0 +1,72 @@
+package protocol
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Fingerprinter is optionally implemented by protocols whose behavior —
+// starting from a fresh Clone — is completely determined by a canonical
+// string. The run-deduplication cache in internal/metrics keys simulated
+// runs by these strings, so two protocol values with equal fingerprints
+// MUST produce bit-identical window sequences under identical feedback.
+//
+// Every builtin family implements it by encoding the exact bits of every
+// behavior-relevant parameter (not just the Name(), which rounds floats
+// and omits secondary knobs like PCC's probing step). Func deliberately
+// does not: its Label carries no guarantee about the wrapped closure, so
+// Func-backed runs are never cached.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// fingerprint builds "kind[bits,bits,...]" with each parameter rendered as
+// the hex of its IEEE-754 bit pattern — collision-free by construction,
+// unlike decimal formatting.
+func fingerprint(kind string, params ...float64) string {
+	var sb strings.Builder
+	sb.WriteString(kind)
+	sb.WriteByte('[')
+	for i, p := range params {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatUint(math.Float64bits(p), 16))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Fingerprint implements Fingerprinter.
+func (p *AIMD) Fingerprint() string { return fingerprint("aimd", p.A, p.B) }
+
+// Fingerprint implements Fingerprinter.
+func (p *MIMD) Fingerprint() string { return fingerprint("mimd", p.A, p.B) }
+
+// Fingerprint implements Fingerprinter.
+func (p *Binomial) Fingerprint() string { return fingerprint("bin", p.A, p.B, p.K, p.L) }
+
+// Fingerprint implements Fingerprinter.
+func (p *Cubic) Fingerprint() string { return fingerprint("cubic", p.C, p.B) }
+
+// Fingerprint implements Fingerprinter.
+func (p *RobustAIMD) Fingerprint() string { return fingerprint("raimd", p.A, p.B, p.Eps) }
+
+// Fingerprint implements Fingerprinter.
+func (p *PCC) Fingerprint() string { return fingerprint("pcc", p.Delta, p.Epsilon, p.MaxStep) }
+
+// Fingerprint implements Fingerprinter.
+func (p *Vegas) Fingerprint() string { return fingerprint("vegas", p.AlphaPkts, p.BetaPkts) }
+
+// Fingerprint implements Fingerprinter.
+func (p *ProbeUntilLoss) Fingerprint() string { return fingerprint("probe", p.A) }
+
+// Fingerprint implements Fingerprinter.
+func (t *TFRC) Fingerprint() string { return fingerprint("tfrc", t.Alpha, t.ProbeGain) }
+
+// Fingerprint implements Fingerprinter.
+func (p *HighSpeed) Fingerprint() string { return fingerprint("hstcp", p.LowWindow) }
+
+// Fingerprint implements Fingerprinter.
+func (p *BBRish) Fingerprint() string { return fingerprint("bbrish", p.Gain, p.ProbeGain, p.DrainGain) }

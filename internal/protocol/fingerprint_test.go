@@ -1,0 +1,51 @@
+package protocol
+
+import "testing"
+
+func TestFingerprintCoversBuiltinFamilies(t *testing.T) {
+	protos := []Protocol{
+		Reno(), Scalable(), SQRT(), IIAD(), CubicLinux(),
+		NewRobustAIMD(1, 0.8, 0.01), DefaultPCC(), DefaultVegas(),
+		NewProbeUntilLoss(1), DefaultTFRC(), NewHighSpeed(), NewBBRish(),
+	}
+	seen := map[string]string{}
+	for _, p := range protos {
+		f, ok := p.(Fingerprinter)
+		if !ok {
+			t.Fatalf("%s does not implement Fingerprinter", p.Name())
+		}
+		fp := f.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision: %s and %s both map to %q", prev, p.Name(), fp)
+		}
+		seen[fp] = p.Name()
+		// A clone is behaviorally identical and must fingerprint identically.
+		if cfp := p.Clone().(Fingerprinter).Fingerprint(); cfp != fp {
+			t.Fatalf("%s: clone fingerprint %q != original %q", p.Name(), cfp, fp)
+		}
+	}
+}
+
+func TestFingerprintSeparatesParameters(t *testing.T) {
+	// Same family, different parameters — including ones that Name()'s
+	// rounded formatting could conflate — must not collide.
+	a := NewAIMD(1, 0.5)
+	b := NewAIMD(1, 0.5000001)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("AIMD fingerprints collide across distinct decrease factors")
+	}
+	// PCC's secondary knobs are behavior-relevant and absent from Name().
+	p1 := NewPCC(20)
+	p2 := NewPCC(20)
+	p2.MaxStep = 0.1
+	if p1.Fingerprint() == p2.Fingerprint() {
+		t.Fatal("PCC fingerprints ignore MaxStep")
+	}
+}
+
+func TestFuncHasNoFingerprint(t *testing.T) {
+	var p Protocol = &Func{Fn: func(fb Feedback) float64 { return fb.Window }}
+	if _, ok := p.(Fingerprinter); ok {
+		t.Fatal("Func must not implement Fingerprinter: its closure has no canonical identity")
+	}
+}

@@ -46,7 +46,10 @@ func Generate(cfg Config) ([]Section, error) {
 		steps = 1200
 		dur = 20
 	}
-	opt := metrics.Options{Steps: steps}
+	// One run-dedup session spans every experiment below, so runs shared
+	// across sections (e.g. Figure 1's Reno spot check and Theorem 2's
+	// (1, 0.5) pair probe the identical mixed link) simulate once.
+	opt := metrics.Options{Steps: steps, Session: metrics.NewSession()}
 	var sections []Section
 
 	// --- Table 1, theory and fluid validation ---
