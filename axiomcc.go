@@ -53,7 +53,9 @@ import (
 	"repro/internal/packetsim"
 	"repro/internal/pareto"
 	"repro/internal/protocol"
+	"repro/internal/runstore"
 	"repro/internal/scenario"
+	"repro/internal/storeflags"
 	"repro/internal/trace"
 )
 
@@ -332,6 +334,19 @@ var (
 	SetEngineHardening = engine.SetHardening
 	// RegisterSweepFlags mounts -cell-timeout/-retries/-checkpoint/-resume.
 	RegisterSweepFlags = engine.RegisterSweepFlags
+	// RegisterStoreFlags mounts -store/-nostore/-store-max-bytes/-store-stats
+	// (the persistent cross-process run store).
+	RegisterStoreFlags = storeflags.Register
+	// OpenRunStore opens (or creates) a persistent run store directory.
+	OpenRunStore = runstore.Open
+	// SetDefaultRunStore installs the store every new metric session
+	// inherits; SetCheckpointStore is its sweep-checkpoint counterpart.
+	SetDefaultRunStore = metrics.SetDefaultStore
+	// SetCheckpointStore externalizes sweep-checkpoint cell payloads.
+	SetCheckpointStore = engine.SetCheckpointStore
+	// MetricTotalStats aggregates run-cache counters across every metric
+	// session in the process.
+	MetricTotalStats = metrics.TotalStats
 	// EngineCheckpointable opts a sweep config into the process-wide
 	// checkpoint default (the cell result type must round-trip JSON).
 	EngineCheckpointable = engine.Checkpointable
@@ -357,6 +372,16 @@ type MetricSession = metrics.Session
 
 // MetricSessionStats reports a session's hit/miss/steps-saved counters.
 type MetricSessionStats = metrics.SessionStats
+
+// RunStore is the disk-backed, content-addressed store that persists
+// simulation results across processes (see internal/runstore).
+type RunStore = runstore.Store
+
+// RunStoreOptions configures OpenRunStore (size budget, key version).
+type RunStoreOptions = runstore.Options
+
+// StoreFlags holds the parsed persistent-store CLI flags.
+type StoreFlags = storeflags.Flags
 
 // DefaultMetricPropDelay is the 21 ms propagation delay (the paper's
 // 42 ms reference RTT) of the metric-specific infinite-link scenarios.

@@ -365,11 +365,13 @@ func BenchmarkSweep(b *testing.B) {
 		}
 		return reno / strongest, nil
 	}
-	var serialNsOp, engineNsOp int64
+	var serialNsOp, engineNsOp, serialAllocs, engineAllocs int64
 	var serialMean, engineMean float64
 	b.Run("serial-recorded", func(b *testing.B) {
 		b.ReportAllocs()
 		var mean float64
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		for i := 0; i < b.N; i++ {
 			sum, cells := 0.0, 0
 			for _, n := range grid.Senders {
@@ -389,11 +391,15 @@ func BenchmarkSweep(b *testing.B) {
 			mean = sum / float64(cells)
 		}
 		b.ReportMetric(mean, "mean-improvement")
+		runtime.ReadMemStats(&ms1)
 		serialNsOp, serialMean = b.Elapsed().Nanoseconds()/int64(b.N), mean
+		serialAllocs = int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N)
 	})
 	b.Run("engine-streaming", func(b *testing.B) {
 		b.ReportAllocs()
 		var res *experiment.Table2Result
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		for i := 0; i < b.N; i++ {
 			var err error
 			res, err = experiment.Table2(grid) // Workers 0 = GOMAXPROCS pool
@@ -402,22 +408,26 @@ func BenchmarkSweep(b *testing.B) {
 			}
 		}
 		b.ReportMetric(res.MeanImprovement, "mean-improvement")
+		runtime.ReadMemStats(&ms1)
 		engineNsOp, engineMean = b.Elapsed().Nanoseconds()/int64(b.N), res.MeanImprovement
+		engineAllocs = int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N)
 	})
 	// The baseline record CI archives: same grid through both code paths,
 	// so a regression in either the engine layer or the obs hooks (which
 	// are disabled here and must stay free) shows up as a ratio shift.
 	rec := benchSweepRecord{
-		GoVersion:       runtime.Version(),
-		GOOS:            runtime.GOOS,
-		GOARCH:          runtime.GOARCH,
-		MaxProcs:        runtime.GOMAXPROCS(0),
-		SerialNsPerOp:   serialNsOp,
-		EngineNsPerOp:   engineNsOp,
-		SerialMean:      serialMean,
-		EngineMean:      engineMean,
-		ObsEnabled:      obs.Enabled(),
-		MeanImprovement: engineMean,
+		GoVersion:         runtime.Version(),
+		GOOS:              runtime.GOOS,
+		GOARCH:            runtime.GOARCH,
+		MaxProcs:          runtime.GOMAXPROCS(0),
+		SerialNsPerOp:     serialNsOp,
+		EngineNsPerOp:     engineNsOp,
+		SerialAllocsPerOp: serialAllocs,
+		EngineAllocsPerOp: engineAllocs,
+		SerialMean:        serialMean,
+		EngineMean:        engineMean,
+		ObsEnabled:        obs.Enabled(),
+		MeanImprovement:   engineMean,
 	}
 	if serialNsOp > 0 && engineNsOp > 0 {
 		rec.Speedup = float64(serialNsOp) / float64(engineNsOp)
@@ -435,17 +445,19 @@ func BenchmarkSweep(b *testing.B) {
 // benchSweepRecord is the schema of BENCH_sweep.json, the sweep perf
 // baseline BenchmarkSweep writes (and CI uploads as an artifact).
 type benchSweepRecord struct {
-	GoVersion       string  `json:"go_version"`
-	GOOS            string  `json:"os"`
-	GOARCH          string  `json:"arch"`
-	MaxProcs        int     `json:"max_procs"`
-	SerialNsPerOp   int64   `json:"serial_ns_per_op"`
-	EngineNsPerOp   int64   `json:"engine_ns_per_op"`
-	Speedup         float64 `json:"speedup"`
-	SerialMean      float64 `json:"serial_mean_improvement"`
-	EngineMean      float64 `json:"engine_mean_improvement"`
-	ObsEnabled      bool    `json:"obs_enabled"`
-	MeanImprovement float64 `json:"mean_improvement"`
+	GoVersion         string  `json:"go_version"`
+	GOOS              string  `json:"os"`
+	GOARCH            string  `json:"arch"`
+	MaxProcs          int     `json:"max_procs"`
+	SerialNsPerOp     int64   `json:"serial_ns_per_op"`
+	EngineNsPerOp     int64   `json:"engine_ns_per_op"`
+	SerialAllocsPerOp int64   `json:"serial_allocs_per_op"`
+	EngineAllocsPerOp int64   `json:"engine_allocs_per_op"`
+	Speedup           float64 `json:"speedup"`
+	SerialMean        float64 `json:"serial_mean_improvement"`
+	EngineMean        float64 `json:"engine_mean_improvement"`
+	ObsEnabled        bool    `json:"obs_enabled"`
+	MeanImprovement   float64 `json:"mean_improvement"`
 }
 
 // BenchmarkCharacterize is the perf baseline for the run-deduplication
@@ -458,13 +470,15 @@ type benchSweepRecord struct {
 // dedup layer, into BENCH_characterize.json (mirroring BENCH_sweep.json).
 func BenchmarkCharacterize(b *testing.B) {
 	cfg := link20()
-	var uncachedNs, cachedNs int64
+	var uncachedNs, cachedNs, uncachedAllocs, cachedAllocs int64
 	var uncached, cached axiomcc.MetricScores
 	var stats axiomcc.MetricSessionStats
 	b.Run("uncached", func(b *testing.B) {
 		b.ReportAllocs()
 		opt := benchOpt
 		opt.NoCache = true
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		for i := 0; i < b.N; i++ {
 			var err error
 			uncached, err = axiomcc.Characterize(cfg, axiomcc.Reno(), 2, opt)
@@ -472,11 +486,15 @@ func BenchmarkCharacterize(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		runtime.ReadMemStats(&ms1)
 		uncachedNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		uncachedAllocs = int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N)
 		b.ReportMetric(uncached.Efficiency, "reno-eff")
 	})
 	b.Run("cached", func(b *testing.B) {
 		b.ReportAllocs()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		for i := 0; i < b.N; i++ {
 			// A fresh session per iteration: the measured win is intra-call
 			// dedup, not reuse across iterations.
@@ -489,7 +507,9 @@ func BenchmarkCharacterize(b *testing.B) {
 			}
 			stats = opt.Session.Stats()
 		}
+		runtime.ReadMemStats(&ms1)
 		cachedNs = b.Elapsed().Nanoseconds() / int64(b.N)
+		cachedAllocs = int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N)
 		b.ReportMetric(cached.Efficiency, "reno-eff")
 		b.ReportMetric(float64(stats.Misses), "runs-simulated")
 		b.ReportMetric(float64(stats.Hits), "runs-deduped")
@@ -501,18 +521,20 @@ func BenchmarkCharacterize(b *testing.B) {
 		b.Fatalf("cached scores diverged from uncached:\n  uncached %v\n  cached   %v", uncached, cached)
 	}
 	rec := benchCharacterizeRecord{
-		GoVersion:       runtime.Version(),
-		GOOS:            runtime.GOOS,
-		GOARCH:          runtime.GOARCH,
-		MaxProcs:        runtime.GOMAXPROCS(0),
-		UncachedNsPerOp: uncachedNs,
-		CachedNsPerOp:   cachedNs,
-		RunsSimulated:   stats.Misses,
-		RunsDeduped:     stats.Hits,
-		StepsSimulated:  stats.StepsSimulated,
-		StepsSaved:      stats.StepsSaved,
-		ObsEnabled:      obs.Enabled(),
-		RenoEfficiency:  cached.Efficiency,
+		GoVersion:           runtime.Version(),
+		GOOS:                runtime.GOOS,
+		GOARCH:              runtime.GOARCH,
+		MaxProcs:            runtime.GOMAXPROCS(0),
+		UncachedNsPerOp:     uncachedNs,
+		CachedNsPerOp:       cachedNs,
+		UncachedAllocsPerOp: uncachedAllocs,
+		CachedAllocsPerOp:   cachedAllocs,
+		RunsSimulated:       stats.Misses,
+		RunsDeduped:         stats.Hits,
+		StepsSimulated:      stats.StepsSimulated,
+		StepsSaved:          stats.StepsSaved,
+		ObsEnabled:          obs.Enabled(),
+		RenoEfficiency:      cached.Efficiency,
 	}
 	if uncachedNs > 0 && cachedNs > 0 {
 		rec.Speedup = float64(uncachedNs) / float64(cachedNs)
@@ -535,20 +557,22 @@ func BenchmarkCharacterize(b *testing.B) {
 // an artifact). steps_ratio is the acceptance metric: simulated steps the
 // same call would have cost uncached, relative to what actually ran.
 type benchCharacterizeRecord struct {
-	GoVersion       string  `json:"go_version"`
-	GOOS            string  `json:"os"`
-	GOARCH          string  `json:"arch"`
-	MaxProcs        int     `json:"max_procs"`
-	UncachedNsPerOp int64   `json:"uncached_ns_per_op"`
-	CachedNsPerOp   int64   `json:"cached_ns_per_op"`
-	Speedup         float64 `json:"speedup"`
-	RunsSimulated   int64   `json:"runs_simulated"`
-	RunsDeduped     int64   `json:"runs_deduped"`
-	StepsSimulated  int64   `json:"steps_simulated"`
-	StepsSaved      int64   `json:"steps_saved"`
-	StepsRatio      float64 `json:"steps_ratio"`
-	ObsEnabled      bool    `json:"obs_enabled"`
-	RenoEfficiency  float64 `json:"reno_eff"`
+	GoVersion           string  `json:"go_version"`
+	GOOS                string  `json:"os"`
+	GOARCH              string  `json:"arch"`
+	MaxProcs            int     `json:"max_procs"`
+	UncachedNsPerOp     int64   `json:"uncached_ns_per_op"`
+	CachedNsPerOp       int64   `json:"cached_ns_per_op"`
+	UncachedAllocsPerOp int64   `json:"uncached_allocs_per_op"`
+	CachedAllocsPerOp   int64   `json:"cached_allocs_per_op"`
+	Speedup             float64 `json:"speedup"`
+	RunsSimulated       int64   `json:"runs_simulated"`
+	RunsDeduped         int64   `json:"runs_deduped"`
+	StepsSimulated      int64   `json:"steps_simulated"`
+	StepsSaved          int64   `json:"steps_saved"`
+	StepsRatio          float64 `json:"steps_ratio"`
+	ObsEnabled          bool    `json:"obs_enabled"`
+	RenoEfficiency      float64 `json:"reno_eff"`
 }
 
 // BenchmarkMultilinkStep measures the raw cost of one network step on a

@@ -47,7 +47,9 @@ func main() {
 		slack  = flag.Float64("slack", 0.02, "violation tolerance")
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
+	stfl := axiomcc.RegisterStoreFlags(flag.CommandLine)
 	flag.Parse()
+	defer stfl.Apply("axcheck")()
 
 	stop, err := ofl.Start("axcheck")
 	if err != nil {

@@ -39,7 +39,9 @@ func main() {
 		stats   = flag.Bool("cache-stats", false, "print run-cache hit/miss/steps-saved counters to stderr")
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
+	stfl := axiomcc.RegisterStoreFlags(flag.CommandLine)
 	flag.Parse()
+	defer stfl.Apply("axiomscore")()
 
 	stop, err := ofl.Start("axiomscore")
 	if err != nil {

@@ -53,8 +53,10 @@ func main() {
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
 	sfl := axiomcc.RegisterSweepFlags(flag.CommandLine)
+	stfl := axiomcc.RegisterStoreFlags(flag.CommandLine)
 	flag.Parse()
 	sfl.Apply()
+	defer stfl.Apply("axiomsim")()
 
 	stop, err := ofl.Start("axiomsim")
 	if err != nil {

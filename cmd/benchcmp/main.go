@@ -1,0 +1,53 @@
+// Command benchcmp is CI's bench-regression gate: it compares a freshly
+// generated benchmark baseline (BENCH_sweep.json, BENCH_characterize.json)
+// against the committed one and exits non-zero when a timing, allocation,
+// or simulated-work counter regressed beyond the limit.
+//
+//	benchcmp -old BENCH_sweep.json -new /tmp/fresh/BENCH_sweep.json -limit 1.25
+//
+// Timing keys are only compared between records from the same machine
+// shape; the machine-independent work counters are compared always.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "committed baseline record (JSON)")
+		newPath = flag.String("new", "", "freshly generated record (JSON)")
+		limit   = flag.Float64("limit", 1.25, "allowed new/old ratio for ns_per_op and allocs_per_op keys")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -old committed.json -new fresh.json [-limit 1.25]")
+		os.Exit(2)
+	}
+	oldRaw, err := os.ReadFile(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRaw, err := os.ReadFile(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := benchcmp.Compare(oldRaw, newRaw, *limit)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchcmp: %s vs %s (limit %.2fx)\n%s", *oldPath, *newPath, *limit, benchcmp.Format(rep))
+	if rep.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s)\n", rep.Regressions)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(1)
+}

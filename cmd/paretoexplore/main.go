@@ -47,8 +47,10 @@ func main() {
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
 	sfl := axiomcc.RegisterSweepFlags(flag.CommandLine)
+	stfl := axiomcc.RegisterStoreFlags(flag.CommandLine)
 	flag.Parse()
 	sfl.Apply()
+	defer stfl.Apply("paretoexplore")()
 
 	stop, err := ofl.Start("paretoexplore")
 	if err != nil {

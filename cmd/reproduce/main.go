@@ -50,8 +50,10 @@ func main() {
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
 	sfl := axiomcc.RegisterSweepFlags(flag.CommandLine)
+	stfl := axiomcc.RegisterStoreFlags(flag.CommandLine)
 	flag.Parse()
 	sfl.Apply()
+	defer stfl.Apply("reproduce")()
 
 	stop, err := ofl.Start("reproduce")
 	if err != nil {
@@ -98,6 +100,11 @@ func main() {
 		dur = 20
 	}
 	opt := axiomcc.MetricOptions{Steps: steps, Workers: *workers}
+	// One session across every experiment in the invocation: cross-
+	// experiment baselines (Reno comparators, repeated probes) simulate
+	// once, and with the persistent store enabled a rerun over an
+	// unchanged tree simulates nothing at all.
+	opt.Session = axiomcc.NewMetricSession()
 	if *chaosPath != "" {
 		sched, err := axiomcc.LoadChaosSchedule(*chaosPath)
 		if err != nil {

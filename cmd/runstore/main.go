@@ -1,0 +1,69 @@
+// Command runstore inspects and maintains the persistent run store that
+// the simulation tools share (see internal/runstore).
+//
+//	runstore stats                  # entry count, bytes, directory
+//	runstore [-max-bytes N] gc      # evict least-recently-used entries
+//	runstore clear                  # drop every entry
+//
+// All subcommands accept -store to target a non-default directory. The
+// store is self-invalidating — entries written by older source trees are
+// unreachable, not wrong — so gc exists for disk hygiene, never for
+// correctness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/runstore"
+)
+
+func main() {
+	var (
+		dir      = flag.String("store", "", "run store directory (default: OS user cache dir)")
+		maxBytes = flag.Int64("max-bytes", runstore.DefaultMaxBytes, "gc: evict oldest entries until the store fits this budget")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: runstore [flags] stats|gc|clear\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Maintenance operates on files, not keys, so it needs no source
+	// hash: a fixed version keeps Open usable even when the binary runs
+	// away from its source checkout.
+	st, err := runstore.Open(*dir, runstore.Options{Version: "maintenance", MaxBytes: -1})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch flag.Arg(0) {
+	case "stats":
+		s := st.Stats()
+		fmt.Printf("dir:     %s\nbytes:   %d\n", st.Dir(), s.Bytes)
+	case "gc":
+		removed, remaining, err := st.GC(*maxBytes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("evicted %d entries; %d bytes remain in %s\n", removed, remaining, st.Dir())
+	case "clear":
+		if err := st.Clear(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cleared %s\n", st.Dir())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "runstore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Package benchcmp compares a freshly generated benchmark baseline
+// record (BENCH_sweep.json, BENCH_characterize.json) against a committed
+// one and flags regressions. It is the engine behind CI's bench gate.
+//
+// Two classes of keys are compared:
+//
+//   - Timing and allocation keys (suffix _ns_per_op or _allocs_per_op)
+//     regress when new/old exceeds the configured limit. They are only
+//     comparable between records produced on the same machine shape
+//     (os, arch, GOMAXPROCS); across machines they are skipped with a
+//     reason rather than producing noise failures.
+//   - Work counters (runs_simulated, steps_simulated) are machine-
+//     independent and compared exactly: the whole point of the caching
+//     layers is that the same grid costs the same number of simulated
+//     runs everywhere, so any increase is a real regression even on a
+//     different machine.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// exactKeys are machine-independent work counters where any increase
+// regresses, regardless of where the records were produced.
+var exactKeys = []string{"runs_simulated", "steps_simulated"}
+
+// machineKeys identify the machine shape; all must match for timing and
+// allocation comparisons to be meaningful.
+var machineKeys = []string{"os", "arch", "max_procs"}
+
+// Result is one compared key.
+type Result struct {
+	Key       string
+	Old, New  float64
+	Ratio     float64 // new/old (0 when old is 0)
+	Regressed bool
+}
+
+// Report is the outcome of comparing one baseline pair.
+type Report struct {
+	// TimingSkipped is set when the machine shapes differ; timing keys
+	// were not compared (counters still were).
+	TimingSkipped bool
+	SkipReason    string
+	Results       []Result
+	Regressions   int
+}
+
+// Compare checks newRaw against the committed oldRaw. limit is the
+// allowed new/old ratio for timing/alloc keys (1.25 = +25%).
+func Compare(oldRaw, newRaw []byte, limit float64) (Report, error) {
+	var rep Report
+	if limit <= 0 {
+		return rep, fmt.Errorf("benchcmp: limit must be positive, got %v", limit)
+	}
+	oldRec, err := parse(oldRaw)
+	if err != nil {
+		return rep, fmt.Errorf("benchcmp: old record: %w", err)
+	}
+	newRec, err := parse(newRaw)
+	if err != nil {
+		return rep, fmt.Errorf("benchcmp: new record: %w", err)
+	}
+
+	for _, k := range machineKeys {
+		if fmt.Sprint(oldRec[k]) != fmt.Sprint(newRec[k]) {
+			rep.TimingSkipped = true
+			rep.SkipReason = fmt.Sprintf("machine shape differs (%s: %v vs %v); timing keys skipped",
+				k, oldRec[k], newRec[k])
+			break
+		}
+	}
+
+	keys := make([]string, 0, len(newRec))
+	for k := range newRec {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		nv, ok := newRec[k].(float64)
+		if !ok {
+			continue
+		}
+		ov, ok := oldRec[k].(float64)
+		if !ok {
+			continue // key absent from the committed baseline: not comparable yet
+		}
+		switch {
+		case isTimingKey(k):
+			if rep.TimingSkipped {
+				continue
+			}
+			r := Result{Key: k, Old: ov, New: nv}
+			if ov > 0 {
+				r.Ratio = nv / ov
+				r.Regressed = r.Ratio > limit
+			}
+			if r.Regressed {
+				rep.Regressions++
+			}
+			rep.Results = append(rep.Results, r)
+		case isExactKey(k):
+			r := Result{Key: k, Old: ov, New: nv, Regressed: nv > ov}
+			if ov > 0 {
+				r.Ratio = nv / ov
+			}
+			if r.Regressed {
+				rep.Regressions++
+			}
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return rep, nil
+}
+
+func isTimingKey(k string) bool {
+	return strings.HasSuffix(k, "_ns_per_op") || strings.HasSuffix(k, "_allocs_per_op")
+}
+
+func isExactKey(k string) bool {
+	for _, e := range exactKeys {
+		if k == e {
+			return true
+		}
+	}
+	return false
+}
+
+func parse(raw []byte) (map[string]any, error) {
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Format renders a report as an aligned human-readable table, one line
+// per compared key, regressions marked.
+func Format(rep Report) string {
+	var sb strings.Builder
+	if rep.TimingSkipped {
+		fmt.Fprintf(&sb, "note: %s\n", rep.SkipReason)
+	}
+	for _, r := range rep.Results {
+		mark := "ok"
+		if r.Regressed {
+			mark = "REGRESSION"
+		}
+		fmt.Fprintf(&sb, "%-28s old=%-14.6g new=%-14.6g ratio=%-8.3f %s\n",
+			r.Key, r.Old, r.New, r.Ratio, mark)
+	}
+	if len(rep.Results) == 0 {
+		sb.WriteString("no comparable keys\n")
+	}
+	return sb.String()
+}

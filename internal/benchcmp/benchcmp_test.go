@@ -1,0 +1,113 @@
+package benchcmp
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldRec = `{
+  "os": "linux", "arch": "amd64", "max_procs": 8,
+  "serial_ns_per_op": 1000000,
+  "engine_ns_per_op": 400000,
+  "engine_allocs_per_op": 5000,
+  "runs_simulated": 5,
+  "steps_simulated": 30000,
+  "speedup": 2.5
+}`
+
+func TestComparePasses(t *testing.T) {
+	newRec := strings.Replace(oldRec, `"engine_ns_per_op": 400000`, `"engine_ns_per_op": 440000`, 1)
+	rep, err := Compare([]byte(oldRec), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("10%% slower flagged as regression at limit 1.25:\n%s", Format(rep))
+	}
+	if rep.TimingSkipped {
+		t.Fatal("same machine shape skipped timing keys")
+	}
+	if len(rep.Results) < 4 {
+		t.Fatalf("compared only %d keys", len(rep.Results))
+	}
+}
+
+func TestCompareFlagsTimingRegression(t *testing.T) {
+	newRec := strings.Replace(oldRec, `"engine_ns_per_op": 400000`, `"engine_ns_per_op": 600000`, 1)
+	rep, err := Compare([]byte(oldRec), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("50%% slowdown not flagged exactly once:\n%s", Format(rep))
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	newRec := strings.Replace(oldRec, `"engine_allocs_per_op": 5000`, `"engine_allocs_per_op": 9000`, 1)
+	rep, err := Compare([]byte(oldRec), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("80%% alloc growth not flagged:\n%s", Format(rep))
+	}
+}
+
+func TestCompareExactCountersAlwaysBite(t *testing.T) {
+	// Different machine AND more simulated runs: timing skipped, counter
+	// regression still caught.
+	newRec := strings.NewReplacer(
+		`"max_procs": 8`, `"max_procs": 2`,
+		`"runs_simulated": 5`, `"runs_simulated": 6`,
+	).Replace(oldRec)
+	rep, err := Compare([]byte(oldRec), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimingSkipped {
+		t.Fatal("different max_procs did not skip timing keys")
+	}
+	for _, r := range rep.Results {
+		if isTimingKey(r.Key) {
+			t.Fatalf("timing key %s compared across machines", r.Key)
+		}
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("extra simulated run not flagged:\n%s", Format(rep))
+	}
+}
+
+func TestCompareCounterDecreaseIsFine(t *testing.T) {
+	newRec := strings.Replace(oldRec, `"steps_simulated": 30000`, `"steps_simulated": 20000`, 1)
+	rep, err := Compare([]byte(oldRec), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("doing less work flagged as regression:\n%s", Format(rep))
+	}
+}
+
+func TestCompareNewKeysTolerated(t *testing.T) {
+	// A fresh record with a key the committed baseline predates must not
+	// fail — that is exactly the rollout state of a new metric.
+	newRec := strings.Replace(oldRec, `"speedup": 2.5`,
+		`"speedup": 2.5, "brand_new_ns_per_op": 123`, 1)
+	rep, err := Compare([]byte(oldRec), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("baseline-missing key flagged:\n%s", Format(rep))
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	if _, err := Compare([]byte("not json"), []byte(oldRec), 1.25); err == nil {
+		t.Fatal("malformed old record accepted")
+	}
+	if _, err := Compare([]byte(oldRec), []byte(oldRec), 0); err == nil {
+		t.Fatal("zero limit accepted")
+	}
+}

@@ -2,11 +2,43 @@ package engine
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 )
+
+// CellStore is the narrow view of a persistent content-addressed store
+// the checkpointer externalizes completed-cell payloads through (the
+// run store in internal/runstore satisfies it). With a store installed,
+// checkpoint snapshots carry store keys instead of duplicating result
+// JSON, so a resumed sweep and a warm run cache share one source of
+// truth — and the store's schema/source-hash key prefix invalidates
+// checkpointed cells exactly when it invalidates cached runs.
+type CellStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte) error
+}
+
+var (
+	cellStoreMu sync.Mutex
+	cellStore   CellStore
+)
+
+// SetCheckpointStore installs (or, with nil, removes) the process-wide
+// store that sweep checkpoints externalize cell results through.
+func SetCheckpointStore(cs CellStore) {
+	cellStoreMu.Lock()
+	cellStore = cs
+	cellStoreMu.Unlock()
+}
+
+func checkpointStore() CellStore {
+	cellStoreMu.Lock()
+	defer cellStoreMu.Unlock()
+	return cellStore
+}
 
 // sweepCheckpoint is the on-disk snapshot format: the sweep's identity
 // (BaseSeed + grid size) and one entry per completed cell. Each cell
@@ -15,7 +47,8 @@ import (
 // silently replaying wrong results. Results are stored as raw JSON;
 // encoding/json renders float64 with the shortest round-trip
 // representation, so a restored cell is bit-identical to a recomputed
-// one.
+// one. A cell holds either its result inline or a ref naming the store
+// entry that holds it (see CellStore).
 type sweepCheckpoint struct {
 	BaseSeed uint64           `json:"base_seed"`
 	N        int              `json:"n"`
@@ -25,7 +58,8 @@ type sweepCheckpoint struct {
 type checkpointCell struct {
 	Index  int             `json:"index"`
 	Seed   uint64          `json:"seed"`
-	Result json.RawMessage `json:"result"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Ref    string          `json:"ref,omitempty"`
 }
 
 // checkpointer accumulates completed-cell results and flushes them to
@@ -37,8 +71,18 @@ type checkpointer struct {
 	every int
 	base  uint64
 	n     int
-	cells map[int]json.RawMessage
+	store CellStore
+	cells map[int]cellRecord
 	dirty int
+}
+
+// cellRecord is one completed cell held in memory: the raw payload
+// (always set, so restore never re-reads the store) and, when the
+// payload also lives in the store, the ref the snapshot writes in place
+// of the inline JSON.
+type cellRecord struct {
+	raw json.RawMessage
+	ref string
 }
 
 // newCheckpointer builds the sweep's checkpointer, or nil when the
@@ -55,7 +99,8 @@ func newCheckpointer(cfg *SweepConfig, n int) *checkpointer {
 		every: cfg.CheckpointEvery,
 		base:  cfg.BaseSeed,
 		n:     n,
-		cells: make(map[int]json.RawMessage),
+		store: checkpointStore(),
+		cells: make(map[int]cellRecord),
 	}
 	if ck.every <= 0 {
 		ck.every = 8
@@ -79,38 +124,68 @@ func (ck *checkpointer) load() {
 		return
 	}
 	for _, c := range snap.Cells {
-		if c.Index < 0 || c.Index >= ck.n || len(c.Result) == 0 {
+		if c.Index < 0 || c.Index >= ck.n {
 			continue
 		}
 		if CellSeed(ck.base, c.Index) != c.Seed {
 			continue
 		}
-		ck.cells[c.Index] = c.Result
+		rec := cellRecord{raw: c.Result, ref: c.Ref}
+		if len(rec.raw) == 0 {
+			// Externalized cell: resolve the ref through the store. A
+			// miss (evicted, or invalidated by a source change) just
+			// means this cell recomputes.
+			if rec.ref == "" || ck.store == nil {
+				continue
+			}
+			payload, ok := ck.store.Get(rec.ref)
+			if !ok || len(payload) == 0 {
+				continue
+			}
+			rec.raw = payload
+		}
+		ck.cells[c.Index] = rec
 	}
+}
+
+// cellRef is the store key a checkpointed cell's payload lives under:
+// the sweep identity (base seed + grid size) plus the cell index. The
+// store prefixes every key with its schema version and source hash, so
+// refs invalidate in lockstep with cached runs.
+func (ck *checkpointer) cellRef(i int) string {
+	return fmt.Sprintf("sweepcell|base=%x|n=%d|i=%d", ck.base, ck.n, i)
 }
 
 // cached returns the stored raw result for cell i, if any.
 func (ck *checkpointer) cached(i int) (json.RawMessage, bool) {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
-	raw, ok := ck.cells[i]
-	return raw, ok
+	rec, ok := ck.cells[i]
+	return rec.raw, ok
 }
 
 // record stores a completed cell. Results that don't marshal (NaN/Inf
 // floats, channels, ...) are skipped: those cells simply recompute on
-// resume.
+// resume. With a CellStore installed the payload is written there and
+// the snapshot keeps only the ref; a store write failure falls back to
+// inlining the payload in the snapshot.
 func (ck *checkpointer) record(i int, v any) {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return
+	}
+	rec := cellRecord{raw: raw}
+	if ck.store != nil {
+		if ref := ck.cellRef(i); ck.store.Put(ref, raw) == nil {
+			rec.ref = ref
+		}
 	}
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	if _, exists := ck.cells[i]; !exists {
 		ck.dirty++
 	}
-	ck.cells[i] = raw
+	ck.cells[i] = rec
 	if ck.dirty >= ck.every {
 		ck.flushLocked()
 		ck.dirty = 0
@@ -132,8 +207,14 @@ func (ck *checkpointer) flush() {
 func (ck *checkpointer) flushLocked() {
 	snap := sweepCheckpoint{BaseSeed: ck.base, N: ck.n}
 	snap.Cells = make([]checkpointCell, 0, len(ck.cells))
-	for i, raw := range ck.cells {
-		snap.Cells = append(snap.Cells, checkpointCell{Index: i, Seed: CellSeed(ck.base, i), Result: raw})
+	for i, rec := range ck.cells {
+		c := checkpointCell{Index: i, Seed: CellSeed(ck.base, i)}
+		if rec.ref != "" {
+			c.Ref = rec.ref
+		} else {
+			c.Result = rec.raw
+		}
+		snap.Cells = append(snap.Cells, c)
 	}
 	sort.Slice(snap.Cells, func(a, b int) bool { return snap.Cells[a].Index < snap.Cells[b].Index })
 	data, err := json.Marshal(&snap)

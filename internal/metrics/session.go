@@ -7,10 +7,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fluid"
 	"repro/internal/obs"
 	"repro/internal/protocol"
+	"repro/internal/runstore"
 	"repro/internal/trace"
 )
 
@@ -38,6 +40,7 @@ type Session struct {
 	mu      sync.Mutex
 	entries map[string]*sessionEntry
 	stats   SessionStats
+	store   *runstore.Store
 }
 
 // sessionEntry is one single-flighted run: done closes when the claimant
@@ -51,17 +54,43 @@ type sessionEntry struct {
 }
 
 // NewSession returns an empty run cache. A zero-value Session is not
-// usable; estimators treat a nil *Session as "no caching".
+// usable; estimators treat a nil *Session as "no caching". If a default
+// persistent store has been installed with SetDefaultStore, the session
+// is backed by it; override per session with SetStore.
 func NewSession() *Session {
-	return &Session{entries: make(map[string]*sessionEntry)}
+	return &Session{entries: make(map[string]*sessionEntry), store: defaultStore.Load()}
 }
+
+// defaultStore is the process-wide persistent tier picked up by every
+// NewSession, including the private sessions Characterize and the
+// experiment/report drivers create internally — installing it makes the
+// whole process store-backed without threading a handle everywhere.
+var defaultStore atomic.Pointer[runstore.Store]
+
+// SetDefaultStore installs (or, with nil, removes) the persistent store
+// that future NewSession calls inherit. Sessions already created keep
+// whatever store they had.
+func SetDefaultStore(st *runstore.Store) { defaultStore.Store(st) }
+
+// DefaultStore returns the store installed by SetDefaultStore, or nil.
+func DefaultStore() *runstore.Store { return defaultStore.Load() }
+
+// SetStore attaches a persistent store as the session's second tier:
+// lookups go memory → disk → simulate, and every simulated cacheable run
+// is written back. Call before the session is shared across goroutines.
+func (s *Session) SetStore(st *runstore.Store) { s.store = st }
 
 // SessionStats summarizes what a Session saved. StepsSaved/StepsSimulated
 // is the dedup factor: how many simulated steps the same calls would have
 // cost without the cache, relative to what actually ran.
 type SessionStats struct {
-	// Hits is the number of runs served from a previous simulation.
+	// Hits is the number of runs served from a previous simulation in
+	// this session's memory.
 	Hits int64
+	// DiskHits is the number of runs served from the persistent store
+	// (simulated by an earlier process, or by another session in this
+	// one).
+	DiskHits int64
 	// Misses is the number of runs actually simulated through the cache.
 	Misses int64
 	// Uncacheable is the number of runs executed outside the cache
@@ -69,9 +98,14 @@ type SessionStats struct {
 	Uncacheable int64
 	// StepsSimulated is the total simulated steps of Misses + Uncacheable.
 	StepsSimulated int64
-	// StepsSaved is the total simulated steps Hits avoided.
+	// StepsSaved is the total simulated steps Hits + DiskHits avoided.
 	StepsSaved int64
 }
+
+// Simulated returns the number of runs this process actually executed:
+// cache misses plus uncacheable runs. A fully warm persistent store
+// makes this zero.
+func (st SessionStats) Simulated() int64 { return st.Misses + st.Uncacheable }
 
 // Stats returns a snapshot of the session's counters.
 func (s *Session) Stats() SessionStats {
@@ -80,10 +114,40 @@ func (s *Session) Stats() SessionStats {
 	return s.stats
 }
 
+// Process-wide aggregation across every Session, including the private
+// ones experiments and reports create internally. CLIs report these so
+// "-store-stats" reflects the whole run, not just one session.
+var (
+	totalMu    sync.Mutex
+	totalStats SessionStats
+)
+
+func addTotals(f func(*SessionStats)) {
+	totalMu.Lock()
+	f(&totalStats)
+	totalMu.Unlock()
+}
+
+// TotalStats returns the aggregated counters of every session in this
+// process since the last ResetTotalStats.
+func TotalStats() SessionStats {
+	totalMu.Lock()
+	defer totalMu.Unlock()
+	return totalStats
+}
+
+// ResetTotalStats zeroes the process-wide counters (used by tests).
+func ResetTotalStats() {
+	totalMu.Lock()
+	totalStats = SessionStats{}
+	totalMu.Unlock()
+}
+
 // session telemetry, recorded only while obs is enabled. Cached pointers:
 // the registry preserves metric identity across Reset.
 var (
 	sessionHits        = obs.GetCounter("metrics.session.hits")
+	sessionDiskHits    = obs.GetCounter("metrics.session.disk_hits")
 	sessionMisses      = obs.GetCounter("metrics.session.misses")
 	sessionUncacheable = obs.GetCounter("metrics.session.uncacheable")
 )
@@ -99,6 +163,10 @@ func (s *Session) noteUncacheable(steps int) {
 	s.stats.Uncacheable++
 	s.stats.StepsSimulated += int64(steps)
 	s.mu.Unlock()
+	addTotals(func(t *SessionStats) {
+		t.Uncacheable++
+		t.StepsSimulated += int64(steps)
+	})
 	if obs.Enabled() {
 		sessionUncacheable.Inc()
 	}
@@ -125,6 +193,10 @@ func (s *Session) do(key string, steps int, exec func() (*Stream, *trace.Trace, 
 			s.stats.Hits++
 			s.stats.StepsSaved += int64(steps)
 			s.mu.Unlock()
+			addTotals(func(t *SessionStats) {
+				t.Hits++
+				t.StepsSaved += int64(steps)
+			})
 			if obs.Enabled() {
 				sessionHits.Inc()
 			}
@@ -147,22 +219,79 @@ func (s *Session) do(key string, steps int, exec func() (*Stream, *trace.Trace, 
 				close(e.done)
 			}
 		}()
-		e.stream, e.tr, e.err = exec()
+		var fromDisk bool
+		e.stream, e.tr, fromDisk, e.err = s.runOrFetch(key, exec)
 		finished = true
 		s.mu.Lock()
 		if e.err != nil {
 			delete(s.entries, key)
+		} else if fromDisk {
+			s.stats.DiskHits++
+			s.stats.StepsSaved += int64(steps)
 		} else {
 			s.stats.Misses++
 			s.stats.StepsSimulated += int64(steps)
 		}
 		s.mu.Unlock()
-		if e.err == nil && obs.Enabled() {
-			sessionMisses.Inc()
+		if e.err == nil {
+			if fromDisk {
+				addTotals(func(t *SessionStats) {
+					t.DiskHits++
+					t.StepsSaved += int64(steps)
+				})
+				if obs.Enabled() {
+					sessionDiskHits.Inc()
+				}
+			} else {
+				addTotals(func(t *SessionStats) {
+					t.Misses++
+					t.StepsSimulated += int64(steps)
+				})
+				if obs.Enabled() {
+					sessionMisses.Inc()
+				}
+			}
 		}
 		close(e.done)
 		return e.stream, e.tr, e.err
 	}
+}
+
+// runOrFetch resolves a claimed key through the persistent tier: try the
+// store, then take the key's cross-process lock, re-check the store (a
+// concurrent process may have just finished the same run), and only then
+// simulate and write back. With no store attached it simply executes.
+// The flock makes concurrent processes single-flight the same cell the
+// way the in-memory map single-flights goroutines.
+func (s *Session) runOrFetch(key string, exec func() (*Stream, *trace.Trace, error)) (*Stream, *trace.Trace, bool, error) {
+	if s.store == nil {
+		st, tr, err := exec()
+		return st, tr, false, err
+	}
+	recorded := strings.HasPrefix(key, "v1|trace|")
+	if payload, ok := s.store.Get(key); ok {
+		if st, tr, derr := decodeRun(payload, recorded); derr == nil {
+			return st, tr, true, nil
+		}
+	}
+	unlock, lerr := s.store.LockKey(key)
+	if lerr != nil {
+		st, tr, err := exec()
+		return st, tr, false, err
+	}
+	defer unlock()
+	if payload, ok := s.store.Get(key); ok {
+		if st, tr, derr := decodeRun(payload, recorded); derr == nil {
+			return st, tr, true, nil
+		}
+	}
+	st, tr, err := exec()
+	if err == nil {
+		// A write failure (disk full, permissions) costs persistence,
+		// not correctness — the result still serves this process.
+		_ = s.store.Put(key, encodeRun(st, tr))
+	}
+	return st, tr, false, err
 }
 
 // lossFingerprinter is the optional contract the builtin fluid loss

@@ -1,0 +1,271 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/runstore"
+)
+
+func testStore(t *testing.T) *runstore.Store {
+	t.Helper()
+	st, err := runstore.Open(t.TempDir(), runstore.Options{Version: "testver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func storeSession(t *testing.T, st *runstore.Store) *Session {
+	t.Helper()
+	s := NewSession()
+	s.SetStore(st)
+	return s
+}
+
+// TestStoreBitIdentical is the tentpole contract: scores computed through
+// the persistent store — cold (write path) and warm (disk-hit path,
+// fresh session so memory can't mask it) — are bit-identical to scores
+// computed with no caching at all.
+func TestStoreBitIdentical(t *testing.T) {
+	cfg := cap100()
+	st := testStore(t)
+	for _, p := range []protocol.Protocol{protocol.Reno(), protocol.CubicLinux()} {
+		plain, err := Characterize(cfg, p, 2, Options{Steps: 800, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Characterize(cfg, p, 2, Options{Steps: 800, Session: storeSession(t, st)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := Characterize(cfg, p, 2, Options{Steps: 800, Session: storeSession(t, st)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !scoresBitsEqual(plain, cold) {
+			t.Fatalf("%s: cold store scores differ from uncached:\n  uncached %v\n  store    %v", p.Name(), plain, cold)
+		}
+		if !scoresBitsEqual(plain, warm) {
+			t.Fatalf("%s: warm store scores differ from uncached:\n  uncached %v\n  store    %v", p.Name(), plain, warm)
+		}
+	}
+}
+
+// TestStoreBitIdenticalWithChaos extends the bit-identity contract to
+// chaos-schedule runs, whose schedules travel through the run key as
+// JSON plus a seed.
+func TestStoreBitIdenticalWithChaos(t *testing.T) {
+	cfg := cap100()
+	st := testStore(t)
+	opt := Options{Steps: 800, Chaos: chaos.BurstyLoss(0.02, 0.3, 0.08), ChaosSeed: 7}
+	plain, err := Characterize(cfg, protocol.Reno(), 2, Options{Steps: 800, Chaos: opt.Chaos, ChaosSeed: 7, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Session = storeSession(t, st)
+	cold, err := Characterize(cfg, protocol.Reno(), 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Session = storeSession(t, st)
+	warm, err := Characterize(cfg, protocol.Reno(), 2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scoresBitsEqual(plain, cold) || !scoresBitsEqual(plain, warm) {
+		t.Fatalf("chaos scores differ through store:\n  uncached %v\n  cold     %v\n  warm     %v", plain, cold, warm)
+	}
+	if s := opt.Session.Stats(); s.DiskHits == 0 || s.Misses != 0 {
+		t.Fatalf("warm session did not run entirely from disk: %+v", s)
+	}
+}
+
+// TestStoreWarmSessionSimulatesNothing pins the CI warm-pass assertion:
+// a fresh session over a populated store must simulate zero runs.
+func TestStoreWarmSessionSimulatesNothing(t *testing.T) {
+	cfg := cap100()
+	st := testStore(t)
+	if _, err := Characterize(cfg, protocol.Reno(), 2, Options{Steps: 800, Session: storeSession(t, st)}); err != nil {
+		t.Fatal(err)
+	}
+	warm := storeSession(t, st)
+	if _, err := Characterize(cfg, protocol.Reno(), 2, Options{Steps: 800, Session: warm}); err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Simulated() != 0 || s.DiskHits == 0 {
+		t.Fatalf("warm session simulated %d runs (stats %+v), want 0", s.Simulated(), s)
+	}
+}
+
+// TestStoreCrossProcessContention hammers one store directory from many
+// independent Session instances — separate sessions share no memory, so
+// every coordination path they exercise (flock per key, atomic rename,
+// checksummed reads) is exactly what distinct OS processes would use.
+// Asserts: every unique cell simulates exactly once across all racers
+// (losers must come from disk or memory), nothing is corrupt, and all
+// scores match the uncached baseline bit for bit.
+func TestStoreCrossProcessContention(t *testing.T) {
+	cfg := cap100()
+	st := testStore(t)
+	protos := []protocol.Protocol{protocol.Reno(), protocol.CubicLinux(), protocol.ScalableAIMD()}
+	baseline := make([]Scores, len(protos))
+	for i, p := range protos {
+		s, err := Characterize(cfg, p, 2, Options{Steps: 600, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = s
+	}
+
+	const nProcs = 8
+	sessions := make([]*Session, nProcs)
+	results := make([][]Scores, nProcs)
+	var wg sync.WaitGroup
+	for pi := 0; pi < nProcs; pi++ {
+		sessions[pi] = storeSession(t, st)
+		results[pi] = make([]Scores, len(protos))
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			// Each "process" walks the protocols in a different order so
+			// the claim/wait interleavings differ.
+			for k := 0; k < len(protos); k++ {
+				i := (k + pi) % len(protos)
+				s, err := Characterize(cfg, protos[i], 2, Options{Steps: 600, Session: sessions[pi]})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[pi][i] = s
+			}
+		}(pi)
+	}
+	wg.Wait()
+
+	for pi := range results {
+		for i := range protos {
+			if !scoresBitsEqual(results[pi][i], baseline[i]) {
+				t.Fatalf("proc %d, %s: contended scores differ from baseline:\n  baseline %v\n  got      %v",
+					pi, protos[i].Name(), results[pi][i], baseline[i])
+			}
+		}
+	}
+
+	// Across all sessions each unique run simulated exactly once: total
+	// misses equals the misses of a single cold pass.
+	coldProbe := storeSession(t, testStore(t))
+	for _, p := range protos {
+		if _, err := Characterize(cfg, p, 2, Options{Steps: 600, Session: coldProbe}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantMisses := coldProbe.Stats().Misses
+	var misses, diskHits int64
+	for _, s := range sessions {
+		stats := s.Stats()
+		misses += stats.Misses
+		diskHits += stats.DiskHits
+	}
+	if misses != wantMisses {
+		t.Fatalf("contended sessions simulated %d runs, want exactly %d (one per unique cell)", misses, wantMisses)
+	}
+	if diskHits == 0 {
+		t.Fatal("no session ever hit the shared store")
+	}
+	if stats := st.Stats(); stats.Corrupt != 0 {
+		t.Fatalf("store reported %d corrupt entries under contention", stats.Corrupt)
+	}
+}
+
+// TestStoreCodecRoundTrip checks the trace path (recorded runs) through
+// the store as well: recorded traces must round-trip bit-identically.
+func TestStoreCodecRoundTrip(t *testing.T) {
+	cfg := cap100()
+	st := testStore(t)
+	cold := storeSession(t, st)
+	init := []float64{protocol.MinWindow}
+	opt := Options{Steps: 400, Session: cold}
+	tr1, err := runRecorded(cfg, protocol.Reno(), 2, init, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := storeSession(t, st)
+	opt.Session = warm
+	tr2, err := runRecorded(cfg, protocol.Reno(), 2, init, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.DiskHits != 1 || s.Misses != 0 {
+		t.Fatalf("recorded run not served from disk: %+v", s)
+	}
+	if tr1.Len() != tr2.Len() || tr1.Senders() != tr2.Senders() {
+		t.Fatalf("restored trace shape differs: %d/%d steps, %d/%d senders", tr1.Len(), tr2.Len(), tr1.Senders(), tr2.Senders())
+	}
+	for _, pair := range [][2][]float64{
+		{tr1.Total(), tr2.Total()},
+		{tr1.RTT(), tr2.RTT()},
+		{tr1.Loss(), tr2.Loss()},
+		{tr1.Window(0), tr2.Window(0)},
+		{tr1.Window(1), tr2.Window(1)},
+	} {
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("restored trace differs at sample %d: %v vs %v", i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+	if tr1.Capacity() != tr2.Capacity() || tr1.BaseRTT() != tr2.BaseRTT() {
+		t.Fatal("restored trace metadata differs")
+	}
+}
+
+// TestDefaultStoreInherited checks that internally created sessions pick
+// up SetDefaultStore, which is what makes experiment regeneration
+// incremental without any plumbing.
+func TestDefaultStoreInherited(t *testing.T) {
+	st := testStore(t)
+	SetDefaultStore(st)
+	defer SetDefaultStore(nil)
+	cfg := cap100()
+	// No Session in Options: Characterize builds its own private one,
+	// which must inherit the default store.
+	if _, err := Characterize(cfg, protocol.Reno(), 2, Options{Steps: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if stats := st.Stats(); stats.Puts == 0 {
+		t.Fatalf("internal session did not write to the default store: %+v", stats)
+	}
+	warm := NewSession() // inherits default store too
+	if _, err := Characterize(cfg, protocol.Reno(), 2, Options{Steps: 400, Session: warm}); err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Simulated() != 0 {
+		t.Fatalf("warm run over default store simulated %d cells", s.Simulated())
+	}
+}
+
+// TestStoreDecodeRejectsGarbage ensures a payload that passes the
+// store's checksum but fails structural decoding falls back to
+// simulation instead of erroring out.
+func TestStoreDecodeRejectsGarbage(t *testing.T) {
+	for i, payload := range [][]byte{
+		nil,
+		{99},
+		{codecKindStream, 1, 2, 3},
+		{codecKindTrace},
+	} {
+		if _, _, err := decodeRun(payload, false); err == nil {
+			t.Fatalf("payload %d decoded without error", i)
+		}
+	}
+	// Kind mismatch both ways.
+	s := NewStream(engine.Meta{Flows: 2, Capacity: 100, BaseRTT: 0.1, Horizon: 100}, 0.75)
+	enc := encodeRun(s, nil)
+	if _, _, err := decodeRun(enc, true); err == nil {
+		t.Fatal("stream payload decoded as trace")
+	}
+}

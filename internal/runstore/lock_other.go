@@ -1,0 +1,18 @@
+//go:build !unix
+
+package runstore
+
+import "sync"
+
+// Platforms without advisory flock fall back to process-local mutexes:
+// correctness within one process is preserved (the store's atomic
+// rename + checksum protocol keeps concurrent processes safe, they just
+// lose cross-process single-flight and may duplicate work).
+var fallbackLocks sync.Map // path -> *sync.Mutex
+
+func flockPath(path string) (func(), error) {
+	mu, _ := fallbackLocks.LoadOrStore(path, &sync.Mutex{})
+	m := mu.(*sync.Mutex)
+	m.Lock()
+	return m.Unlock, nil
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package runstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// flockPath takes an exclusive advisory flock on path (creating it if
+// needed), blocking until the lock is free, and returns the release
+// func. The lock file itself is never deleted: unlinking a file another
+// process is about to flock would let two holders lock different inodes.
+func flockPath(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: lock %s: %w", path, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runstore: flock %s: %w", path, err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

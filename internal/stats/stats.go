@@ -339,3 +339,28 @@ func TailLen(n int, f float64) int {
 func (r *Ring) LastTail(f float64) []float64 {
 	return r.Last(TailLen(r.count, f))
 }
+
+// Cap returns the ring's retention capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Dump returns every retained sample in push order, for serialization.
+func (r *Ring) Dump() []float64 {
+	retained := r.count
+	if retained > len(r.buf) {
+		retained = len(r.buf)
+	}
+	return r.Last(retained)
+}
+
+// RestoreRing reconstructs a ring from Cap/Count/Dump output. The result
+// is observationally identical to the original: Count, Last, and
+// LastTail all return the same values bit for bit.
+func RestoreRing(capacity, count int, retained []float64) *Ring {
+	r := NewRing(capacity)
+	copy(r.buf, retained)
+	if len(r.buf) > 0 {
+		r.next = len(retained) % len(r.buf)
+	}
+	r.count = count
+	return r
+}

@@ -1,0 +1,71 @@
+package storeflags
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/runstore"
+)
+
+func TestRegisterMountsAllFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	Register(fs)
+	for _, name := range []string{"store", "nostore", "store-max-bytes", "store-stats"} {
+		if fs.Lookup(name) == nil {
+			t.Fatalf("flag -%s not mounted", name)
+		}
+	}
+	if err := fs.Parse([]string{"-store", "/x", "-nostore", "-store-max-bytes", "123", "-store-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteStatsFormat pins the stderr contract the CI warm pass greps
+// for: a `simulated=N` field on the run-cache line.
+func TestWriteStatsFormat(t *testing.T) {
+	metrics.ResetTotalStats()
+	st, err := runstore.Open(t.TempDir(), runstore.Options{Version: "testver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteStats(&sb, "tool", st)
+	out := sb.String()
+	if !strings.Contains(out, "simulated=0") {
+		t.Fatalf("stats line missing simulated= field:\n%s", out)
+	}
+	if !strings.Contains(out, "run store: hits=0") {
+		t.Fatalf("stats line missing store counters:\n%s", out)
+	}
+	sb.Reset()
+	WriteStats(&sb, "tool", nil)
+	if !strings.Contains(sb.String(), "run store: disabled") {
+		t.Fatalf("nil store not reported as disabled:\n%s", sb.String())
+	}
+}
+
+// TestApplyNoStore: -nostore must leave the process storeless.
+func TestApplyNoStore(t *testing.T) {
+	metrics.SetDefaultStore(nil)
+	f := &Flags{NoStore: true, Stats: false}
+	report := f.Apply("tool")
+	report()
+	if metrics.DefaultStore() != nil {
+		t.Fatal("-nostore installed a default store")
+	}
+}
+
+// TestApplyInstallsDefaultStore: Apply with an explicit dir wires the
+// store into the metrics layer process-wide.
+func TestApplyInstallsDefaultStore(t *testing.T) {
+	defer metrics.SetDefaultStore(nil)
+	defer engine.SetCheckpointStore(nil)
+	f := &Flags{Dir: t.TempDir()}
+	f.Apply("tool")
+	if metrics.DefaultStore() == nil {
+		t.Skip("store unavailable in this environment (no source tree)")
+	}
+}
