@@ -262,6 +262,12 @@ type (
 	EngineObserver = engine.Observer
 	// EngineObserverFunc adapts a function to EngineObserver.
 	EngineObserverFunc = engine.ObserverFunc
+	// EngineStrip is a run of consecutive steps delivered in bulk by the
+	// grid-batch path (flow-major window columns).
+	EngineStrip = engine.Strip
+	// EngineStripObserver is the optional Observer upgrade that receives
+	// whole strips instead of one Step at a time.
+	EngineStripObserver = engine.StripObserver
 	// EngineResult carries whichever outputs the run recorded.
 	EngineResult = engine.Result
 	// EngineSubstrate is one runnable simulator configuration.
@@ -282,6 +288,11 @@ type (
 var (
 	// EngineRun executes one substrate under a context.
 	EngineRun = engine.Run
+	// EngineSweepSpecs runs one EngineSpec per grid cell, stepping
+	// lockstep-compatible fluid cells as structure-of-arrays batches and
+	// falling back per-cell everywhere else; results are bit-identical
+	// either way (cfg.NoBatch forces the per-cell path).
+	EngineSweepSpecs = engine.SweepSpecs
 	// EngineCellSeed derives the deterministic seed of sweep cell i.
 	EngineCellSeed = engine.CellSeed
 	// NewMetricStream sizes a MetricStream from a substrate's Meta.

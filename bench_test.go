@@ -16,24 +16,36 @@ package axiomcc_test
 //	BenchmarkFluidStep / BenchmarkPacketSimSecond   raw simulator cost
 //
 // Two benchmarks double as CI perf baselines and emit JSON records:
-// BenchmarkSweep (BENCH_sweep.json) compares the pre-engine serial code
-// path to the orchestrated engine.Sweep, and BenchmarkCharacterize
-// (BENCH_characterize.json) compares a full eight-axiom characterization
-// with the content-addressed run cache off and on — the cached pass
-// simulates each unique (config, init) run once (4× fewer steps for Reno,
-// n = 2) and the fluid/stream hot loops are allocation-free, so -benchmem
-// numbers track both wins.
+// BenchmarkSweep (BENCH_sweep.json) compares the per-cell serial code
+// path to the orchestrated engine (engine.Sweep for the packet grid,
+// engine.SweepSpecs' SoA grid-batch path for the fluid grid), with both
+// legs interleaved inside each iteration so the measurement is
+// position-free; BenchmarkCharacterize (BENCH_characterize.json)
+// compares a full eight-axiom characterization with the
+// content-addressed run cache off and on — the cached pass simulates
+// each unique (config, init) run once (4× fewer steps for Reno, n = 2)
+// and the fluid/stream hot loops are allocation-free, so -benchmem
+// numbers track both wins. BenchmarkGridStep tracks the raw batch
+// stepping rate as the grid grows.
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	axiomcc "repro"
+	"repro/internal/engine"
 	"repro/internal/experiment"
+	"repro/internal/fluid"
+	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/protocol"
 )
 
 var benchOpt = axiomcc.MetricOptions{Steps: 1500}
@@ -326,18 +338,74 @@ func BenchmarkAblationQueueDiscipline(b *testing.B) {
 	b.ReportMetric(redThr, "red-thr")
 }
 
-// BenchmarkSweep is the perf baseline for the engine orchestrator: the
-// same small Table 2 grid computed (a) serially with full trace recording
-// per cell — the pre-engine code path — and (b) through engine.Sweep with
-// streaming observers and no traces. On a multicore machine the
-// orchestrated variant should be ≥2× faster (cells shard across
-// GOMAXPROCS workers) and allocate less per op (DisableTrace skips the
-// per-tick series entirely).
+// fluidGridSteps is the horizon of BenchmarkSweep's fluid grid; with
+// fluidGridCells() producing 24 cells, one op advances exactly
+// 24 × 16,000 = 384,000 grid-steps — the exact work counters the bench
+// gate pins (grid_cells, grid_steps in BENCH_sweep.json).
+const fluidGridSteps = 16000
+
+// fluidGridCells builds a fresh 24-cell kernel-steppable sweep grid:
+// eight closed-form protocol configurations (AIMD, MIMD, binomial,
+// robust-AIMD, HighSpeed families) × the three default initial
+// configurations, two senders each. Substrates are single-use, so every
+// benchmark leg rebuilds them.
+func fluidGridCells() []*engine.FluidSpec {
+	cfg := link20()
+	protos := []axiomcc.Protocol{
+		protocol.Reno(),
+		protocol.ScalableAIMD(),
+		protocol.Scalable(),
+		protocol.IIAD(),
+		protocol.SQRT(),
+		protocol.NewRobustAIMD(1, 0.8, 0.01),
+		protocol.NewRobustAIMD(1, 0.8, 0.05),
+		protocol.NewHighSpeed(),
+	}
+	inits := metrics.DefaultInitConfigs(cfg, 2)
+	subs := make([]*engine.FluidSpec, 0, len(protos)*len(inits))
+	for _, p := range protos {
+		for _, init := range inits {
+			senders, err := fluid.HomogeneousSenders(p, 2, init)
+			if err != nil {
+				panic(err) // static bench grid; cannot fail
+			}
+			subs = append(subs, &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: fluidGridSteps})
+		}
+	}
+	return subs
+}
+
+// BenchmarkSweep is the perf baseline for the sweep engine. Every
+// iteration pushes the same two-part workload through both code paths,
+// with the order alternating between iterations (serial first on even
+// ops, engine first on odd) so cache warmth and background drift cannot
+// bias one side — the flaw that made earlier positional measurements
+// report phantom ratios:
+//
+//   - packet part: the small Table 2 grid, per-cell recorded runs (the
+//     pre-engine loop) vs experiment.Table2 through engine.Sweep;
+//   - fluid part: the 24-cell kernel grid of fluidGridCells, one
+//     engine.Run per cell feeding a streaming observer vs
+//     engine.SweepSpecs over the same specs and observers, which steps
+//     the whole grid in lockstep through the SoA batch path — both legs
+//     produce identical Streams, so the ratio isolates orchestration.
+//
+// The headline speedup is the MEDIAN of the per-iteration paired ratios,
+// not the ratio of summed times: each iteration times both legs back to
+// back, so its ratio is immune to machine-load drift across iterations,
+// and the median discards iterations where a background burst hit one
+// leg only. The summed serial/engine ns_per_op keys are still recorded
+// for the timing gate.
+//
+// Alongside the timing ratio the record pins the grid's exact work
+// counters (grid_cells, grid_steps — any growth fails the bench gate
+// even across machines) and grid_steps_per_sec, the batched fluid
+// phase's throughput, gated on same-shape machines.
 func BenchmarkSweep(b *testing.B) {
 	grid := experiment.Table2Config{
 		Senders:    []int{2, 3},
 		Bandwidths: []float64{20, 30},
-		Duration:   10,
+		Duration:   4,
 		Seeds:      1,
 	}
 	// serialCell mirrors Table 2's friendliness measurement the way the
@@ -365,73 +433,116 @@ func BenchmarkSweep(b *testing.B) {
 		}
 		return reno / strongest, nil
 	}
-	var serialNsOp, engineNsOp, serialAllocs, engineAllocs int64
 	var serialMean, engineMean float64
-	b.Run("serial-recorded", func(b *testing.B) {
-		b.ReportAllocs()
-		var mean float64
-		var ms0, ms1 runtime.MemStats
-		runtime.ReadMemStats(&ms0)
-		for i := 0; i < b.N; i++ {
-			sum, cells := 0.0, 0
-			for _, n := range grid.Senders {
-				for _, mbps := range grid.Bandwidths {
-					ra, err := serialCell(axiomcc.NewRobustAIMD(1, 0.8, 0.01), n-1, mbps)
-					if err != nil {
-						b.Fatal(err)
-					}
-					pc, err := serialCell(axiomcc.DefaultPCC(), n-1, mbps)
-					if err != nil {
-						b.Fatal(err)
-					}
-					sum += ra / pc
-					cells++
+	serialLeg := func() error {
+		sum, cells := 0.0, 0
+		for _, n := range grid.Senders {
+			for _, mbps := range grid.Bandwidths {
+				ra, err := serialCell(axiomcc.NewRobustAIMD(1, 0.8, 0.01), n-1, mbps)
+				if err != nil {
+					return err
 				}
+				pc, err := serialCell(axiomcc.DefaultPCC(), n-1, mbps)
+				if err != nil {
+					return err
+				}
+				sum += ra / pc
+				cells++
 			}
-			mean = sum / float64(cells)
 		}
-		b.ReportMetric(mean, "mean-improvement")
-		runtime.ReadMemStats(&ms1)
-		serialNsOp, serialMean = b.Elapsed().Nanoseconds()/int64(b.N), mean
-		serialAllocs = int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N)
-	})
-	b.Run("engine-streaming", func(b *testing.B) {
-		b.ReportAllocs()
-		var res *experiment.Table2Result
+		serialMean = sum / float64(cells)
+		for _, sub := range fluidGridCells() {
+			st := metrics.NewStream(sub.Meta(), metrics.DefaultTailFrac)
+			if _, err := engine.Run(context.Background(), engine.Spec{Substrate: sub, Observers: []engine.Observer{st}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var fluidNs int64 // batched fluid phase only, for grid_steps_per_sec
+	engineLeg := func() error {
+		res, err := experiment.Table2(grid) // Workers 0 = GOMAXPROCS pool
+		if err != nil {
+			return err
+		}
+		engineMean = res.MeanImprovement
+		subs := fluidGridCells()
+		specs := make([]engine.Spec, len(subs))
+		for i, sub := range subs {
+			st := metrics.NewStream(sub.Meta(), metrics.DefaultTailFrac)
+			specs[i] = engine.Spec{Substrate: sub, Observers: []engine.Observer{st}}
+		}
+		t0 := time.Now()
+		_, err = engine.SweepSpecs(context.Background(), specs, engine.SweepConfig{})
+		fluidNs += time.Since(t0).Nanoseconds()
+		return err
+	}
+	var serialNs, engineNs, serialAllocs, engineAllocs int64
+	timed := func(leg func() error, ns, allocs *int64) int64 {
 		var ms0, ms1 runtime.MemStats
 		runtime.ReadMemStats(&ms0)
-		for i := 0; i < b.N; i++ {
-			var err error
-			res, err = experiment.Table2(grid) // Workers 0 = GOMAXPROCS pool
-			if err != nil {
-				b.Fatal(err)
-			}
+		t0 := time.Now()
+		if err := leg(); err != nil {
+			b.Fatal(err)
 		}
-		b.ReportMetric(res.MeanImprovement, "mean-improvement")
+		d := time.Since(t0).Nanoseconds()
+		*ns += d
 		runtime.ReadMemStats(&ms1)
-		engineNsOp, engineMean = b.Elapsed().Nanoseconds()/int64(b.N), res.MeanImprovement
-		engineAllocs = int64(ms1.Mallocs-ms0.Mallocs) / int64(b.N)
-	})
-	// The baseline record CI archives: same grid through both code paths,
-	// so a regression in either the engine layer or the obs hooks (which
-	// are disabled here and must stay free) shows up as a ratio shift.
+		*allocs += int64(ms1.Mallocs - ms0.Mallocs)
+		return d
+	}
+	ratios := make([]float64, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s, e int64
+		if i%2 == 0 {
+			s = timed(serialLeg, &serialNs, &serialAllocs)
+			e = timed(engineLeg, &engineNs, &engineAllocs)
+		} else {
+			e = timed(engineLeg, &engineNs, &engineAllocs)
+			s = timed(serialLeg, &serialNs, &serialAllocs)
+		}
+		if s > 0 && e > 0 {
+			ratios = append(ratios, float64(s)/float64(e))
+		}
+	}
+	b.StopTimer()
+	n := int64(b.N)
+	gridCells := int64(len(fluidGridCells()))
+	gridSteps := gridCells * fluidGridSteps
+	// The baseline record CI archives: same workload through both code
+	// paths, so a regression in the engine layer, the batch kernels, or
+	// the obs hooks (disabled here and required to stay free) shows up as
+	// a ratio shift.
 	rec := benchSweepRecord{
 		GoVersion:         runtime.Version(),
 		GOOS:              runtime.GOOS,
 		GOARCH:            runtime.GOARCH,
 		MaxProcs:          runtime.GOMAXPROCS(0),
-		SerialNsPerOp:     serialNsOp,
-		EngineNsPerOp:     engineNsOp,
-		SerialAllocsPerOp: serialAllocs,
-		EngineAllocsPerOp: engineAllocs,
+		SerialNsPerOp:     serialNs / n,
+		EngineNsPerOp:     engineNs / n,
+		SerialAllocsPerOp: serialAllocs / n,
+		EngineAllocsPerOp: engineAllocs / n,
 		SerialMean:        serialMean,
 		EngineMean:        engineMean,
+		GridCells:         gridCells,
+		GridSteps:         gridSteps,
 		ObsEnabled:        obs.Enabled(),
 		MeanImprovement:   engineMean,
 	}
-	if serialNsOp > 0 && engineNsOp > 0 {
-		rec.Speedup = float64(serialNsOp) / float64(engineNsOp)
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		rec.Speedup = ratios[len(ratios)/2]
+		if len(ratios)%2 == 0 {
+			rec.Speedup = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+		}
 	}
+	if fluidNs > 0 {
+		rec.GridStepsPerSec = float64(gridSteps*n) / (float64(fluidNs) * 1e-9)
+	}
+	b.ReportMetric(rec.Speedup, "serial/engine")
+	b.ReportMetric(rec.GridStepsPerSec, "grid-steps/sec")
 	raw, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		b.Fatal(err)
@@ -439,11 +550,13 @@ func BenchmarkSweep(b *testing.B) {
 	if err := os.WriteFile("BENCH_sweep.json", append(raw, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
-	b.Logf("wrote BENCH_sweep.json (speedup %.2fx)", rec.Speedup)
+	b.Logf("wrote BENCH_sweep.json (speedup %.2fx, %.1fM grid-steps/sec)", rec.Speedup, rec.GridStepsPerSec/1e6)
 }
 
 // benchSweepRecord is the schema of BENCH_sweep.json, the sweep perf
 // baseline BenchmarkSweep writes (and CI uploads as an artifact).
+// grid_cells/grid_steps are exact machine-independent work counters;
+// grid_steps_per_sec is the batched fluid phase's throughput.
 type benchSweepRecord struct {
 	GoVersion         string  `json:"go_version"`
 	GOOS              string  `json:"os"`
@@ -456,8 +569,49 @@ type benchSweepRecord struct {
 	Speedup           float64 `json:"speedup"`
 	SerialMean        float64 `json:"serial_mean_improvement"`
 	EngineMean        float64 `json:"engine_mean_improvement"`
+	GridCells         int64   `json:"grid_cells"`
+	GridSteps         int64   `json:"grid_steps"`
+	GridStepsPerSec   float64 `json:"grid_steps_per_sec"`
 	ObsEnabled        bool    `json:"obs_enabled"`
 	MeanImprovement   float64 `json:"mean_improvement"`
+}
+
+// BenchmarkGridStep measures the raw SoA batch stepping rate as the grid
+// grows: one op is one lockstep Step() over the whole batch, and the
+// reported grid-steps/sec rate (cells × ops / sec) shows how per-step
+// overhead amortizes across cells.
+func BenchmarkGridStep(b *testing.B) {
+	for _, cells := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("cells-%d", cells), func(b *testing.B) {
+			protos := []axiomcc.Protocol{
+				protocol.Reno(),
+				protocol.Scalable(),
+				protocol.IIAD(),
+				protocol.NewRobustAIMD(1, 0.8, 0.01),
+			}
+			bc := make([]fluid.BatchCell, cells)
+			for i := range bc {
+				senders, err := fluid.HomogeneousSenders(protos[i%len(protos)], 2, []float64{1, 40})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bc[i] = fluid.BatchCell{Cfg: link20(), Senders: senders}
+			}
+			batch, err := fluid.NewBatch(bc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch.Step()
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(cells)*float64(b.N)/sec, "grid-steps/sec")
+			}
+		})
+	}
 }
 
 // BenchmarkCharacterize is the perf baseline for the run-deduplication

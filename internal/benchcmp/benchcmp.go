@@ -2,18 +2,21 @@
 // record (BENCH_sweep.json, BENCH_characterize.json) against a committed
 // one and flags regressions. It is the engine behind CI's bench gate.
 //
-// Two classes of keys are compared:
+// Three classes of keys are compared:
 //
 //   - Timing and allocation keys (suffix _ns_per_op or _allocs_per_op)
 //     regress when new/old exceeds the configured limit. They are only
 //     comparable between records produced on the same machine shape
 //     (os, arch, GOMAXPROCS); across machines they are skipped with a
 //     reason rather than producing noise failures.
-//   - Work counters (runs_simulated, steps_simulated) are machine-
-//     independent and compared exactly: the whole point of the caching
-//     layers is that the same grid costs the same number of simulated
-//     runs everywhere, so any increase is a real regression even on a
-//     different machine.
+//   - Throughput keys (suffix _per_sec, e.g. grid_steps_per_sec) are the
+//     timing keys' inverse: machine-shape-gated, regressing when the
+//     rate drops below 1/limit of the baseline.
+//   - Work counters (runs_simulated, steps_simulated, grid_cells,
+//     grid_steps) are machine-independent and compared exactly: the
+//     whole point of the caching layers is that the same grid costs the
+//     same number of simulated runs everywhere, so any increase is a
+//     real regression even on a different machine.
 package benchcmp
 
 import (
@@ -25,7 +28,7 @@ import (
 
 // exactKeys are machine-independent work counters where any increase
 // regresses, regardless of where the records were produced.
-var exactKeys = []string{"runs_simulated", "steps_simulated"}
+var exactKeys = []string{"runs_simulated", "steps_simulated", "grid_cells", "grid_steps"}
 
 // machineKeys identify the machine shape; all must match for timing and
 // allocation comparisons to be meaningful.
@@ -102,6 +105,19 @@ func Compare(oldRaw, newRaw []byte, limit float64) (Report, error) {
 				rep.Regressions++
 			}
 			rep.Results = append(rep.Results, r)
+		case isRateKey(k):
+			if rep.TimingSkipped {
+				continue
+			}
+			r := Result{Key: k, Old: ov, New: nv}
+			if ov > 0 {
+				r.Ratio = nv / ov
+				r.Regressed = r.Ratio < 1/limit
+			}
+			if r.Regressed {
+				rep.Regressions++
+			}
+			rep.Results = append(rep.Results, r)
 		case isExactKey(k):
 			r := Result{Key: k, Old: ov, New: nv, Regressed: nv > ov}
 			if ov > 0 {
@@ -118,6 +134,12 @@ func Compare(oldRaw, newRaw []byte, limit float64) (Report, error) {
 
 func isTimingKey(k string) bool {
 	return strings.HasSuffix(k, "_ns_per_op") || strings.HasSuffix(k, "_allocs_per_op")
+}
+
+// isRateKey reports throughput keys: higher is better, so they regress
+// when the new/old ratio falls below the inverse limit.
+func isRateKey(k string) bool {
+	return strings.HasSuffix(k, "_per_sec")
 }
 
 func isExactKey(k string) bool {

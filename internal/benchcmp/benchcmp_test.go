@@ -12,6 +12,9 @@ const oldRec = `{
   "engine_allocs_per_op": 5000,
   "runs_simulated": 5,
   "steps_simulated": 30000,
+  "grid_cells": 24,
+  "grid_steps": 96000,
+  "grid_steps_per_sec": 2000000,
   "speedup": 2.5
 }`
 
@@ -100,6 +103,71 @@ func TestCompareNewKeysTolerated(t *testing.T) {
 	}
 	if rep.Regressions != 0 {
 		t.Fatalf("baseline-missing key flagged:\n%s", Format(rep))
+	}
+}
+
+func TestCompareFlagsThroughputDrop(t *testing.T) {
+	// grid_steps_per_sec is a rate: it regresses when it FALLS below
+	// 1/limit of the baseline, and a rise is never a regression.
+	drop := strings.Replace(oldRec, `"grid_steps_per_sec": 2000000`, `"grid_steps_per_sec": 1500000`, 1)
+	rep, err := Compare([]byte(oldRec), []byte(drop), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("25%% throughput drop not flagged exactly once:\n%s", Format(rep))
+	}
+	rise := strings.Replace(oldRec, `"grid_steps_per_sec": 2000000`, `"grid_steps_per_sec": 9000000`, 1)
+	rep, err = Compare([]byte(oldRec), []byte(rise), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("throughput gain flagged as regression:\n%s", Format(rep))
+	}
+	// Small wobble within the limit passes.
+	wobble := strings.Replace(oldRec, `"grid_steps_per_sec": 2000000`, `"grid_steps_per_sec": 1800000`, 1)
+	rep, err = Compare([]byte(oldRec), []byte(wobble), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("10%% throughput wobble flagged at limit 1.25:\n%s", Format(rep))
+	}
+}
+
+func TestCompareRateKeySkippedAcrossMachines(t *testing.T) {
+	newRec := strings.NewReplacer(
+		`"max_procs": 8`, `"max_procs": 2`,
+		`"grid_steps_per_sec": 2000000`, `"grid_steps_per_sec": 100`,
+	).Replace(oldRec)
+	rep, err := Compare([]byte(oldRec), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if isRateKey(r.Key) {
+			t.Fatalf("rate key %s compared across machine shapes", r.Key)
+		}
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("cross-machine rate drop flagged:\n%s", Format(rep))
+	}
+}
+
+func TestCompareGridCountersBite(t *testing.T) {
+	// grid_steps is an exact work counter: silently growing the benchmark
+	// grid must fail the gate even across machines.
+	newRec := strings.NewReplacer(
+		`"max_procs": 8`, `"max_procs": 2`,
+		`"grid_steps": 96000`, `"grid_steps": 96001`,
+	).Replace(oldRec)
+	rep, err := Compare([]byte(oldRec), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("grid_steps growth not flagged:\n%s", Format(rep))
 	}
 }
 

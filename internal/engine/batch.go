@@ -1,0 +1,447 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/chaos"
+	"repro/internal/fluid"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
+
+// This file implements the grid-batch path through the sweep engine:
+// SweepSpecs groups compatible fluid cells of a spec grid and advances
+// each group in lockstep through a fluid.Batch (structure-of-arrays
+// stepping with closed-form protocol kernels), while every other cell —
+// non-fluid substrates, non-kernel protocols, unsynchronized senders,
+// checkpoint-restored cells — takes the ordinary per-cell engine.Run
+// path. Batched and per-cell results are bit-identical by construction
+// (see internal/fluid/batch.go), so callers cannot observe which path a
+// cell took except through the engine.sweep.cells.batched / .fallback
+// counters and wall-clock time.
+
+// minBatchGroup is the smallest group worth batching: a singleton gains
+// nothing over per-cell stepping, so it falls back (and counts as
+// fallback in the telemetry).
+const minBatchGroup = 2
+
+// emitStrip is how many lockstep steps of observer data each batched
+// cell buffers before flushing them to its observers in one consecutive
+// run (see runBatchGroup).
+const emitStrip = 64
+
+// Strip is a contiguous run of steps from one cell, handed to
+// StripObserver implementations by the batch path. Windows is flow-major
+// (Count×Flows values transposed relative to Step.Windows): flow i's
+// samples occupy the contiguous column Windows[i*Count : (i+1)*Count],
+// with element k of a column belonging to step Start+k. The layout lets
+// per-flow consumers bulk-copy a whole column without a gather. Like
+// Step.Windows, the backing slices are reused and only valid during the
+// ObserveStrip call.
+type Strip struct {
+	Start   int // index of the first step in the strip
+	Count   int // steps in the strip
+	Flows   int // number of Windows columns
+	Windows []float64
+	Totals  []float64
+	RTT     []float64
+	Loss    []float64
+}
+
+// StripObserver is an optional Observer upgrade. The grid-batch path
+// buffers runs of consecutive steps per cell and hands whole strips to
+// observers that implement it, amortizing the per-step dispatch and
+// Step-struct copy; everyone else receives the same steps one Observe at
+// a time. Implementations must be indistinguishable from observing the
+// equivalent Steps in order — the upgrade is a fast path, never a
+// semantic one.
+type StripObserver interface {
+	Observer
+	ObserveStrip(Strip)
+}
+
+// Batch-path telemetry, recorded only while obs is enabled. A cell counts
+// as batched when a fluid.Batch stepped it, and as fallback when it is a
+// fluid-substrate cell that took the per-cell path instead (no kernel,
+// unsynchronized feedback, singleton group, -nobatch, ...). Non-fluid
+// cells count as neither. Checkpoint-restored cells execute nothing and
+// also count as neither (they land in engine.sweep.cells.restored).
+var (
+	sweepCellsBatched  = obs.GetCounter("engine.sweep.cells.batched")
+	sweepCellsFallback = obs.GetCounter("engine.sweep.cells.fallback")
+)
+
+// batchOut is the precomputed outcome of a batched cell, returned by the
+// sweep cell function instead of calling Run.
+type batchOut struct {
+	res *Result
+	err error
+}
+
+// SweepSpecs runs one engine Spec per grid cell across the sweep
+// orchestrator, returning results in input order. It is Sweep
+// specialized to spec grids, plus the grid-batch fast path: compatible
+// cells are grouped and stepped in lockstep before the per-cell pass,
+// which then serves their precomputed results. All Sweep semantics are
+// preserved — fail-fast on the first cell error, deterministic results
+// at any worker count, hardening (timeouts, retries, checkpoint/resume)
+// via cfg, and obs instrumentation.
+//
+// Specs must be self-describing: cell seeds come from each spec's
+// Cfg.Seed / ChaosSeed fields, not from CellSeed derivation (the per-cell
+// seed Sweep hands its cell function is ignored). Like Run, substrates
+// are single-use — build fresh specs per call.
+//
+// Two caveats apply to batched cells, both documented in DESIGN.md: a
+// CellTimeout does not bound them (the group computes before the
+// per-cell attempt loop; context cancellation still stops the group
+// promptly), and engine.run.duration telemetry is not recorded for them
+// (a lockstep group has no per-cell wall time).
+func SweepSpecs(ctx context.Context, specs []Spec, cfg SweepConfig) ([]*Result, error) {
+	capNestedWorkers(ctx, &cfg)
+	applyHardening(&cfg)
+	routeWorkers(len(specs), &cfg)
+	pre := runBatches(ctx, specs, &cfg)
+	return Sweep(ctx, len(specs), cfg, func(ctx context.Context, i int, _ uint64) (*Result, error) {
+		if pre != nil && pre[i] != nil {
+			return pre[i].res, pre[i].err
+		}
+		return Run(ctx, specs[i])
+	})
+}
+
+// batchKey identifies a group of lockstep-compatible cells: same step
+// count, and — when a chaos schedule is present — the same schedule
+// value, seed, and flow count, so one compiled injector serves the whole
+// group (the injector's per-step state advances once per step no matter
+// how many cells query it, which is what makes sharing bit-identical to
+// per-cell compilation).
+type batchKey struct {
+	steps     int
+	chaos     *chaos.Schedule
+	chaosSeed uint64
+	flows     int
+}
+
+// batchKeyFor classifies one spec: the group key and true when the cell
+// can be batched, false when it must take the per-cell path.
+func batchKeyFor(spec *Spec) (batchKey, bool) {
+	fs, ok := spec.Substrate.(*FluidSpec)
+	if !ok {
+		return batchKey{}, false
+	}
+	if fs.Steps <= 0 || fs.Cfg.Perturb != nil {
+		return batchKey{}, false
+	}
+	if fluid.Batchable(fs.Cfg, fs.Senders) != nil {
+		return batchKey{}, false
+	}
+	k := batchKey{steps: fs.Steps}
+	if spec.Chaos != nil {
+		k.chaos = spec.Chaos
+		k.chaosSeed = spec.ChaosSeed
+		k.flows = len(fs.Senders)
+	}
+	return k, true
+}
+
+// runBatches plans and executes the batch groups, returning per-cell
+// precomputed outcomes (nil entries mean "run per-cell"). Groups run
+// concurrently under cfg.Workers; context cancellation aborts cleanly,
+// leaving unfinished cells to the per-cell pass (which observes the
+// cancellation itself).
+func runBatches(ctx context.Context, specs []Spec, cfg *SweepConfig) []*batchOut {
+	instrumented := obs.Enabled()
+	fluidCells := 0
+	if instrumented {
+		for i := range specs {
+			if _, ok := specs[i].Substrate.(*FluidSpec); ok {
+				fluidCells++
+			}
+		}
+	}
+	if cfg.NoBatch || len(specs) < minBatchGroup {
+		if instrumented {
+			sweepCellsFallback.Add(uint64(fluidCells))
+		}
+		return nil
+	}
+
+	restored := restoredCells(cfg, len(specs))
+	groups := make(map[batchKey][]int)
+	for i := range specs {
+		if restored[i] {
+			if instrumented {
+				if _, ok := specs[i].Substrate.(*FluidSpec); ok {
+					fluidCells--
+				}
+			}
+			continue
+		}
+		if key, ok := batchKeyFor(&specs[i]); ok {
+			groups[key] = append(groups[key], i)
+		}
+	}
+	var runs [][]int
+	batched := 0
+	for _, idxs := range groups {
+		if len(idxs) >= minBatchGroup {
+			runs = append(runs, idxs)
+			batched += len(idxs)
+		}
+	}
+	if instrumented {
+		sweepCellsBatched.Add(uint64(batched))
+		sweepCellsFallback.Add(uint64(fluidCells - batched))
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+
+	outs := make([]*batchOut, len(specs))
+	// Group workers write disjoint outs entries, so the slice needs no
+	// lock. The group function never returns an error: per-cell failures
+	// (divergence, chaos compile errors) are recorded in outs and
+	// surfaced by the per-cell pass with Sweep's usual fail-fast rules.
+	parallel.MapCtx(ctx, len(runs), cfg.Workers, func(ctx context.Context, g int) (struct{}, error) {
+		runBatchGroup(ctx, specs, runs[g], outs)
+		return struct{}{}, nil
+	})
+	return outs
+}
+
+// restoredCells peeks at the checkpoint a resuming sweep will restore
+// from, so batch groups exclude cells whose results will never be
+// recomputed. The peek is read-only; the harness loads the file again
+// itself.
+func restoredCells(cfg *SweepConfig, n int) map[int]bool {
+	if !cfg.Resume || cfg.Checkpoint == "" {
+		return nil
+	}
+	ck := newCheckpointer(cfg, n)
+	if ck == nil {
+		return nil
+	}
+	m := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		if _, ok := ck.cached(i); ok {
+			m[i] = true
+		}
+	}
+	return m
+}
+
+// runBatchGroup steps one group of cells in lockstep and fills their
+// outs entries. On context cancellation it returns with the group's
+// entries still nil — those cells fall through to the per-cell pass,
+// which observes the cancellation before emitting anything.
+func runBatchGroup(ctx context.Context, specs []Spec, idxs []int, outs []*batchOut) {
+	first := &specs[idxs[0]]
+	fs0 := first.Substrate.(*FluidSpec)
+	steps := fs0.Steps
+	instrumented := obs.Enabled()
+
+	// One shared injector per group: every cell in the group carries the
+	// same (schedule, seed, flows) triple, so per-cell compilation would
+	// yield identical injectors anyway.
+	var inj *chaos.Injector
+	if first.Chaos != nil {
+		var err error
+		inj, err = first.Chaos.Compile(first.ChaosSeed, len(fs0.Senders), 1)
+		if err != nil {
+			for _, i := range idxs {
+				outs[i] = &batchOut{err: err}
+			}
+			if instrumented {
+				obs.GetCounter("engine.runs.failed.fluid").Add(uint64(len(idxs)))
+			}
+			return
+		}
+	}
+
+	cells := make([]fluid.BatchCell, len(idxs))
+	for j, i := range idxs {
+		fs := specs[i].Substrate.(*FluidSpec)
+		cfg := fs.Cfg
+		if inj != nil {
+			cfg.Perturb = inj
+		}
+		cells[j] = fluid.BatchCell{Cfg: cfg, Senders: fs.Senders}
+	}
+	b, err := fluid.NewBatch(cells)
+	if err != nil {
+		// The planner admitted the cells, so this is unreachable; if it
+		// ever fires, leaving outs nil routes the group per-cell, which
+		// is always correct.
+		return
+	}
+
+	type cellRun struct {
+		spec *Spec
+		tr   *trace.Trace
+		out  batchOut
+		done bool
+		// Strip-mined emission buffers, nil when the cell has no
+		// observers. Emitting round-robin across the group — one Observe
+		// per cell per step — touches every observer's working set every
+		// step, which thrashes the cache badly enough to cancel the SoA
+		// stepping win. Buffering emitStrip steps per cell and flushing
+		// one cell at a time keeps each observer hot for a run of
+		// consecutive Observe calls. Per-stream observation order is
+		// unchanged, and Step.Windows is only valid during Observe (same
+		// contract as the per-cell path), so observers cannot tell.
+		//
+		// windows is flow-major with column stride emitStrip (flow i's
+		// buffered samples at windows[i*emitStrip+0 .. i*emitStrip+n-1]),
+		// matching the Strip layout so full strips flush without a
+		// transpose; partial strips compact their columns in place first.
+		flows   int
+		base    int // step index of the first buffered entry
+		n       int // buffered entries
+		windows []float64
+		row     []float64 // per-step gather scratch for plain Observers
+		rtt     []float64
+		loss    []float64
+		total   []float64
+	}
+	runs := make([]cellRun, len(idxs))
+	for j, i := range idxs {
+		runs[j].spec = &specs[i]
+		if specs[i].Record {
+			cfg := b.Config(j)
+			runs[j].tr = trace.New(len(cells[j].Senders), cfg.Capacity(), cfg.BaseRTT(), steps)
+		}
+		if len(specs[i].Observers) > 0 {
+			f := len(cells[j].Senders)
+			runs[j].flows = f
+			runs[j].windows = make([]float64, emitStrip*f)
+			runs[j].row = make([]float64, f)
+			runs[j].rtt = make([]float64, emitStrip)
+			runs[j].loss = make([]float64, emitStrip)
+			runs[j].total = make([]float64, emitStrip)
+		}
+	}
+	flush := func(r *cellRun) {
+		if r.n == 0 {
+			return
+		}
+		f := r.flows
+		if r.n < emitStrip {
+			// Partial strip: close the gaps so column i sits at stride
+			// r.n, as Strip promises. copy has memmove semantics and the
+			// columns move strictly leftward in increasing i, so in-place
+			// compaction is safe.
+			for i := 1; i < f; i++ {
+				copy(r.windows[i*r.n:(i+1)*r.n], r.windows[i*emitStrip:i*emitStrip+r.n])
+			}
+		}
+		strip := Strip{
+			Start:   r.base,
+			Count:   r.n,
+			Flows:   f,
+			Windows: r.windows[:r.n*f],
+			Totals:  r.total[:r.n],
+			RTT:     r.rtt[:r.n],
+			Loss:    r.loss[:r.n],
+		}
+		for _, o := range r.spec.Observers {
+			if so, ok := o.(StripObserver); ok {
+				so.ObserveStrip(strip)
+				continue
+			}
+			for k := 0; k < r.n; k++ {
+				for i := 0; i < f; i++ {
+					r.row[i] = r.windows[i*r.n+k]
+				}
+				o.Observe(Step{
+					Index:   r.base + k,
+					Windows: r.row,
+					Total:   r.total[k],
+					RTT:     r.rtt[k],
+					Loss:    r.loss[k],
+				})
+			}
+		}
+		r.base += r.n
+		r.n = 0
+	}
+
+	live := len(runs)
+	for s := 0; s < steps && live > 0; s++ {
+		if s&0xff == 0 {
+			if ctx.Err() != nil {
+				return
+			}
+		}
+		b.Step()
+		for j := range runs {
+			r := &runs[j]
+			if r.done {
+				continue
+			}
+			if err := b.Err(j); err != nil {
+				// Divergence: like the per-cell path, the failing step is
+				// neither recorded nor emitted, and the cell stops (after
+				// flushing the steps buffered before the failure).
+				r.out.err = err
+				r.done = true
+				live--
+				if r.windows != nil {
+					flush(r)
+				}
+				continue
+			}
+			w := b.Windows(j)
+			if r.tr != nil {
+				r.tr.Append(w, b.RTT(j), b.CongLoss(j))
+			}
+			if r.windows != nil {
+				total := 0.0
+				off := r.n
+				for k, v := range w {
+					r.windows[k*emitStrip+off] = v
+					total += v
+				}
+				r.rtt[r.n] = b.RTT(j)
+				r.loss[r.n] = b.CongLoss(j)
+				r.total[r.n] = total
+				r.n++
+				if r.n == emitStrip {
+					flush(r)
+				}
+			}
+		}
+	}
+	for j := range runs {
+		if runs[j].windows != nil {
+			flush(&runs[j])
+		}
+	}
+
+	for j, i := range idxs {
+		r := &runs[j]
+		if r.out.err == nil {
+			r.out.res = &Result{Trace: r.tr, Steps: steps}
+		}
+		outs[i] = &r.out
+	}
+	if instrumented {
+		// Mirror Run's per-kind counters so dashboards see batched cells
+		// too (run durations are not recorded: a lockstep group has no
+		// per-cell wall time).
+		failed := 0
+		for j := range runs {
+			if runs[j].out.err != nil {
+				failed++
+			}
+		}
+		if failed > 0 {
+			obs.GetCounter("engine.runs.failed.fluid").Add(uint64(failed))
+		}
+		if ok := len(runs) - failed; ok > 0 {
+			obs.GetCounter("engine.runs.fluid").Add(uint64(ok))
+			obs.GetCounter("engine.steps.fluid").Add(uint64(ok) * uint64(steps))
+		}
+	}
+}

@@ -1,0 +1,451 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/fluid"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// batchFamilies are the kernelized protocol specs the golden matrix
+// covers — one per closed-form family (AIMD, MIMD, two Binomial points,
+// Robust-AIMD, HighSpeed).
+var batchFamilies = []string{"reno", "scalable", "iiad", "sqrt", "raimd:1,0.8,0.01", "hstcp"}
+
+// batchGrid builds one self-describing spec per (family, init) pair:
+// 2-sender fluid cells, recorded, with per-cell seeds. mutate lets a
+// scenario attach chaos schedules or loss processes per cell.
+func batchGrid(t *testing.T, steps int, mutate func(i int, spec *Spec)) []Spec {
+	t.Helper()
+	inits := [][]float64{{1, 40}, {25, 25}}
+	var specs []Spec
+	i := 0
+	for _, fam := range batchFamilies {
+		for _, init := range inits {
+			senders, err := fluid.HomogeneousSenders(protocol.MustParse(fam), 2, init)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := fluidCfg()
+			cfg.Seed = uint64(1000 + i)
+			spec := Spec{
+				Substrate: &FluidSpec{Cfg: cfg, Senders: senders, Steps: steps},
+				Record:    true,
+			}
+			if mutate != nil {
+				mutate(i, &spec)
+			}
+			specs = append(specs, spec)
+			i++
+		}
+	}
+	return specs
+}
+
+// runBothPaths evaluates the same grid through the batched path and the
+// per-cell (-nobatch) path and asserts bit-identical traces. The grid is
+// regenerated per run because substrates are single-use.
+func runBothPaths(t *testing.T, grid func() []Spec, cfg SweepConfig) []*Result {
+	t.Helper()
+	batched, err := SweepSpecs(context.Background(), grid(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := cfg
+	nb.NoBatch = true
+	scalar, err := SweepSpecs(context.Background(), grid(), nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(scalar) {
+		t.Fatalf("result count %d != %d", len(batched), len(scalar))
+	}
+	for i := range batched {
+		if batched[i].Steps != scalar[i].Steps {
+			t.Fatalf("cell %d: steps %d != %d", i, batched[i].Steps, scalar[i].Steps)
+		}
+		equalTraces(t, batched[i].Trace, scalar[i].Trace)
+	}
+	return batched
+}
+
+// TestSweepSpecsBitIdentityPlain is the plain column of the golden
+// matrix: every batchable family, batched vs per-cell, bit-identical.
+// It also pins the batched/fallback telemetry for an all-batchable grid.
+func TestSweepSpecsBitIdentityPlain(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	b0, f0 := sweepCellsBatched.Value(), sweepCellsFallback.Value()
+	res := runBothPaths(t, func() []Spec { return batchGrid(t, 300, nil) }, SweepConfig{Workers: 2})
+	n := uint64(len(res))
+	if got := sweepCellsBatched.Value() - b0; got != n {
+		t.Errorf("batched counter advanced %d, want %d", got, n)
+	}
+	// The -nobatch leg routed every fluid cell per-cell.
+	if got := sweepCellsFallback.Value() - f0; got != n {
+		t.Errorf("fallback counter advanced %d, want %d", got, n)
+	}
+}
+
+// batchChaosSchedule composes every injector mechanism the fluid batch
+// must share bit-identically: capacity shocks, link flaps, a seeded
+// Gilbert–Elliott loss chain, RTT jitter, and flow churn.
+func batchChaosSchedule() *chaos.Schedule {
+	s := &chaos.Schedule{Events: []chaos.Event{
+		{Kind: chaos.KindCapacityScale, At: 40, Duration: 60, Scale: 0.5, Link: -1},
+		{Kind: chaos.KindLinkFlap, At: 150, Duration: 5, Link: -1},
+		{Kind: chaos.KindGELoss, At: 0, PGoodBad: 0.02, PBadGood: 0.3, LossBad: 0.1, Flow: -1, Link: -1},
+		{Kind: chaos.KindRTTJitter, At: 0, Amplitude: 0.002, Link: -1},
+		{Kind: chaos.KindFlowDepart, At: 100, Flow: 1},
+		{Kind: chaos.KindFlowArrive, At: 200, Flow: 1},
+	}}
+	if err := s.Normalize(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestSweepSpecsBitIdentityChaos is the chaos column: cells sharing a
+// compiled schedule batch together (one shared injector) and must match
+// the per-cell path, where every cell compiles its own injector. Cells
+// with a different schedule or seed form separate groups.
+func TestSweepSpecsBitIdentityChaos(t *testing.T) {
+	schedA, schedB := batchChaosSchedule(), batchChaosSchedule()
+	grid := func() []Spec {
+		return batchGrid(t, 300, func(i int, spec *Spec) {
+			// Three chaos groups: schedule A seed 1, schedule A seed 2,
+			// schedule B seed 1 — plus identical per-cell fluid seeds so
+			// only the chaos grouping varies.
+			switch i % 3 {
+			case 0:
+				spec.Chaos, spec.ChaosSeed = schedA, 1
+			case 1:
+				spec.Chaos, spec.ChaosSeed = schedA, 2
+			case 2:
+				spec.Chaos, spec.ChaosSeed = schedB, 1
+			}
+		})
+	}
+	obs.Enable()
+	defer obs.Disable()
+	b0 := sweepCellsBatched.Value()
+	res := runBothPaths(t, grid, SweepConfig{Workers: 2})
+	// All three chaos groups have ≥ 2 cells, so every cell of the batched
+	// leg must actually have batched — a silent fallback would compare
+	// per-cell against per-cell and prove nothing.
+	if got, want := sweepCellsBatched.Value()-b0, uint64(len(res)); got != want {
+		t.Errorf("batched counter advanced %d, want %d", got, want)
+	}
+}
+
+// TestSweepSpecsBitIdentityRandomLoss is the seeded-randomness column:
+// per-cell PacketLoss processes with distinct seeds, exercising the
+// per-cell RNG streams inside one batch.
+func TestSweepSpecsBitIdentityRandomLoss(t *testing.T) {
+	grid := func() []Spec {
+		return batchGrid(t, 300, func(i int, spec *Spec) {
+			fs := spec.Substrate.(*FluidSpec)
+			fs.Cfg.Loss = fluid.NewPacketLoss(0.003)
+			fs.Cfg.Seed = uint64(77 + i)
+		})
+	}
+	runBothPaths(t, grid, SweepConfig{Workers: 3})
+}
+
+// TestSweepSpecsCheckpointResume is the checkpoint/resume column: a
+// batched sweep is canceled mid-flight, its checkpoint keeps the
+// completed cells, and the resumed sweep — which must exclude restored
+// cells from batch groups — finishes with results bit-identical to an
+// uninterrupted per-cell run.
+func TestSweepSpecsCheckpointResume(t *testing.T) {
+	ckpath := filepath.Join(t.TempDir(), "sweep.json")
+	grid := func() []Spec { return batchGrid(t, 300, nil) }
+
+	// Phase 1: serial sweep, canceled after two cells completed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := SweepConfig{
+		Workers:    1,
+		Checkpoint: ckpath,
+		Progress: func(done, total int) {
+			if done == 2 {
+				cancel()
+			}
+		},
+	}
+	if _, err := SweepSpecs(ctx, grid(), cfg); err == nil {
+		t.Fatal("canceled sweep returned nil error")
+	}
+
+	// Phase 2: resume. Restored cells come from the checkpoint, the rest
+	// re-run (batched).
+	obs.Enable()
+	defer obs.Disable()
+	r0 := obs.GetCounter("engine.sweep.cells.restored").Value()
+	resumed, err := SweepSpecs(context.Background(), grid(), SweepConfig{
+		Workers:    2,
+		Checkpoint: ckpath,
+		Resume:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.GetCounter("engine.sweep.cells.restored").Value() - r0; got == 0 {
+		t.Fatal("resume restored no cells; cancellation landed before any checkpoint record")
+	}
+
+	scalar, err := SweepSpecs(context.Background(), grid(), SweepConfig{Workers: 1, NoBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resumed {
+		equalTraces(t, resumed[i].Trace, scalar[i].Trace)
+	}
+}
+
+// TestSweepSpecsFallbackCoverage is the fallback column: non-batchable
+// families (PCC, BBRish, Func, Vegas, Cubic) and unsynchronized senders
+// silently take the per-cell path inside a mixed grid, with results
+// bit-identical to -nobatch, and the telemetry splits the grid into
+// batched + fallback exactly.
+func TestSweepSpecsFallbackCoverage(t *testing.T) {
+	nonBatchable := []func() fluid.Sender{
+		func() fluid.Sender { return fluid.Sender{Proto: protocol.DefaultPCC(), Init: 10} },
+		func() fluid.Sender { return fluid.Sender{Proto: protocol.NewBBRish(), Init: 10} },
+		func() fluid.Sender {
+			return fluid.Sender{Proto: &protocol.Func{Fn: func(fb protocol.Feedback) float64 {
+				if fb.Loss > 0 {
+					return fb.Window * 0.7
+				}
+				return fb.Window + 2
+			}}, Init: 10}
+		},
+		func() fluid.Sender { return fluid.Sender{Proto: protocol.DefaultVegas(), Init: 10} },
+		func() fluid.Sender { return fluid.Sender{Proto: protocol.CubicLinux(), Init: 10} },
+		// Kernelized family, but unsynchronized feedback.
+		func() fluid.Sender { return fluid.Sender{Proto: protocol.Reno(), Init: 10, Period: 3, Phase: 1} },
+	}
+	grid := func() []Spec {
+		specs := batchGrid(t, 300, nil)
+		for i, mk := range nonBatchable {
+			cfg := fluidCfg()
+			cfg.Seed = uint64(5000 + i)
+			specs = append(specs, Spec{
+				Substrate: &FluidSpec{
+					Cfg:     cfg,
+					Senders: []fluid.Sender{mk(), {Proto: protocol.Reno(), Init: 1}},
+					Steps:   300,
+				},
+				Record: true,
+			})
+		}
+		return specs
+	}
+
+	obs.Enable()
+	defer obs.Disable()
+	b0, f0 := sweepCellsBatched.Value(), sweepCellsFallback.Value()
+	res := runBothPaths(t, grid, SweepConfig{Workers: 2})
+	batchable := uint64(len(res) - len(nonBatchable))
+	// Counter deltas include both legs: the batched leg splits the grid,
+	// the -nobatch leg routes everything to fallback.
+	if got := sweepCellsBatched.Value() - b0; got != batchable {
+		t.Errorf("batched counter advanced %d, want %d", got, batchable)
+	}
+	wantFallback := uint64(len(nonBatchable)) + uint64(len(res))
+	if got := sweepCellsFallback.Value() - f0; got != wantFallback {
+		t.Errorf("fallback counter advanced %d, want %d", got, wantFallback)
+	}
+}
+
+// TestSweepSpecsSingletonGroupFallsBack pins minBatchGroup: a group of
+// one gains nothing from batching and must route per-cell.
+func TestSweepSpecsSingletonGroupFallsBack(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	grid := func() []Spec {
+		// Two cells with different step counts → two singleton groups.
+		a := batchGrid(t, 200, nil)[:1]
+		b := batchGrid(t, 300, nil)[:1]
+		return append(a, b...)
+	}
+	b0, f0 := sweepCellsBatched.Value(), sweepCellsFallback.Value()
+	runBothPaths(t, grid, SweepConfig{Workers: 1})
+	if got := sweepCellsBatched.Value() - b0; got != 0 {
+		t.Errorf("batched counter advanced %d, want 0", got)
+	}
+	if got := sweepCellsFallback.Value() - f0; got != 4 {
+		t.Errorf("fallback counter advanced %d, want 4 (both cells, both legs)", got)
+	}
+}
+
+// TestSweepSpecsDivergenceFailsFast asserts a diverging batched cell
+// surfaces the same ErrDiverged failure the per-cell path produces.
+func TestSweepSpecsDivergenceFailsFast(t *testing.T) {
+	grid := func() []Spec {
+		specs := batchGrid(t, 300, nil)
+		cfg := fluid.Config{Infinite: true, PropDelay: 0.021, MaxWindow: math.Inf(1)}
+		specs = append(specs, Spec{
+			Substrate: &FluidSpec{
+				Cfg: cfg,
+				Senders: []fluid.Sender{
+					{Proto: protocol.NewMIMD(10, 0.5), Init: 1e300},
+					{Proto: protocol.NewMIMD(10, 0.5), Init: 1e300},
+				},
+				Steps: 300,
+			},
+		})
+		return specs
+	}
+	for _, nobatch := range []bool{false, true} {
+		_, err := SweepSpecs(context.Background(), grid(), SweepConfig{Workers: 1, NoBatch: nobatch})
+		if err == nil {
+			t.Fatalf("nobatch=%v: diverging grid returned nil error", nobatch)
+		}
+		var de *fluid.DivergedError
+		if !errors.As(err, &de) {
+			t.Fatalf("nobatch=%v: error %v is not a DivergedError", nobatch, err)
+		}
+	}
+}
+
+// stepCollector records every observed step, copying the reused Windows
+// slice. It deliberately does NOT implement StripObserver, so on the
+// batched path it exercises the per-step fallback (row gather) in the
+// strip flush.
+type stepCollector struct{ steps []Step }
+
+func (c *stepCollector) Observe(st Step) {
+	st.Windows = append([]float64(nil), st.Windows...)
+	c.steps = append(c.steps, st)
+}
+
+// stripCollector implements StripObserver, expanding flow-major strips
+// back into steps while checking the documented layout invariants.
+type stripCollector struct {
+	stepCollector
+	strips int
+	t      *testing.T
+}
+
+func (c *stripCollector) ObserveStrip(s Strip) {
+	c.strips++
+	if len(s.Windows) != s.Count*s.Flows {
+		c.t.Errorf("strip Windows length %d, want Count×Flows = %d", len(s.Windows), s.Count*s.Flows)
+	}
+	for k := 0; k < s.Count; k++ {
+		w := make([]float64, s.Flows)
+		for i := 0; i < s.Flows; i++ {
+			w[i] = s.Windows[i*s.Count+k]
+		}
+		c.steps = append(c.steps, Step{
+			Index:   s.Start + k,
+			Windows: w,
+			Total:   s.Totals[k],
+			RTT:     s.RTT[k],
+			Loss:    s.Loss[k],
+		})
+	}
+}
+
+// TestSweepSpecsStripObserverEquivalence is the observer column of the
+// golden matrix: the batched path must deliver the same step sequence
+// whether an observer takes whole strips (flow-major columns), takes the
+// per-step fallback, or runs on the per-cell path. 300 steps is not a
+// multiple of emitStrip, so the final partial strip — column compaction
+// and all — is exercised too, and the grid includes 3-sender cells so
+// column strides differ across the group.
+func TestSweepSpecsStripObserverEquivalence(t *testing.T) {
+	const steps = 300
+	run := func(nobatch, strip bool) ([][]Step, int) {
+		specs := batchGrid(t, steps, nil)
+		for _, n := range []int{3, 3} {
+			senders, err := fluid.HomogeneousSenders(protocol.Reno(), n, []float64{1, 20, 40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := fluidCfg()
+			cfg.Seed = uint64(9000 + n)
+			specs = append(specs, Spec{Substrate: &FluidSpec{Cfg: cfg, Senders: senders, Steps: steps}})
+		}
+		collectors := make([]*stripCollector, len(specs))
+		for i := range specs {
+			collectors[i] = &stripCollector{t: t}
+			specs[i].Record = false
+			if strip {
+				specs[i].Observers = []Observer{collectors[i]}
+			} else {
+				specs[i].Observers = []Observer{&collectors[i].stepCollector}
+			}
+		}
+		if _, err := SweepSpecs(context.Background(), specs, SweepConfig{Workers: 2, NoBatch: nobatch}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]Step, len(specs))
+		strips := 0
+		for i, c := range collectors {
+			out[i] = c.steps
+			strips += c.strips
+		}
+		return out, strips
+	}
+
+	base, _ := run(true, false) // per-cell path: one Observe per step
+	for _, leg := range []struct {
+		name  string
+		strip bool
+	}{{"fallback", false}, {"strip", true}} {
+		got, strips := run(false, leg.strip)
+		if leg.strip && strips == 0 {
+			t.Fatal("strip leg delivered no strips; batched path not taken")
+		}
+		for i := range base {
+			if len(got[i]) != len(base[i]) {
+				t.Fatalf("%s leg cell %d: %d steps, want %d", leg.name, i, len(got[i]), len(base[i]))
+			}
+			for k := range base[i] {
+				g, w := got[i][k], base[i][k]
+				if g.Index != w.Index || g.Total != w.Total || g.RTT != w.RTT || g.Loss != w.Loss {
+					t.Fatalf("%s leg cell %d step %d: %+v, want %+v", leg.name, i, k, g, w)
+				}
+				for f := range w.Windows {
+					if math.Float64bits(g.Windows[f]) != math.Float64bits(w.Windows[f]) {
+						t.Fatalf("%s leg cell %d step %d flow %d: window %v, want %v", leg.name, i, k, f, g.Windows[f], w.Windows[f])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteWorkers pins the auto-routing rules: explicit Workers wins;
+// otherwise min(GOMAXPROCS, n) with a serial floor.
+func TestRouteWorkers(t *testing.T) {
+	cfg := SweepConfig{Workers: 3}
+	routeWorkers(100, &cfg)
+	if cfg.Workers != 3 {
+		t.Fatalf("explicit Workers overridden to %d", cfg.Workers)
+	}
+	cfg = SweepConfig{}
+	routeWorkers(1, &cfg)
+	if cfg.Workers != 1 {
+		t.Fatalf("1-cell grid routed to %d workers, want serial", cfg.Workers)
+	}
+	cfg = SweepConfig{}
+	routeWorkers(0, &cfg)
+	if cfg.Workers != 1 {
+		t.Fatalf("empty grid routed to %d workers, want 1", cfg.Workers)
+	}
+	cfg = SweepConfig{}
+	routeWorkers(1<<20, &cfg)
+	if want := runtime.GOMAXPROCS(0); cfg.Workers != want {
+		t.Fatalf("large grid routed to %d workers, want GOMAXPROCS=%d", cfg.Workers, want)
+	}
+}

@@ -28,6 +28,9 @@ type Hardening struct {
 	Checkpoint string
 	// Resume loads the checkpoint before sweeping.
 	Resume bool
+	// NoBatch disables the grid-batch fast path process-wide (the
+	// -nobatch escape hatch).
+	NoBatch bool
 }
 
 var (
@@ -60,6 +63,9 @@ func applyHardening(cfg *SweepConfig) {
 	}
 	if cfg.Retries == 0 {
 		cfg.Retries = h.Retries
+	}
+	if h.NoBatch {
+		cfg.NoBatch = true
 	}
 }
 
@@ -99,17 +105,19 @@ type SweepFlags struct {
 	Retries     int
 	Checkpoint  string
 	Resume      bool
+	NoBatch     bool
 }
 
-// RegisterSweepFlags mounts -cell-timeout, -retries, -checkpoint, and
-// -resume on fs (typically flag.CommandLine) and returns the holder to
-// Apply after parsing.
+// RegisterSweepFlags mounts -cell-timeout, -retries, -checkpoint,
+// -resume, and -nobatch on fs (typically flag.CommandLine) and returns
+// the holder to Apply after parsing.
 func RegisterSweepFlags(fs *flag.FlagSet) *SweepFlags {
 	f := &SweepFlags{}
 	fs.DurationVar(&f.CellTimeout, "cell-timeout", 0, "per-cell attempt deadline for sweeps (0 = none)")
 	fs.IntVar(&f.Retries, "retries", 0, "extra attempts for transiently failing sweep cells")
 	fs.StringVar(&f.Checkpoint, "checkpoint", "", "periodically snapshot completed sweep cells to this JSON file")
 	fs.BoolVar(&f.Resume, "resume", false, "resume from -checkpoint, skipping already-completed cells")
+	fs.BoolVar(&f.NoBatch, "nobatch", false, "disable batched grid stepping; run every sweep cell individually")
 	return f
 }
 
@@ -121,5 +129,6 @@ func (f *SweepFlags) Apply() {
 		Retries:     f.Retries,
 		Checkpoint:  f.Checkpoint,
 		Resume:      f.Resume,
+		NoBatch:     f.NoBatch,
 	})
 }

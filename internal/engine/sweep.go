@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -52,6 +53,11 @@ type SweepConfig struct {
 	// (index, seed) matches, returning the stored result instead. A
 	// checkpoint from a different grid shape or BaseSeed is ignored.
 	Resume bool
+	// NoBatch disables the grid-batch fast path of SweepSpecs, forcing
+	// every cell through the per-cell engine (the -nobatch escape hatch).
+	// Results are bit-identical either way; this is for isolating
+	// suspected batching bugs and for benchmarking the scalar path.
+	NoBatch bool
 }
 
 // CellSeed derives the deterministic seed for cell i from base by
@@ -106,6 +112,7 @@ var (
 // cfg.Progress.
 func Sweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, error) {
 	capNestedWorkers(ctx, &cfg)
+	routeWorkers(n, &cfg)
 	h := newHarness[T](n, &cfg)
 	defer h.close()
 	return parallel.MapCtx(ctx, n, cfg.Workers, h.wrap(cell))
@@ -118,6 +125,7 @@ func Sweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx con
 // stopped cells from being claimed; those cells carry the context error.
 func SweepSettled[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, []error, error) {
 	capNestedWorkers(ctx, &cfg)
+	routeWorkers(n, &cfg)
 	h := newHarness[T](n, &cfg)
 	defer h.close()
 	return parallel.MapSettled(ctx, n, cfg.Workers, h.wrap(cell))
@@ -141,6 +149,28 @@ func capNestedWorkers(ctx context.Context, cfg *SweepConfig) {
 	if cfg.Workers == 0 && InSweepCell(ctx) {
 		cfg.Workers = 1
 	}
+}
+
+// routeWorkers resolves an unset worker count to the cheapest execution
+// shape for an n-cell grid: serial for degenerate grids (n ≤ 1 — the
+// pool then runs inline, spawning no goroutines), and min(GOMAXPROCS, n)
+// workers otherwise, so a small grid never pays for idle workers. An
+// explicit cfg.Workers is an override and is honored as-is; cfg.NoBatch
+// likewise overrides the third tier, SweepSpecs' batched path. This
+// makes the routing decision explicit and testable instead of a side
+// effect of the worker pool's internal capping.
+func routeWorkers(n int, cfg *SweepConfig) {
+	if cfg.Workers != 0 {
+		return
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	cfg.Workers = w
 }
 
 // harness carries the per-sweep state shared by Sweep and SweepSettled:

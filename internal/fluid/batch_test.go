@@ -1,0 +1,270 @@
+package fluid
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+// batchScenario is one (Config, Senders) pair for the bit-identity matrix.
+type batchScenario struct {
+	name    string
+	cfg     Config
+	senders func() []Sender
+}
+
+func link20() Config {
+	theta := 0.021
+	return Config{Bandwidth: 20 / (2 * theta), PropDelay: theta, Buffer: 4}
+}
+
+func batchScenarios() []batchScenario {
+	protos := func() []protocol.Protocol {
+		return []protocol.Protocol{
+			protocol.Reno(),
+			protocol.Scalable(),
+			protocol.IIAD(),
+			protocol.SQRT(),
+			protocol.NewRobustAIMD(1, 0.5, 0.05),
+			protocol.NewHighSpeed(),
+		}
+	}
+	mixed := func() []Sender { return MixedSenders(protos(), []float64{1, 30, 5, 12, 2, 80}) }
+	pair := func(p protocol.Protocol) func() []Sender {
+		return func() []Sender {
+			s, err := HomogeneousSenders(p, 2, []float64{1, 25})
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}
+	}
+
+	scen := []batchScenario{
+		{"mixed-plain", link20(), mixed},
+		{"mixed-const-loss", func() Config {
+			c := link20()
+			c.Loss = NewConstantLoss(0.01)
+			c.Seed = 7
+			return c
+		}(), mixed},
+		{"mixed-packet-loss", func() Config {
+			c := link20()
+			c.Loss = NewPacketLoss(0.002)
+			c.Seed = 11
+			return c
+		}(), mixed},
+		{"mixed-onoff-loss", func() Config {
+			c := link20()
+			c.Loss = NewOnOffLoss(0.1, 40, 200)
+			c.Seed = 3
+			return c
+		}(), mixed},
+		{"mixed-bandwidth-schedule", func() Config {
+			c := link20()
+			c.BandwidthSchedule = func(step int) float64 {
+				if step%100 < 50 {
+					return c.Bandwidth
+				}
+				return c.Bandwidth / 3
+			}
+			return c
+		}(), mixed},
+		{"mixed-infinite-loss", func() Config {
+			c := Config{Infinite: true, PropDelay: 0.021, MaxWindow: 1e12}
+			c.Loss = NewConstantLoss(0.01)
+			return c
+		}(), mixed},
+		{"mixed-perturb", func() Config {
+			c := link20()
+			c.Loss = NewPacketLoss(0.001)
+			c.Seed = 19
+			c.Perturb = stubPerturber{
+				scale: func(step, link int) float64 {
+					if step%97 < 10 {
+						return 0.4
+					}
+					return 1
+				},
+				loss: func(step, flow int) float64 {
+					if (step+flow)%53 == 0 {
+						return 0.2
+					}
+					return 0
+				},
+				rtt: func(step, link int) float64 {
+					if step%31 == 0 {
+						return 0.004
+					}
+					return 0
+				},
+				active: func(step, flow int) bool {
+					// Flow 1 departs for a while and re-arrives.
+					return flow != 1 || step < 120 || step >= 300
+				},
+			}
+			return c
+		}(), mixed},
+	}
+	for _, p := range protos() {
+		scen = append(scen, batchScenario{"pair-" + p.Name(), link20(), pair(p)})
+	}
+	return scen
+}
+
+// TestBatchBitIdentity is the fluid-level golden matrix: stepping all
+// scenarios together in one Batch must reproduce, bit for bit, the
+// windows, RTT and congestion loss that each scenario's scalar Link
+// produces on its own — including under random loss processes,
+// bandwidth schedules, and chaos-style perturbation with flow churn.
+func TestBatchBitIdentity(t *testing.T) {
+	const steps = 400
+
+	scen := batchScenarios()
+	cells := make([]BatchCell, len(scen))
+	links := make([]*Link, len(scen))
+	for i, sc := range scen {
+		cells[i] = BatchCell{Cfg: sc.cfg, Senders: sc.senders()}
+		links[i] = MustNew(sc.cfg, sc.senders()...)
+	}
+	b, err := NewBatch(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for s := 0; s < steps; s++ {
+		b.Step()
+		for ci, l := range links {
+			res := l.Step()
+			if err := l.Err(); err != nil {
+				t.Fatalf("%s: scalar link diverged at step %d: %v", scen[ci].name, s, err)
+			}
+			if err := b.Err(ci); err != nil {
+				t.Fatalf("%s: batch cell diverged at step %d: %v", scen[ci].name, s, err)
+			}
+			if got, want := b.RTT(ci), res.RTT; math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s step %d: RTT %v != %v", scen[ci].name, s, got, want)
+			}
+			if got, want := b.CongLoss(ci), res.CongLoss; math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s step %d: CongLoss %v != %v", scen[ci].name, s, got, want)
+			}
+			bw := b.Windows(ci)
+			for i, want := range res.Windows {
+				if math.Float64bits(bw[i]) != math.Float64bits(want) {
+					t.Fatalf("%s step %d sender %d: window %v != %v", scen[ci].name, s, i, bw[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDivergenceFreezesCell asserts a diverging cell records the same
+// DivergedError the scalar path does and freezes, while the other cells
+// keep stepping bit-identically.
+func TestBatchDivergenceFreezesCell(t *testing.T) {
+	runaway := Config{Infinite: true, PropDelay: 0.021, MaxWindow: math.Inf(1)}
+	bad := []Sender{{Proto: protocol.NewMIMD(10, 0.5), Init: 1e300}}
+	good := link20()
+	goodSenders := []Sender{{Proto: protocol.Reno(), Init: 1}, {Proto: protocol.Scalable(), Init: 30}}
+
+	b, err := NewBatch([]BatchCell{
+		{Cfg: runaway, Senders: bad},
+		{Cfg: good, Senders: goodSenders},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbad := MustNew(runaway, bad...)
+	lgood := MustNew(good, goodSenders...)
+
+	var wantErr error
+	for s := 0; s < 200; s++ {
+		b.Step()
+		res := lgood.Step()
+		if wantErr == nil {
+			lbad.Step()
+			wantErr = lbad.Err()
+			if (wantErr == nil) != (b.Err(0) == nil) {
+				t.Fatalf("step %d: divergence mismatch: scalar %v, batch %v", s, wantErr, b.Err(0))
+			}
+		}
+		bw := b.Windows(1)
+		for i, want := range res.Windows {
+			if math.Float64bits(bw[i]) != math.Float64bits(want) {
+				t.Fatalf("healthy cell drifted at step %d sender %d: %v != %v", s, i, bw[i], want)
+			}
+		}
+	}
+	if wantErr == nil {
+		t.Fatal("runaway cell never diverged")
+	}
+	got := b.Err(0)
+	var gd, wd *DivergedError
+	if !errors.As(got, &gd) || !errors.As(wantErr, &wd) {
+		t.Fatalf("errors are not DivergedError: batch %v, scalar %v", got, wantErr)
+	}
+	if gd.Step != wd.Step || gd.Sender != wd.Sender || math.Float64bits(gd.Value) != math.Float64bits(wd.Value) {
+		t.Fatalf("divergence detail mismatch: batch %+v, scalar %+v", gd, wd)
+	}
+	if !errors.Is(got, ErrDiverged) {
+		t.Fatalf("batch divergence does not unwrap to ErrDiverged: %v", got)
+	}
+}
+
+// TestBatchableRejections pins the fallback triggers: non-kernel
+// protocols, unsynchronized feedback, and invalid configurations must all
+// be reported, so the engine can route those cells per-cell.
+func TestBatchableRejections(t *testing.T) {
+	ok := link20()
+	cases := []struct {
+		name    string
+		cfg     Config
+		senders []Sender
+	}{
+		{"pcc", ok, []Sender{{Proto: protocol.DefaultPCC(), Init: 1}}},
+		{"bbrish", ok, []Sender{{Proto: protocol.NewBBRish(), Init: 1}}},
+		{"cubic", ok, []Sender{{Proto: protocol.CubicLinux(), Init: 1}}},
+		{"func", ok, []Sender{{Proto: &protocol.Func{Fn: func(fb protocol.Feedback) float64 { return fb.Window }}, Init: 1}}},
+		{"mixed-one-bad", ok, []Sender{{Proto: protocol.Reno(), Init: 1}, {Proto: protocol.DefaultVegas(), Init: 1}}},
+		{"period", ok, []Sender{{Proto: protocol.Reno(), Init: 1, Period: 4}}},
+		{"nil-proto", ok, []Sender{{Init: 1}}},
+		{"no-senders", ok, nil},
+		{"bad-config", Config{}, []Sender{{Proto: protocol.Reno(), Init: 1}}},
+	}
+	for _, tc := range cases {
+		if err := Batchable(tc.cfg, tc.senders); err == nil {
+			t.Errorf("%s: Batchable = nil, want error", tc.name)
+		}
+		if _, err := NewBatch([]BatchCell{{Cfg: tc.cfg, Senders: tc.senders}}); err == nil {
+			t.Errorf("%s: NewBatch = nil error, want error", tc.name)
+		}
+	}
+	if err := Batchable(ok, []Sender{{Proto: protocol.Reno(), Init: 1, Period: 1}}); err != nil {
+		t.Errorf("period 1 must be batchable, got %v", err)
+	}
+}
+
+// TestBatchStepAllocFree pins the batched hot loop at zero allocations
+// per step, the batched counterpart of TestLinkStepAllocFree (run under
+// -race in CI).
+func TestBatchStepAllocFree(t *testing.T) {
+	scen := batchScenarios()
+	cells := make([]BatchCell, len(scen))
+	for i, sc := range scen {
+		cells[i] = BatchCell{Cfg: sc.cfg, Senders: sc.senders()}
+	}
+	b, err := NewBatch(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm past the transient so the loss and perturbation paths have
+	// been exercised too.
+	for i := 0; i < 200; i++ {
+		b.Step()
+	}
+	if avg := testing.AllocsPerRun(500, func() { b.Step() }); avg != 0 {
+		t.Fatalf("Batch.Step allocates %.2f times per step in steady state, want 0", avg)
+	}
+}

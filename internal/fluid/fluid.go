@@ -249,27 +249,34 @@ type StepResult struct {
 // congestion returns (RTT, loss) for aggregate window x per the paper's
 // model, honoring a bandwidth schedule when present.
 func (l *Link) congestion(x float64) (rtt, loss float64) {
-	if l.cfg.Infinite {
-		return l.cfg.BaseRTT(), 0
+	return congestionAt(&l.cfg, l.step, x)
+}
+
+// congestionAt is the link-level congestion computation shared by Link and
+// Batch — one body, so the two paths are bit-identical by construction.
+// cfg must already have defaults applied.
+func congestionAt(cfg *Config, step int, x float64) (rtt, loss float64) {
+	if cfg.Infinite {
+		return cfg.BaseRTT(), 0
 	}
-	b := l.cfg.Bandwidth
-	if l.cfg.BandwidthSchedule != nil {
-		if v := l.cfg.BandwidthSchedule(l.step); v > 0 {
+	b := cfg.Bandwidth
+	if cfg.BandwidthSchedule != nil {
+		if v := cfg.BandwidthSchedule(step); v > 0 {
 			b = v
 		}
 	}
-	if l.cfg.Perturb != nil {
-		b *= l.cfg.Perturb.CapacityScale(l.step, 0)
+	if cfg.Perturb != nil {
+		b *= cfg.Perturb.CapacityScale(step, 0)
 	}
-	c := b * 2 * l.cfg.PropDelay
-	tau := l.cfg.Buffer
+	c := b * 2 * cfg.PropDelay
+	tau := cfg.Buffer
 	if x < c+tau {
 		// eq. 1's queueing branch; loss needs X > C+τ, so none here.
-		rtt = math.Max(l.cfg.BaseRTT(), (x-c)/b+l.cfg.BaseRTT())
-		if l.cfg.Perturb != nil && rtt > l.cfg.TimeoutRTT {
+		rtt = math.Max(cfg.BaseRTT(), (x-c)/b+cfg.BaseRTT())
+		if cfg.Perturb != nil && rtt > cfg.TimeoutRTT {
 			// A flapped link's queueing delay explodes as 1/b; the
 			// timeout cap is the model's "sender gave up" bound.
-			rtt = l.cfg.TimeoutRTT
+			rtt = cfg.TimeoutRTT
 		}
 		return rtt, 0
 	}
@@ -277,7 +284,7 @@ func (l *Link) congestion(x float64) (rtt, loss float64) {
 	if x > c+tau {
 		loss = 1 - (c+tau)/x
 	}
-	return l.cfg.TimeoutRTT, loss
+	return cfg.TimeoutRTT, loss
 }
 
 // Step advances the model one time step: it computes RTT(t) and L(t) from

@@ -114,42 +114,16 @@ func (o Options) initConfigs(cfg fluid.Config, n int) [][]float64 {
 	return DefaultInitConfigs(cfg, n)
 }
 
-// runStream executes (or retrieves from o.Session) one streaming-observed
-// engine run. key/cacheable come from runKey over the same inputs that
-// built sub.
-func runStream(ctx context.Context, sub *engine.FluidSpec, key string, cacheable bool, o Options) (*Stream, error) {
-	exec := func() (*Stream, error) {
-		st := NewStream(sub.Meta(), o.TailFrac)
-		spec := engine.Spec{Substrate: sub, Observers: []engine.Observer{st}, Chaos: o.Chaos, ChaosSeed: o.ChaosSeed}
-		if _, err := engine.Run(ctx, spec); err != nil {
-			return nil, err
-		}
-		return st, nil
-	}
-	if o.Session == nil {
-		return exec()
-	}
-	if !cacheable {
-		st, err := exec()
-		if err == nil {
-			o.Session.noteUncacheable(o.Steps)
-		}
-		return st, err
-	}
-	st, _, err := o.Session.do(key, o.Steps, func() (*Stream, *trace.Trace, error) {
-		st, err := exec()
-		return st, nil, err
-	})
-	return st, err
-}
-
 // streamRuns runs one streaming-observed engine run per initial
 // configuration — no trace is materialized — for the given per-sender
 // protocol slice (homogeneous estimators pass n copies of one protocol;
 // Friendliness passes its mix). Sender slices are built serially up front
-// (protocol cloning is not required to be goroutine-safe); the runs
-// themselves shard across the worker pool, and identical runs are
-// deduplicated through o.Session when one is set.
+// (protocol cloning is not required to be goroutine-safe); the cells that
+// actually need simulating then go through engine.SweepSpecs as one grid,
+// so kernel-steppable cells advance in lockstep (the SoA batch path)
+// while the rest shard across the worker pool per cell. When o.Session is
+// set, identical runs are deduplicated through it before the grid is
+// built. Results are bit-identical on every path.
 func streamRuns(cfg fluid.Config, protos []protocol.Protocol, o Options, inits [][]float64) ([]*Stream, error) {
 	subs := make([]*engine.FluidSpec, len(inits))
 	keys := make([]string, len(inits))
@@ -158,10 +132,31 @@ func streamRuns(cfg fluid.Config, protos []protocol.Protocol, o Options, inits [
 		subs[i] = &engine.FluidSpec{Cfg: cfg, Senders: fluid.MixedSenders(protos, init), Steps: o.Steps}
 		keys[i], cacheable[i] = runKey(cfg, protos, init, o, false)
 	}
-	return engine.Sweep(context.Background(), len(subs), engine.SweepConfig{Workers: o.Workers},
-		func(ctx context.Context, i int, _ uint64) (*Stream, error) {
-			return runStream(ctx, subs[i], keys[i], cacheable[i], o)
-		})
+	exec := func(miss []int) ([]*Stream, error) {
+		specs := make([]engine.Spec, len(miss))
+		streams := make([]*Stream, len(miss))
+		for j, i := range miss {
+			streams[j] = NewStream(subs[i].Meta(), o.TailFrac)
+			specs[j] = engine.Spec{
+				Substrate: subs[i],
+				Observers: []engine.Observer{streams[j]},
+				Chaos:     o.Chaos,
+				ChaosSeed: o.ChaosSeed,
+			}
+		}
+		if _, err := engine.SweepSpecs(context.Background(), specs, engine.SweepConfig{Workers: o.Workers}); err != nil {
+			return nil, err
+		}
+		return streams, nil
+	}
+	if o.Session == nil {
+		all := make([]int, len(inits))
+		for i := range all {
+			all[i] = i
+		}
+		return exec(all)
+	}
+	return o.Session.doBatch(keys, cacheable, o.Steps, exec)
 }
 
 // runStreams is streamRuns for n homogeneous p-senders over the default

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -255,6 +256,197 @@ func (s *Session) do(key string, steps int, exec func() (*Stream, *trace.Trace, 
 		close(e.done)
 		return e.stream, e.tr, e.err
 	}
+}
+
+// doBatch resolves a whole grid of streaming runs through the cache in
+// one pass, so the cells that actually need simulating reach the engine
+// together and can take its grid-batch path (engine.SweepSpecs steps
+// compatible cells in lockstep). keys/cacheable are parallel to the
+// grid; exec simulates exactly the cells whose indices it is given and
+// returns their streams in that order.
+//
+// Classification happens under one lock: uncacheable cells always
+// simulate; cacheable cells whose key is already in flight (including a
+// duplicate key claimed earlier in the same call) become waiters; the
+// rest are claimed. Claimed cells are served from the persistent store
+// where possible, and the remainder is handed to exec as one batch.
+// Claimed entries are filled and released before any waiter is resolved,
+// so duplicate keys within one call cannot deadlock on themselves.
+//
+// Cross-process single-flight holds for the batch path too: the store
+// locks of all claimed keys are taken up front in sorted key order — a
+// global total order, so two batches can never deadlock on each other,
+// and runOrFetch only ever holds one of these at a time — and held
+// across the store check and the simulation, so another process either
+// finds each cell on disk or blocks until this batch writes it.
+func (s *Session) doBatch(keys []string, cacheable []bool, steps int, exec func(miss []int) ([]*Stream, error)) ([]*Stream, error) {
+	n := len(keys)
+	out := make([]*Stream, n)
+	entries := make([]*sessionEntry, n)
+	var claimed, waiters, miss []int
+	s.mu.Lock()
+	for i := 0; i < n; i++ {
+		if !cacheable[i] {
+			miss = append(miss, i)
+			continue
+		}
+		if e, ok := s.entries[keys[i]]; ok {
+			entries[i] = e
+			waiters = append(waiters, i)
+			continue
+		}
+		e := &sessionEntry{done: make(chan struct{})}
+		s.entries[keys[i]] = e
+		entries[i] = e
+		claimed = append(claimed, i)
+	}
+	s.mu.Unlock()
+
+	// Take the claimed keys' cross-process locks in sorted key order (see
+	// the doc comment); a lock that cannot be acquired degrades that key
+	// to lock-free idempotent behavior, like runOrFetch.
+	var unlocks []func()
+	if s.store != nil && len(claimed) > 0 {
+		order := append([]int(nil), claimed...)
+		sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+		for _, i := range order {
+			if unlock, lerr := s.store.LockKey(keys[i]); lerr == nil {
+				unlocks = append(unlocks, unlock)
+			}
+		}
+	}
+	release := func() {
+		for _, u := range unlocks {
+			u()
+		}
+		unlocks = nil
+	}
+	defer release()
+
+	// Serve claimed cells from the persistent store; disk hits are filled
+	// and released immediately so concurrent waiters never block on I/O
+	// that already finished. The rest join the miss batch.
+	var open []int // claimed cells still unresolved (entry not yet closed)
+	diskHits := 0
+	for _, i := range claimed {
+		if s.store != nil {
+			if payload, ok := s.store.Get(keys[i]); ok {
+				if st, _, derr := decodeRun(payload, false); derr == nil {
+					entries[i].stream = st
+					close(entries[i].done)
+					out[i] = st
+					diskHits++
+					continue
+				}
+			}
+		}
+		open = append(open, i)
+		miss = append(miss, i)
+	}
+	if diskHits > 0 {
+		s.mu.Lock()
+		s.stats.DiskHits += int64(diskHits)
+		s.stats.StepsSaved += int64(diskHits) * int64(steps)
+		s.mu.Unlock()
+		addTotals(func(t *SessionStats) {
+			t.DiskHits += int64(diskHits)
+			t.StepsSaved += int64(diskHits) * int64(steps)
+		})
+		if obs.Enabled() {
+			sessionDiskHits.Add(uint64(diskHits))
+		}
+	}
+	sort.Ints(miss)
+
+	if len(miss) > 0 {
+		// evict releases the still-open claims on failure so other callers
+		// retry rather than block; the deferred arm covers an exec panic
+		// (mirroring do), with the panic itself unwinding on this
+		// goroutine.
+		evict := func(err error) {
+			s.mu.Lock()
+			for _, i := range open {
+				delete(s.entries, keys[i])
+			}
+			s.mu.Unlock()
+			for _, i := range open {
+				entries[i].err = err
+				close(entries[i].done)
+			}
+		}
+		finished := false
+		defer func() {
+			if !finished {
+				evict(errSessionPanicked)
+			}
+		}()
+		streams, err := exec(miss)
+		if err == nil && len(streams) != len(miss) {
+			err = errors.New("metrics: batch exec returned wrong cell count")
+		}
+		if err != nil {
+			finished = true
+			evict(err)
+			return nil, err
+		}
+		simulated, uncached := 0, 0
+		for j, i := range miss {
+			out[i] = streams[j]
+			if entries[i] == nil {
+				uncached++
+				continue
+			}
+			simulated++
+			if s.store != nil {
+				// A write failure costs persistence, not correctness.
+				_ = s.store.Put(keys[i], encodeRun(streams[j], nil))
+			}
+			entries[i].stream = streams[j]
+			close(entries[i].done)
+		}
+		finished = true
+		s.mu.Lock()
+		s.stats.Misses += int64(simulated)
+		s.stats.Uncacheable += int64(uncached)
+		s.stats.StepsSimulated += int64(simulated+uncached) * int64(steps)
+		s.mu.Unlock()
+		addTotals(func(t *SessionStats) {
+			t.Misses += int64(simulated)
+			t.Uncacheable += int64(uncached)
+			t.StepsSimulated += int64(simulated+uncached) * int64(steps)
+		})
+		if obs.Enabled() {
+			sessionMisses.Add(uint64(simulated))
+			sessionUncacheable.Add(uint64(uncached))
+		}
+	}
+
+	// Every claimed cell is resolved (filled or evicted) by this point,
+	// so drop the key locks before touching waiters: blocking on another
+	// goroutine's entry while still holding flocks could close a wait
+	// cycle through a third process that the sorted acquisition order
+	// alone does not rule out.
+	release()
+
+	// Waiters resolve through the ordinary single-flight path: normally a
+	// pure hit on an entry another goroutine (or this very call) filled;
+	// if that claim was evicted by a failure, do re-claims and simulates
+	// the cell individually.
+	for _, i := range waiters {
+		idx := i
+		st, _, err := s.do(keys[i], steps, func() (*Stream, *trace.Trace, error) {
+			sts, err := exec([]int{idx})
+			if err != nil {
+				return nil, nil, err
+			}
+			return sts[0], nil, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
 }
 
 // runOrFetch resolves a claimed key through the persistent tier: try the

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"math"
 	"sync"
 	"testing"
@@ -199,6 +200,78 @@ func TestSessionConcurrentSharing(t *testing.T) {
 	}
 	if st := opt.Session.Stats(); st.Misses != 5 {
 		t.Fatalf("concurrent callers re-simulated runs: %+v (want 5 misses)", st)
+	}
+}
+
+func TestSessionDoBatchClassification(t *testing.T) {
+	// One call with a duplicated key, a distinct key, and an uncacheable
+	// cell: the duplicate must resolve as a waiter (no self-deadlock, no
+	// second simulation), and exec must see exactly the claimed misses
+	// plus the uncacheable cell, in index order.
+	s := NewSession()
+	var calls [][]int
+	streams := map[int]*Stream{0: {}, 2: {}, 3: {}}
+	exec := func(miss []int) ([]*Stream, error) {
+		calls = append(calls, append([]int(nil), miss...))
+		out := make([]*Stream, len(miss))
+		for j, i := range miss {
+			out[j] = streams[i]
+		}
+		return out, nil
+	}
+	out, err := s.doBatch([]string{"a", "a", "b", "c"}, []bool{true, true, true, false}, 100, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || len(calls[0]) != 3 || calls[0][0] != 0 || calls[0][1] != 2 || calls[0][2] != 3 {
+		t.Fatalf("exec saw %v, want one call with [0 2 3]", calls)
+	}
+	if out[0] != streams[0] || out[1] != streams[0] || out[2] != streams[2] || out[3] != streams[3] {
+		t.Fatal("batch results routed to wrong cells")
+	}
+	st := s.Stats()
+	if st.Misses != 2 || st.Hits != 1 || st.Uncacheable != 1 {
+		t.Fatalf("expected 2 misses / 1 hit / 1 uncacheable, got %+v", st)
+	}
+	if st.StepsSimulated != 300 || st.StepsSaved != 100 {
+		t.Fatalf("step accounting off: %+v", st)
+	}
+
+	// A second batch over the same cacheable keys is all hits.
+	out2, err := s.doBatch([]string{"a", "b"}, []bool{true, true}, 100, func(miss []int) ([]*Stream, error) {
+		t.Fatalf("warm batch simulated %v", miss)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[0] != streams[0] || out2[1] != streams[2] {
+		t.Fatal("warm batch returned wrong streams")
+	}
+	if st := s.Stats(); st.Hits != 3 {
+		t.Fatalf("warm batch should add 2 hits, got %+v", st)
+	}
+}
+
+func TestSessionDoBatchErrorEvicts(t *testing.T) {
+	// A failed batch must not poison the session: the claims are evicted
+	// so a retry re-simulates and succeeds.
+	s := NewSession()
+	boom := errors.New("boom")
+	if _, err := s.doBatch([]string{"k"}, []bool{true}, 10, func([]int) ([]*Stream, error) {
+		return nil, boom
+	}); err != boom {
+		t.Fatalf("got %v, want the exec error", err)
+	}
+	want := &Stream{}
+	out, err := s.doBatch([]string{"k"}, []bool{true}, 10, func(miss []int) ([]*Stream, error) {
+		return []*Stream{want}, nil
+	})
+	if err != nil || out[0] != want {
+		t.Fatalf("retry after failure: out=%v err=%v", out, err)
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("failed attempts must not count: %+v", st)
 	}
 }
 

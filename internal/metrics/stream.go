@@ -24,6 +24,7 @@ type Stream struct {
 	total    *stats.Ring
 	rtt      *stats.Ring
 	loss     *stats.Ring
+	scratch  []float64 // goodput staging for ObserveStrip, grown lazily
 }
 
 // horizonSlack absorbs the packet substrate's ±1 tick-count ambiguity
@@ -67,6 +68,41 @@ func (s *Stream) Observe(st engine.Step) {
 	s.total.Push(st.Total)
 	s.rtt.Push(st.RTT)
 	s.loss.Push(st.Loss)
+}
+
+// ObserveStrip implements engine.StripObserver: the grid-batch path
+// delivers runs of consecutive steps in one call. Strip.Windows is
+// flow-major, so each window ring ingests its flow's contiguous column
+// with a single PushSlice; goodput is computed column-at-a-time into a
+// reused scratch slice and bulk-pushed the same way. Every ring receives
+// exactly the samples, values, and order that repeated Observe calls
+// would have pushed — goodput uses the same guarded w·(1−loss)/RTT
+// expression — so the resulting stream state is bit-identical.
+func (s *Stream) ObserveStrip(st engine.Strip) {
+	c := st.Count
+	for i := range s.windows {
+		s.windows[i].PushSlice(st.Windows[i*c : (i+1)*c])
+	}
+	if len(s.goodput) > 0 {
+		if cap(s.scratch) < c {
+			s.scratch = make([]float64, c)
+		}
+		g := s.scratch[:c]
+		for i := range s.goodput {
+			col := st.Windows[i*c : (i+1)*c]
+			for k := 0; k < c; k++ {
+				v := 0.0
+				if st.RTT[k] > 0 {
+					v = col[k] * (1 - st.Loss[k]) / st.RTT[k]
+				}
+				g[k] = v
+			}
+			s.goodput[i].PushSlice(g)
+		}
+	}
+	s.total.PushSlice(st.Totals)
+	s.rtt.PushSlice(st.RTT)
+	s.loss.PushSlice(st.Loss)
 }
 
 // Steps returns the number of samples observed.

@@ -101,6 +101,80 @@ func TestStreamMatchesTraceEstimatorsPacket(t *testing.T) {
 	}
 }
 
+// TestStreamBatchedMatchesPerCell runs one spec grid through the batched
+// sweep path — where Streams ingest whole flow-major strips via
+// ObserveStrip and bulk ring copies — and the per-cell path, where the
+// same Streams get one Observe per step, and checks every estimator and
+// retained tail is bit-identical. 300 steps leaves a partial final strip.
+func TestStreamBatchedMatchesPerCell(t *testing.T) {
+	build := func() ([]engine.Spec, []*Stream) {
+		cfg := fluid.Config{Bandwidth: 1200, PropDelay: 0.05, Buffer: 60}
+		protos := []protocol.Protocol{protocol.Reno(), protocol.Scalable(), protocol.IIAD(), protocol.SQRT()}
+		inits := []float64{1, 40, 10}
+		var specs []engine.Spec
+		var streams []*Stream
+		for _, p := range protos {
+			for _, n := range []int{2, 3} {
+				senders, err := fluid.HomogeneousSenders(p, n, inits[:n])
+				if err != nil {
+					t.Fatal(err)
+				}
+				sub := &engine.FluidSpec{Cfg: cfg, Senders: senders, Steps: 300}
+				st := NewStream(sub.Meta(), DefaultTailFrac)
+				specs = append(specs, engine.Spec{Substrate: sub, Observers: []engine.Observer{st}})
+				streams = append(streams, st)
+			}
+		}
+		return specs, streams
+	}
+	specsB, batched := build()
+	if _, err := engine.SweepSpecs(context.Background(), specsB, engine.SweepConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	specsP, percell := build()
+	if _, err := engine.SweepSpecs(context.Background(), specsP, engine.SweepConfig{Workers: 2, NoBatch: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	same := func(cell int, name string, got, want float64) {
+		t.Helper()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("cell %d %s: batched %v != per-cell %v", cell, name, got, want)
+		}
+	}
+	for c := range batched {
+		b, p := batched[c], percell[c]
+		if b.Steps() != p.Steps() {
+			t.Fatalf("cell %d: steps %d != %d", c, b.Steps(), p.Steps())
+		}
+		same(c, "efficiency", b.Efficiency(), p.Efficiency())
+		same(c, "loss avoidance", b.LossAvoidance(), p.LossAvoidance())
+		same(c, "fairness", b.Fairness(), p.Fairness())
+		same(c, "convergence", b.Convergence(), p.Convergence())
+		same(c, "latency avoidance", b.LatencyAvoidance(), p.LatencyAvoidance())
+		tails := [][2][]float64{
+			{b.TailTotal(), p.TailTotal()},
+			{b.TailRTT(), p.TailRTT()},
+			{b.TailLoss(), p.TailLoss()},
+		}
+		for i := 0; i < len(specsB[c].Substrate.(*engine.FluidSpec).Senders); i++ {
+			same(c, "avg window", b.AvgWindow(i), p.AvgWindow(i))
+			same(c, "avg goodput", b.AvgGoodput(i), p.AvgGoodput(i))
+			tails = append(tails, [2][]float64{b.TailWindow(i), p.TailWindow(i)})
+		}
+		for j, pair := range tails {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("cell %d tail %d: length %d != %d", c, j, len(pair[0]), len(pair[1]))
+			}
+			for k := range pair[0] {
+				if math.Float64bits(pair[0][k]) != math.Float64bits(pair[1][k]) {
+					t.Fatalf("cell %d tail %d sample %d: %v != %v", c, j, k, pair[0][k], pair[1][k])
+				}
+			}
+		}
+	}
+}
+
 // TestStreamTailLenMatchesStatsTail pins the shared tail-index math.
 func TestStreamTailLenMatchesStatsTail(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 7, 100, 4000} {

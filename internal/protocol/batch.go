@@ -1,0 +1,133 @@
+package protocol
+
+import "math"
+
+// KernelOp selects the closed-form update family a Kernel applies.
+type KernelOp uint8
+
+// The kernel families. Each op replicates the Next method of exactly one
+// protocol type; see that type's documentation for the update rule.
+const (
+	// OpAIMD is AIMD(a,b): w+A on loss-free steps, w·B on lossy ones.
+	OpAIMD KernelOp = 1 + iota
+	// OpMIMD is MIMD(a,b): w·A on loss-free steps, w·B on lossy ones.
+	OpMIMD
+	// OpBinomial is BIN(a,b,k,l): w + A/wᴷ or w − B·wᴸ.
+	OpBinomial
+	// OpRobustAIMD is Robust-AIMD(a,b,ε): the AIMD rule gated on the
+	// measured loss rate reaching ε (stored in L).
+	OpRobustAIMD
+	// OpHighSpeed is HighSpeed TCP (RFC 3649): standard TCP below the
+	// low-window threshold (stored in A), the interpolated response
+	// table above it.
+	OpHighSpeed
+)
+
+// Kernel is a protocol's window-update rule reduced to closed form, so a
+// batched stepper can advance many senders without interface dispatch or
+// Feedback construction. A kernel exists only for the loss-based,
+// stateless families: their Next depends on nothing but the current
+// window and observed loss rate, which is what makes lockstep
+// structure-of-arrays stepping possible.
+//
+// The contract is bit-identity: for every protocol P exposing a kernel K,
+// and every (w, loss), K.Step(w, loss) must return the exact float64 that
+// P.Next(Feedback{Window: w, Loss: loss}) would — same operations in the
+// same order, so batched and per-cell simulations produce identical
+// traces. Feedback.Step and Feedback.RTT are not parameters because no
+// kernelized family reads them (they are all LossBased).
+type Kernel struct {
+	Op KernelOp
+	// A, B, K, L hold the family's parameters, reusing the slots per op:
+	// AIMD/MIMD use A and B; Binomial uses all four; RobustAIMD stores
+	// ε in L; HighSpeed stores LowWindow in A.
+	A, B, K, L float64
+}
+
+// Step returns the next window for a sender whose current window is w and
+// whose observed loss rate for the step is loss. A zero (invalid) Op
+// returns w unchanged; NewBatch-style constructors must reject such
+// kernels up front.
+func (k Kernel) Step(w, loss float64) float64 {
+	switch k.Op {
+	case OpAIMD:
+		if loss > 0 {
+			return w * k.B
+		}
+		return w + k.A
+	case OpMIMD:
+		if loss > 0 {
+			return w * k.B
+		}
+		return w * k.A
+	case OpBinomial:
+		if w < MinWindow {
+			w = MinWindow
+		}
+		if loss > 0 {
+			return w - k.B*math.Pow(w, k.L)
+		}
+		return w + k.A/math.Pow(w, k.K)
+	case OpRobustAIMD:
+		if loss >= k.L {
+			return w * k.B
+		}
+		return w + k.A
+	case OpHighSpeed:
+		w = math.Max(w, MinWindow)
+		if w <= k.A {
+			if loss > 0 {
+				return w * 0.5
+			}
+			return w + 1
+		}
+		a, b := hsParams(w)
+		if loss > 0 {
+			return w * (1 - b)
+		}
+		return w + a
+	}
+	return w
+}
+
+// Valid reports whether the kernel names a known op.
+func (k Kernel) Valid() bool { return k.Op >= OpAIMD && k.Op <= OpHighSpeed }
+
+// BatchStepper is the optional interface a Protocol implements to opt
+// into batched structure-of-arrays stepping (internal/fluid's Batch).
+// Kernel returns the closed-form kernel and true when the instance is
+// expressible as one; implementations whose parameters or state preclude
+// a closed form return ok = false and fall back to per-cell stepping.
+//
+// Only stateless, loss-based protocols may implement this: a kernel has
+// no per-sender state and never sees RTT, so anything with history
+// (Cubic's last-loss window, PCC's monitor intervals, BBRish's phases)
+// or RTT sensitivity must not claim a kernel.
+type BatchStepper interface {
+	Kernel() (Kernel, bool)
+}
+
+// Kernel implements BatchStepper.
+func (p *AIMD) Kernel() (Kernel, bool) {
+	return Kernel{Op: OpAIMD, A: p.A, B: p.B}, true
+}
+
+// Kernel implements BatchStepper.
+func (p *MIMD) Kernel() (Kernel, bool) {
+	return Kernel{Op: OpMIMD, A: p.A, B: p.B}, true
+}
+
+// Kernel implements BatchStepper.
+func (p *Binomial) Kernel() (Kernel, bool) {
+	return Kernel{Op: OpBinomial, A: p.A, B: p.B, K: p.K, L: p.L}, true
+}
+
+// Kernel implements BatchStepper. ε travels in the L slot.
+func (p *RobustAIMD) Kernel() (Kernel, bool) {
+	return Kernel{Op: OpRobustAIMD, A: p.A, B: p.B, L: p.Eps}, true
+}
+
+// Kernel implements BatchStepper. LowWindow travels in the A slot.
+func (p *HighSpeed) Kernel() (Kernel, bool) {
+	return Kernel{Op: OpHighSpeed, A: p.LowWindow}, true
+}

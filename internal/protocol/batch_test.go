@@ -1,0 +1,105 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+)
+
+// kernelCases are the batchable protocol instances the bit-identity matrix
+// covers, spanning default and off-default parameters for each family.
+func kernelCases() []Protocol {
+	return []Protocol{
+		Reno(),
+		NewAIMD(1, 0.875),
+		NewAIMD(0.5, 0.3),
+		Scalable(),
+		NewMIMD(1.05, 0.6),
+		IIAD(),
+		SQRT(),
+		NewBinomial(1.5, 0.25, 0.75, 0.25),
+		NewRobustAIMD(1, 0.5, 0.05),
+		NewRobustAIMD(0.7, 0.8, 0.01),
+		NewHighSpeed(),
+		&HighSpeed{LowWindow: 100},
+	}
+}
+
+// TestKernelBitIdentity asserts that Kernel.Step returns the exact float64
+// that Next would, across a grid of windows and loss rates that exercises
+// every branch: zero loss, sub- and super-threshold loss, windows at and
+// below MinWindow, and HighSpeed windows on both sides of LowWindow and
+// beyond the response-table endpoints.
+func TestKernelBitIdentity(t *testing.T) {
+	windows := []float64{0, 0.5, 1, 1.5, 2, 10, 37.5, 38, 38.5, 100, 1000, 90000, 1e9}
+	losses := []float64{0, 1e-9, 0.005, 0.01, 0.049999, 0.05, 0.2, 0.999}
+
+	for _, p := range kernelCases() {
+		bs, ok := p.(BatchStepper)
+		if !ok {
+			t.Fatalf("%s does not implement BatchStepper", p.Name())
+		}
+		k, ok := bs.Kernel()
+		if !ok {
+			t.Fatalf("%s: Kernel() returned ok=false", p.Name())
+		}
+		if !k.Valid() {
+			t.Fatalf("%s: kernel op %d invalid", p.Name(), k.Op)
+		}
+		for _, w := range windows {
+			for _, loss := range losses {
+				want := p.Next(Feedback{Window: w, Loss: loss})
+				got := k.Step(w, loss)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("%s: Step(%g, %g) = %v, Next = %v", p.Name(), w, loss, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelIgnoresRTTAndStep pins the contract that kernelized families
+// are loss-based: Next must not depend on Feedback.Step or Feedback.RTT,
+// or the kernel (which never sees them) could diverge.
+func TestKernelIgnoresRTTAndStep(t *testing.T) {
+	for _, p := range kernelCases() {
+		if !p.LossBased() {
+			t.Fatalf("%s has a kernel but is not loss-based", p.Name())
+		}
+		a := p.Next(Feedback{Step: 0, Window: 50, RTT: 0.01, Loss: 0.02})
+		b := p.Next(Feedback{Step: 999, Window: 50, RTT: 3.5, Loss: 0.02})
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("%s: Next depends on Step/RTT (%v vs %v)", p.Name(), a, b)
+		}
+	}
+}
+
+// TestNonBatchableFamilies asserts the stateful and RTT-sensitive families
+// do not claim kernels.
+func TestNonBatchableFamilies(t *testing.T) {
+	for _, p := range []Protocol{
+		CubicLinux(),
+		DefaultPCC(),
+		DefaultVegas(),
+		NewBBRish(),
+		DefaultTFRC(),
+		NewProbeUntilLoss(1),
+		&Func{Fn: func(fb Feedback) float64 { return fb.Window + 1 }},
+	} {
+		if bs, ok := p.(BatchStepper); ok {
+			if _, claims := bs.Kernel(); claims {
+				t.Errorf("%s claims a kernel but must not", p.Name())
+			}
+		}
+	}
+}
+
+// TestKernelZeroOp pins the defensive behavior of an unset kernel.
+func TestKernelZeroOp(t *testing.T) {
+	var k Kernel
+	if k.Valid() {
+		t.Fatal("zero kernel reports valid")
+	}
+	if got := k.Step(42, 0.5); got != 42 {
+		t.Fatalf("zero kernel Step = %v, want identity", got)
+	}
+}

@@ -291,6 +291,32 @@ func (r *Ring) Push(v float64) {
 	r.count++
 }
 
+// PushSlice appends vals in order. The resulting ring state — retained
+// samples, write position, and count — is exactly what len(vals)
+// sequential Push calls would leave, but whole segments are copied at
+// once: values that could not survive anyway (all but the last capacity)
+// are skipped, and the survivors land in at most two copy calls.
+func (r *Ring) PushSlice(vals []float64) {
+	n := len(r.buf)
+	r.count += len(vals)
+	if n == 0 || len(vals) == 0 {
+		return
+	}
+	v := vals
+	if len(v) > n {
+		// Sequential pushes would overwrite all but the last n values;
+		// advance the write position past the doomed prefix and keep the
+		// survivors.
+		r.next = (r.next + len(v) - n) % n
+		v = v[len(v)-n:]
+	}
+	m := copy(r.buf[r.next:], v)
+	if m < len(v) {
+		copy(r.buf, v[m:])
+	}
+	r.next = (r.next + len(v)) % n
+}
+
 // Count returns the total number of samples pushed.
 func (r *Ring) Count() int { return r.count }
 

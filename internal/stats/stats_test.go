@@ -302,3 +302,69 @@ func TestQuickQuantileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: PushSlice leaves the ring in exactly the state the same
+// values pushed one at a time would — retained tail, write position, and
+// count — for every capacity/chunking combination.
+func TestRingPushSliceMatchesPush(t *testing.T) {
+	f := func(capRaw uint8, chunks [][]float64) bool {
+		capacity := int(capRaw % 37)
+		bulk, ref := NewRing(capacity), NewRing(capacity)
+		for _, chunk := range chunks {
+			bulk.PushSlice(chunk)
+			for _, v := range chunk {
+				ref.Push(v)
+			}
+			if bulk.Count() != ref.Count() {
+				return false
+			}
+			got, want := bulk.Last(capacity), ref.Last(capacity)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The boundary cases quick.Check may not hit: chunks exactly at, one
+// below, and far beyond capacity, landing on a wrapped write position.
+func TestRingPushSliceBoundaries(t *testing.T) {
+	for _, capacity := range []int{0, 1, 4, 7} {
+		for _, sizes := range [][]int{{4}, {3, 4}, {7}, {8}, {15}, {1, 7, 2}, {6, 9}} {
+			bulk, ref := NewRing(capacity), NewRing(capacity)
+			v := 0.0
+			for _, sz := range sizes {
+				chunk := make([]float64, sz)
+				for i := range chunk {
+					v++
+					chunk[i] = v
+				}
+				bulk.PushSlice(chunk)
+				for _, x := range chunk {
+					ref.Push(x)
+				}
+			}
+			got, want := bulk.Last(capacity), ref.Last(capacity)
+			if len(got) != len(want) {
+				t.Fatalf("cap %d sizes %v: retained %d vs %d", capacity, sizes, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("cap %d sizes %v: tail %v vs %v", capacity, sizes, got, want)
+				}
+			}
+			if bulk.Count() != ref.Count() {
+				t.Fatalf("cap %d sizes %v: count %d vs %d", capacity, sizes, bulk.Count(), ref.Count())
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestTraceJSONRoundTrip pins the bit-exactness of the JSON codec,
+// including ±Inf capacity and subnormal/odd float payloads that plain
+// JSON floats would mangle or reject.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	for _, capac := range []float64{100.25, math.Inf(1)} {
+		tr := New(2, capac, 0.042, 4)
+		tr.Append([]float64{1, 2.5}, 0.042, 0)
+		tr.Append([]float64{math.Nextafter(1, 2), 5e-324}, 0.0421, 0.125)
+		tr.Append([]float64{3, 4}, 0.05, 1e-17)
+
+		data, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatalf("capacity %v: marshal: %v", capac, err)
+		}
+		var got Trace
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("capacity %v: unmarshal: %v", capac, err)
+		}
+		if got.Len() != tr.Len() || got.Senders() != tr.Senders() {
+			t.Fatalf("shape mismatch: %d×%d vs %d×%d", got.Senders(), got.Len(), tr.Senders(), tr.Len())
+		}
+		if math.Float64bits(got.Capacity()) != math.Float64bits(tr.Capacity()) ||
+			math.Float64bits(got.BaseRTT()) != math.Float64bits(tr.BaseRTT()) {
+			t.Fatal("capacity/baseRTT mismatch")
+		}
+		series := func(name string, a, b []float64) {
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+					t.Fatalf("%s[%d]: %v != %v", name, i, a[i], b[i])
+				}
+			}
+		}
+		series("rtt", got.RTT(), tr.RTT())
+		series("loss", got.Loss(), tr.Loss())
+		series("total", got.Total(), tr.Total())
+		for i := 0; i < tr.Senders(); i++ {
+			series("window", got.Window(i), tr.Window(i))
+		}
+	}
+}
+
+// TestTraceJSONRejectsMismatch asserts corrupt payloads error instead of
+// panicking, so a torn checkpoint degrades to recomputation.
+func TestTraceJSONRejectsMismatch(t *testing.T) {
+	var tr Trace
+	bad := `{"windows_bits":[[1,2]],"rtt_bits":[1],"loss_bits":[1],"total_bits":[1]}`
+	if err := json.Unmarshal([]byte(bad), &tr); err == nil {
+		t.Fatal("mismatched windows length accepted")
+	}
+	bad = `{"windows_bits":[[1]],"rtt_bits":[1,2],"loss_bits":[1],"total_bits":[1]}`
+	if err := json.Unmarshal([]byte(bad), &tr); err == nil {
+		t.Fatal("mismatched rtt length accepted")
+	}
+}
