@@ -551,6 +551,24 @@ func BenchmarkSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Logf("wrote BENCH_sweep.json (speedup %.2fx, %.1fM grid-steps/sec)", rec.Speedup, rec.GridStepsPerSec/1e6)
+
+	// One untimed instrumented pass exports the engine leg's span timeline
+	// as Chrome trace-event JSON (BENCH_sweep_timeline.json, uploaded next
+	// to the baseline by CI): one track per sweep worker, batched groups
+	// visible as engine.batch.* spans. Runs outside the timer, so it
+	// cannot perturb the baseline numbers above.
+	obs.Enable()
+	obs.EnableTimeline()
+	if err := engineLeg(); err != nil {
+		b.Fatal(err)
+	}
+	obs.DisableTimeline()
+	if err := obs.WriteTimeline("BENCH_sweep_timeline.json", "BenchmarkSweep"); err != nil {
+		b.Fatal(err)
+	}
+	obs.Disable()
+	obs.Reset()
+	b.Logf("wrote BENCH_sweep_timeline.json")
 }
 
 // benchSweepRecord is the schema of BENCH_sweep.json, the sweep perf

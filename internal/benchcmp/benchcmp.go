@@ -50,6 +50,11 @@ type Report struct {
 	SkipReason    string
 	Results       []Result
 	Regressions   int
+	// MissingOld lists gated keys (timing, rate, exact) present in the
+	// candidate but absent from the committed baseline. A newly landed
+	// metric has no baseline yet — that is a warning, never a failure;
+	// the gate tightens once the baseline is regenerated.
+	MissingOld []string
 }
 
 // Compare checks newRaw against the committed oldRaw. limit is the
@@ -89,7 +94,13 @@ func Compare(oldRaw, newRaw []byte, limit float64) (Report, error) {
 		}
 		ov, ok := oldRec[k].(float64)
 		if !ok {
-			continue // key absent from the committed baseline: not comparable yet
+			// Key absent from the committed baseline: a gated key that
+			// just landed degrades to a warning instead of blocking its
+			// own first merge.
+			if isTimingKey(k) || isRateKey(k) || isExactKey(k) {
+				rep.MissingOld = append(rep.MissingOld, k)
+			}
+			continue
 		}
 		switch {
 		case isTimingKey(k):
@@ -165,6 +176,9 @@ func Format(rep Report) string {
 	var sb strings.Builder
 	if rep.TimingSkipped {
 		fmt.Fprintf(&sb, "note: %s\n", rep.SkipReason)
+	}
+	for _, k := range rep.MissingOld {
+		fmt.Fprintf(&sb, "warning: %s absent from baseline; not gated until the baseline is regenerated\n", k)
 	}
 	for _, r := range rep.Results {
 		mark := "ok"

@@ -179,3 +179,36 @@ func TestCompareRejectsBadInput(t *testing.T) {
 		t.Fatal("zero limit accepted")
 	}
 }
+
+// TestCompareMissingBaselineKeyWarns pins the graceful-degradation
+// contract: a gated key that exists only in the candidate (a metric that
+// just landed) is reported as a warning, never as a regression.
+func TestCompareMissingBaselineKeyWarns(t *testing.T) {
+	stripped := strings.Replace(oldRec, `  "grid_steps_per_sec": 2000000,`+"\n", "", 1)
+	// Also drop an ungated key (speedup) to verify only gated keys warn.
+	stripped = strings.Replace(stripped, `,
+  "speedup": 2.5`, "", 1)
+	if stripped == oldRec || strings.Contains(stripped, "speedup") {
+		t.Fatal("test fixture edit failed")
+	}
+	rep, err := Compare([]byte(stripped), []byte(oldRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("missing baseline key counted as regression:\n%s", Format(rep))
+	}
+	if len(rep.MissingOld) != 1 || rep.MissingOld[0] != "grid_steps_per_sec" {
+		t.Fatalf("MissingOld = %v, want [grid_steps_per_sec]", rep.MissingOld)
+	}
+	out := Format(rep)
+	if !strings.Contains(out, "warning: grid_steps_per_sec absent from baseline") {
+		t.Fatalf("Format missing warning line:\n%s", out)
+	}
+	// Ungated keys (speedup has no gated suffix) never warn.
+	for _, k := range rep.MissingOld {
+		if k == "speedup" {
+			t.Fatal("ungated key reported as missing")
+		}
+	}
+}

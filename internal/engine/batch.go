@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"strconv"
 
 	"repro/internal/chaos"
 	"repro/internal/fluid"
@@ -102,6 +103,9 @@ func SweepSpecs(ctx context.Context, specs []Spec, cfg SweepConfig) ([]*Result, 
 	capNestedWorkers(ctx, &cfg)
 	applyHardening(&cfg)
 	routeWorkers(len(specs), &cfg)
+	ctx, sp := obs.StartSpan(ctx, "engine.sweep.specs")
+	sp.SetDetail(strconv.Itoa(len(specs)) + " specs")
+	defer sp.End()
 	pre := runBatches(ctx, specs, &cfg)
 	return Sweep(ctx, len(specs), cfg, func(ctx context.Context, i int, _ uint64) (*Result, error) {
 		if pre != nil && pre[i] != nil {
@@ -242,6 +246,14 @@ func runBatchGroup(ctx context.Context, specs []Spec, idxs []int, outs []*batchO
 	steps := fs0.Steps
 	instrumented := obs.Enabled()
 
+	// The group span brackets the whole lockstep unit of work; the
+	// precompute/step/emit child spans split it into the fluid.Batch
+	// phases, so a timeline shows where a batched group's time goes.
+	ctx, gsp := obs.StartSpan(ctx, "engine.batch.group")
+	gsp.SetDetail(strconv.Itoa(len(idxs)) + " cells × " + strconv.Itoa(steps) + " steps")
+	defer gsp.End()
+	_, psp := obs.StartSpan(ctx, "engine.batch.precompute")
+
 	// One shared injector per group: every cell in the group carries the
 	// same (schedule, seed, flows) triple, so per-cell compilation would
 	// yield identical injectors anyway.
@@ -254,8 +266,9 @@ func runBatchGroup(ctx context.Context, specs []Spec, idxs []int, outs []*batchO
 				outs[i] = &batchOut{err: err}
 			}
 			if instrumented {
-				obs.GetCounter("engine.runs.failed.fluid").Add(uint64(len(idxs)))
+				runTelByKind[kFluid].failed.Add(uint64(len(idxs)))
 			}
+			psp.End()
 			return
 		}
 	}
@@ -274,6 +287,7 @@ func runBatchGroup(ctx context.Context, specs []Spec, idxs []int, outs []*batchO
 		// The planner admitted the cells, so this is unreachable; if it
 		// ever fires, leaving outs nil routes the group per-cell, which
 		// is always correct.
+		psp.End()
 		return
 	}
 
@@ -367,10 +381,17 @@ func runBatchGroup(ctx context.Context, specs []Spec, idxs []int, outs []*batchO
 		r.n = 0
 	}
 
+	psp.End()
+
+	// The step span covers the lockstep loop including inline strip
+	// flushes (emission interleaves with stepping by design); the emit
+	// span after it is the final drain of partial strips.
+	_, ssp := obs.StartSpan(ctx, "engine.batch.step")
 	live := len(runs)
 	for s := 0; s < steps && live > 0; s++ {
 		if s&0xff == 0 {
 			if ctx.Err() != nil {
+				ssp.End()
 				return
 			}
 		}
@@ -413,11 +434,15 @@ func runBatchGroup(ctx context.Context, specs []Spec, idxs []int, outs []*batchO
 			}
 		}
 	}
+	ssp.End()
+
+	_, esp := obs.StartSpan(ctx, "engine.batch.emit")
 	for j := range runs {
 		if runs[j].windows != nil {
 			flush(&runs[j])
 		}
 	}
+	esp.End()
 
 	for j, i := range idxs {
 		r := &runs[j]
@@ -437,11 +462,11 @@ func runBatchGroup(ctx context.Context, specs []Spec, idxs []int, outs []*batchO
 			}
 		}
 		if failed > 0 {
-			obs.GetCounter("engine.runs.failed.fluid").Add(uint64(failed))
+			runTelByKind[kFluid].failed.Add(uint64(failed))
 		}
 		if ok := len(runs) - failed; ok > 0 {
-			obs.GetCounter("engine.runs.fluid").Add(uint64(ok))
-			obs.GetCounter("engine.steps.fluid").Add(uint64(ok) * uint64(steps))
+			runTelByKind[kFluid].runs.Add(uint64(ok))
+			runTelByKind[kFluid].steps.Add(uint64(ok) * uint64(steps))
 		}
 	}
 }

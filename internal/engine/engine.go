@@ -108,12 +108,45 @@ type Result struct {
 	Steps  int               // samples produced
 }
 
+// Substrate kinds for per-kind telemetry, indexing runTelByKind.
+const (
+	kFluid = iota
+	kPacket
+	kNet
+	kOther
+	numKinds
+)
+
+// runTel is one substrate kind's cached telemetry handles. Hoisted out of
+// the run path so the instrumented hot loop (a sweep calls Run per cell,
+// the batch path bumps the fluid counters per group) does no registry map
+// lookups.
+type runTel struct {
+	runs, failed, steps *obs.Counter
+	dur                 *obs.Histogram
+	span                string
+}
+
+var runTelByKind = func() [numKinds]runTel {
+	var t [numKinds]runTel
+	for k, name := range [numKinds]string{kFluid: "fluid", kPacket: "packet", kNet: "net", kOther: "other"} {
+		t[k] = runTel{
+			runs:   obs.GetCounter("engine.runs." + name),
+			failed: obs.GetCounter("engine.runs.failed." + name),
+			steps:  obs.GetCounter("engine.steps." + name),
+			dur:    obs.GetHistogram("engine.run.duration." + name),
+			span:   "engine.run." + name,
+		}
+	}
+	return t
+}()
+
 // Run executes the spec. It returns ctx.Err() soon after ctx is done.
 //
-// With observability enabled (internal/obs), Run times the whole
-// substrate execution and feeds per-kind run counts, step totals, and
-// wall-time histograms into the metrics registry; disabled, the only
-// added cost is one atomic load per run.
+// With observability enabled (internal/obs), Run wraps the substrate
+// execution in an "engine.run.<kind>" span and feeds per-kind run counts,
+// step totals, and wall-time histograms into the metrics registry;
+// disabled, the only added cost is one atomic load per run.
 func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Substrate == nil {
 		return nil, errors.New("engine: spec has no substrate")
@@ -121,30 +154,32 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if !obs.Enabled() {
 		return spec.Substrate.run(ctx, spec)
 	}
-	kind := substrateKind(spec.Substrate)
+	tel := &runTelByKind[substrateKind(spec.Substrate)]
+	ctx, sp := obs.StartSpan(ctx, tel.span)
 	start := time.Now()
 	res, err := spec.Substrate.run(ctx, spec)
-	obs.GetHistogram("engine.run.duration." + kind).Observe(time.Since(start))
+	tel.dur.Observe(time.Since(start))
+	sp.End()
 	if err != nil {
-		obs.GetCounter("engine.runs.failed." + kind).Inc()
+		tel.failed.Inc()
 		return res, err
 	}
-	obs.GetCounter("engine.runs." + kind).Inc()
-	obs.GetCounter("engine.steps." + kind).Add(uint64(res.Steps))
+	tel.runs.Inc()
+	tel.steps.Add(uint64(res.Steps))
 	return res, nil
 }
 
-// substrateKind names the substrate for per-kind telemetry.
-func substrateKind(s Substrate) string {
+// substrateKind classifies the substrate for per-kind telemetry.
+func substrateKind(s Substrate) int {
 	switch s.(type) {
 	case *FluidSpec:
-		return "fluid"
+		return kFluid
 	case *PacketSpec:
-		return "packet"
+		return kPacket
 	case *NetSpec:
-		return "net"
+		return kNet
 	default:
-		return "other"
+		return kOther
 	}
 }
 

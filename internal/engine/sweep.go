@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
@@ -113,6 +115,9 @@ var (
 func Sweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, error) {
 	capNestedWorkers(ctx, &cfg)
 	routeWorkers(n, &cfg)
+	ctx, sp := obs.StartSpan(ctx, "engine.sweep")
+	sp.SetDetail(strconv.Itoa(n) + " cells")
+	defer sp.End()
 	h := newHarness[T](n, &cfg)
 	defer h.close()
 	return parallel.MapCtx(ctx, n, cfg.Workers, h.wrap(cell))
@@ -126,6 +131,9 @@ func Sweep[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx con
 func SweepSettled[T any](ctx context.Context, n int, cfg SweepConfig, cell func(ctx context.Context, i int, seed uint64) (T, error)) ([]T, []error, error) {
 	capNestedWorkers(ctx, &cfg)
 	routeWorkers(n, &cfg)
+	ctx, sp := obs.StartSpan(ctx, "engine.sweep")
+	sp.SetDetail(strconv.Itoa(n) + " cells")
+	defer sp.End()
 	h := newHarness[T](n, &cfg)
 	defer h.close()
 	return parallel.MapSettled(ctx, n, cfg.Workers, h.wrap(cell))
@@ -202,6 +210,16 @@ func newHarness[T any](n int, cfg *SweepConfig) *harness[T] {
 	if h.instrumented {
 		sweepGrids.Inc()
 		obs.AddCells(n)
+		// Mirror progress into the exposition endpoint's atomics so a
+		// /snapshot scrape mid-sweep shows done/total without -progress.
+		if inner := h.progress; inner != nil {
+			h.progress = func(done, total int) {
+				obs.ReportProgress(done, total)
+				inner(done, total)
+			}
+		} else {
+			h.progress = obs.ReportProgress
+		}
 	}
 	h.ck = newCheckpointer(cfg, n)
 	return h
@@ -249,11 +267,15 @@ func (h *harness[T]) wrap(cell func(ctx context.Context, i int, seed uint64) (T,
 			}
 		}
 		var start time.Time
+		var csp *obs.Span
 		if h.instrumented {
 			start = time.Now()
+			ctx, csp = obs.StartSpan(ctx, "engine.sweep.cell")
+			csp.SetDetail("cell " + strconv.Itoa(i))
 		}
 		v, err := runCellAttempts(ctx, h.cfg, i, seed, cell)
 		if h.instrumented {
+			csp.End()
 			sweepCellDuration.Observe(time.Since(start))
 			if err != nil {
 				sweepCellsFailed.Inc()
@@ -297,6 +319,12 @@ func runCellAttempts[T any](ctx context.Context, cfg *SweepConfig, i int, seed u
 		if errors.As(err, &pe) {
 			if obs.Enabled() {
 				sweepCellsPanicked.Inc()
+				// A recovered cell panic is the flight recorder's reason to
+				// exist: dump the ring (what every worker just did) to
+				// stderr and attach it to the run record as evidence.
+				obs.NoteEvent("panic", "engine.sweep.cell", "cell "+strconv.Itoa(i))
+				obs.DumpFlight(os.Stderr)
+				obs.AttachFlightToRecord()
 			}
 			return zero, err
 		}
@@ -306,11 +334,20 @@ func runCellAttempts[T any](ctx context.Context, cfg *SweepConfig, i int, seed u
 		if ctx.Err() != nil {
 			return zero, err // the whole sweep is being torn down
 		}
+		if obs.Enabled() && errors.Is(actx.Err(), context.DeadlineExceeded) {
+			obs.NoteEvent("deadline", "engine.sweep.cell",
+				"cell "+strconv.Itoa(i)+" attempt "+strconv.Itoa(attempt)+" hit "+cfg.CellTimeout.String())
+			obs.DumpFlight(os.Stderr)
+			obs.AttachFlightToRecord()
+		}
 		if attempt >= cfg.Retries {
 			return zero, err
 		}
 		if obs.Enabled() {
 			sweepCellsRetried.Inc()
+			obs.NoteEvent("retry", "engine.sweep.cell",
+				"cell "+strconv.Itoa(i)+" attempt "+strconv.Itoa(attempt)+": "+err.Error())
+			obs.AttachFlightToRecord()
 		}
 		backoff := time.Duration(5<<uint(min(attempt, 6))) * time.Millisecond
 		timer := time.NewTimer(backoff)

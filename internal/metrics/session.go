@@ -183,7 +183,9 @@ func (s *Session) do(key string, steps int, exec func() (*Stream, *trace.Trace, 
 		s.mu.Lock()
 		if e, ok := s.entries[key]; ok {
 			s.mu.Unlock()
+			wsp := obs.StartLeafSpan("metrics.session.wait")
 			<-e.done
+			wsp.End()
 			if e.err != nil {
 				if e.err == errSessionPanicked {
 					return nil, nil, e.err
@@ -380,7 +382,10 @@ func (s *Session) doBatch(keys []string, cacheable []bool, steps int, exec func(
 				evict(errSessionPanicked)
 			}
 		}()
+		bsp := obs.StartLeafSpan("metrics.session.simulate.batch")
+		bsp.SetDetail(strconv.Itoa(len(miss)) + " cells")
 		streams, err := exec(miss)
+		bsp.End()
 		if err == nil && len(streams) != len(miss) {
 			err = errors.New("metrics: batch exec returned wrong cell count")
 		}
@@ -457,7 +462,9 @@ func (s *Session) doBatch(keys []string, cacheable []bool, steps int, exec func(
 // way the in-memory map single-flights goroutines.
 func (s *Session) runOrFetch(key string, exec func() (*Stream, *trace.Trace, error)) (*Stream, *trace.Trace, bool, error) {
 	if s.store == nil {
+		sp := obs.StartLeafSpan("metrics.session.simulate")
 		st, tr, err := exec()
+		sp.End()
 		return st, tr, false, err
 	}
 	recorded := strings.HasPrefix(key, "v1|trace|")
@@ -468,7 +475,9 @@ func (s *Session) runOrFetch(key string, exec func() (*Stream, *trace.Trace, err
 	}
 	unlock, lerr := s.store.LockKey(key)
 	if lerr != nil {
+		sp := obs.StartLeafSpan("metrics.session.simulate")
 		st, tr, err := exec()
+		sp.End()
 		return st, tr, false, err
 	}
 	defer unlock()
@@ -477,7 +486,9 @@ func (s *Session) runOrFetch(key string, exec func() (*Stream, *trace.Trace, err
 			return st, tr, true, nil
 		}
 	}
+	sp := obs.StartLeafSpan("metrics.session.simulate")
 	st, tr, err := exec()
+	sp.End()
 	if err == nil {
 		// A write failure (disk full, permissions) costs persistence,
 		// not correctness — the result still serves this process.

@@ -14,11 +14,13 @@ import (
 
 // Flags is the shared observability flag set every cmd/* tool mounts:
 //
-//	-cpuprofile f   pprof CPU profile
-//	-memprofile f   pprof heap profile (written at stop)
-//	-exectrace f    runtime execution trace
-//	-progress       live sweep progress line on stderr
-//	-runrecord f    structured run manifest (JSON)
+//	-cpuprofile f    pprof CPU profile
+//	-memprofile f    pprof heap profile (written at stop)
+//	-exectrace f     runtime execution trace
+//	-exectimeline f  Chrome trace-event span timeline (Perfetto-loadable)
+//	-progress        live sweep progress line on stderr
+//	-runrecord f     structured run manifest (JSON)
+//	-obs-listen a    HTTP exposition: /metrics, /snapshot, /trace
 //
 // Engaging any flag enables the metrics registry for the process, and a
 // run manifest is written on stop (to -runrecord's path, default
@@ -28,8 +30,10 @@ type Flags struct {
 	CPUProfile    string
 	MemProfile    string
 	ExecTrace     string
+	ExecTimeline  string
 	Progress      bool
 	RunRecordPath string
+	ObsListen     string
 
 	fs       *flag.FlagSet
 	tool     string
@@ -37,6 +41,7 @@ type Flags struct {
 	trcFile  *os.File
 	progLine *Progress
 	record   *RunRecord
+	server   *Server
 }
 
 // RegisterFlags mounts the shared observability flags on fs (typically
@@ -46,15 +51,18 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
 	fs.StringVar(&f.ExecTrace, "exectrace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&f.ExecTimeline, "exectimeline", "", "write a Chrome trace-event span timeline (Perfetto-loadable JSON) to this file")
 	fs.BoolVar(&f.Progress, "progress", false, "render a live sweep progress line on stderr")
 	fs.StringVar(&f.RunRecordPath, "runrecord", "", "write a structured run manifest (JSON) to this file; default runrecord.json when any other observability flag is set")
+	fs.StringVar(&f.ObsListen, "obs-listen", "", "serve live observability over HTTP on this address (host:port; port 0 picks one): /metrics, /snapshot, /trace")
 	return f
 }
 
 // engaged reports whether any observability flag was set.
 func (f *Flags) engaged() bool {
 	return f.CPUProfile != "" || f.MemProfile != "" || f.ExecTrace != "" ||
-		f.Progress || f.RunRecordPath != ""
+		f.ExecTimeline != "" || f.Progress || f.RunRecordPath != "" ||
+		f.ObsListen != ""
 }
 
 // Start enables observability per the parsed flags and returns the stop
@@ -97,10 +105,29 @@ func (f *Flags) Start(tool string) (stop func() error, err error) {
 			return nil, fmt.Errorf("obs: -exectrace: %w", err)
 		}
 	}
+	if f.ExecTimeline != "" {
+		EnableTimeline()
+	}
+	if f.ObsListen != "" {
+		f.server, err = StartServer(f.ObsListen, tool)
+		if err != nil {
+			f.stopCPU()
+			if f.trcFile != nil {
+				trace.Stop()
+				f.trcFile.Close()
+				f.trcFile = nil
+			}
+			return nil, err
+		}
+		// The bound address goes to stderr so scripts (and the CI smoke
+		// job) can discover a :0-assigned port.
+		fmt.Fprintf(os.Stderr, "%s: obs: listening on http://%s\n", tool, f.server.Addr())
+	}
 	if f.Progress {
 		f.progLine = NewProgress(os.Stderr, tool)
 		SetSweepProgress(f.progLine.Update)
 	}
+	installSigquitDump()
 	Log().LogAttrs(context.Background(), slog.LevelDebug, "observability started",
 		slog.String("tool", tool), slog.Bool("progress", f.Progress),
 		slog.String("cpuprofile", f.CPUProfile))
@@ -135,11 +162,19 @@ func (f *Flags) stop() error {
 		SetSweepProgress(nil)
 		f.progLine.Finish()
 	}
+	if f.server != nil {
+		keep(f.server.Close())
+		f.server = nil
+	}
 	f.stopCPU()
 	if f.trcFile != nil {
 		trace.Stop()
 		keep(f.trcFile.Close())
 		f.trcFile = nil
+	}
+	if f.ExecTimeline != "" {
+		DisableTimeline()
+		keep(WriteTimeline(f.ExecTimeline, f.tool))
 	}
 	if f.MemProfile != "" {
 		mf, err := os.Create(f.MemProfile)

@@ -132,3 +132,53 @@ func TestFlagsDefaultRunRecordPath(t *testing.T) {
 		t.Fatalf("default runrecord.json not written: %v", err)
 	}
 }
+
+// TestFlagsObsListenAndTimeline exercises the two new exposition flags
+// end to end: Start binds the HTTP endpoint and engages the timeline
+// collector; stop closes the listener and writes the timeline file.
+func TestFlagsObsListenAndTimeline(t *testing.T) {
+	dir := t.TempDir()
+	tl := filepath.Join(dir, "tl.json")
+	rr := filepath.Join(dir, "rr.json")
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-obs-listen", "127.0.0.1:0", "-exectimeline", tl, "-runrecord", rr}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start("tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("obs not enabled by -obs-listen")
+	}
+	if !TimelineEnabled() {
+		t.Fatal("timeline not engaged by -exectimeline")
+	}
+	if f.server == nil || f.server.Addr() == "" {
+		t.Fatal("no HTTP server bound")
+	}
+	StartLeafSpan("test.flags.span").End()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() || TimelineEnabled() {
+		t.Fatal("stop left obs or timeline enabled")
+	}
+	raw, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatalf("timeline not written: %v", err)
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("timeline not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("timeline has no events")
+	}
+	if _, err := os.Stat(rr); err != nil {
+		t.Fatalf("runrecord not written: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFlightRingRecordsAndWraps(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight() }()
+	ResetFlight()
+
+	for i := 0; i < FlightRingSize+10; i++ {
+		NoteEvent("retry", "test.wrap", "n="+strconv.Itoa(i))
+	}
+	events := FlightEvents()
+	if len(events) != FlightRingSize {
+		t.Fatalf("ring holds %d events, want %d", len(events), FlightRingSize)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events out of order: seq %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+	// The oldest ring entries must have been overwritten by the newest.
+	if events[len(events)-1].Detail != "n="+strconv.Itoa(FlightRingSize+9) {
+		t.Fatalf("newest event detail = %q, want n=%d", events[len(events)-1].Detail, FlightRingSize+9)
+	}
+}
+
+func TestSpanEndLandsInFlightRing(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight() }()
+	ResetFlight()
+
+	sp := StartLeafSpan("test.flight.span")
+	sp.SetDetail("cell 7")
+	sp.End()
+	var found *FlightEvent
+	for _, e := range FlightEvents() {
+		if e.Kind == "span" && e.Name == "test.flight.span" {
+			ev := e
+			found = &ev
+		}
+	}
+	if found == nil {
+		t.Fatal("completed span missing from flight ring")
+	}
+	if found.Detail != "cell 7" || found.SpanID == 0 {
+		t.Fatalf("flight event = %+v, want detail 'cell 7' and a span id", found)
+	}
+}
+
+func TestNoteEventDisabledIsNoop(t *testing.T) {
+	Disable()
+	ResetFlight()
+	NoteEvent("retry", "test.noop", "")
+	if got := FlightEvents(); len(got) != 0 {
+		t.Fatalf("disabled NoteEvent recorded %d events, want 0", len(got))
+	}
+}
+
+func TestDumpFlightRendersEventsAndOpenSpans(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight() }()
+	ResetFlight()
+
+	NoteEvent("deadline", "test.dump", "cell 4 hit 1s")
+	open := StartLeafSpan("test.dump.open")
+	defer open.End()
+
+	var sb strings.Builder
+	DumpFlight(&sb)
+	out := sb.String()
+	for _, want := range []string{"flight recorder", "deadline", "test.dump", "cell 4 hit 1s", "open", "test.dump.open"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAttachFlightToRecord(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight(); EndRecord() }()
+	ResetFlight()
+
+	r := BeginRecord("test")
+	NoteEvent("panic", "test.attach", "cell 2")
+	open := StartLeafSpan("test.attach.open")
+	AttachFlightToRecord()
+	open.End()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.Flight) == 0 {
+		t.Fatal("record has no flight events after attach")
+	}
+	found := false
+	for _, e := range r.Flight {
+		if e.Kind == "panic" && e.Name == "test.attach" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("panic event missing from attached flight: %+v", r.Flight)
+	}
+	foundOpen := false
+	for _, s := range r.FlightOpenSpans {
+		if s.Name == "test.attach.open" {
+			foundOpen = true
+		}
+	}
+	if !foundOpen {
+		t.Fatal("open span missing from attached flight")
+	}
+}

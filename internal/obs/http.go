@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The exposition server is the scrape surface of a live process: a
+// stdlib net/http listener (no dependencies) every cmd/* tool mounts
+// with -obs-listen, serving
+//
+//	/metrics     the registry in Prometheus text format
+//	/snapshot    JSON: counters, gauges, histograms, open spans, sweep
+//	             progress, aux stats (run store / run cache), runtime
+//	/trace?n=N   the last N completed spans from the flight ring (JSON)
+//
+// Listening on 127.0.0.1:0 picks a free port; the bound address is
+// returned by Addr (the flag helper prints it to stderr so scripts and
+// CI can discover it).
+
+// Server is one running exposition listener.
+type Server struct {
+	tool string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// StartServer listens on addr (host:port; port 0 picks a free one) and
+// serves the exposition endpoints in a background goroutine until Close.
+func StartServer(addr, tool string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: -obs-listen: %w", err)
+	}
+	s := &Server{tool: tool, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/trace", s.handleTrace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, TakeSnapshot())
+}
+
+// LiveSnapshot is the /snapshot payload: everything a dashboard needs to
+// render a live view of the process in one request.
+type LiveSnapshot struct {
+	Tool         string                        `json:"tool"`
+	Time         time.Time                     `json:"time"`
+	Goroutines   int                           `json:"goroutines"`
+	Metrics      Snapshot                      `json:"metrics"`
+	ActiveSpans  []ActiveSpan                  `json:"active_spans,omitempty"`
+	Progress     ProgressSnapshot              `json:"progress"`
+	FlightEvents uint64                        `json:"flight_events"`
+	Stats        map[string]map[string]float64 `json:"stats,omitempty"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	snap := LiveSnapshot{
+		Tool:         s.tool,
+		Time:         time.Now(),
+		Goroutines:   runtime.NumGoroutine(),
+		Metrics:      TakeSnapshot(),
+		ActiveSpans:  ActiveSpans(),
+		Progress:     ProgressState(),
+		FlightEvents: FlightLen(),
+		Stats:        collectAuxStats(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "trace: n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	events := FlightEvents()
+	spans := events[:0:0]
+	for _, e := range events {
+		if e.Kind == "span" {
+			spans = append(spans, e)
+		}
+	}
+	if len(spans) > n {
+		spans = spans[len(spans)-n:]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(spans) //nolint:errcheck // client went away
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (# TYPE lines, sanitized names, histograms with cumulative
+// le buckets ending at +Inf, durations in seconds).
+func WritePrometheus(w io.Writer, s Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, formatFloat(s.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.Inf {
+				continue // folded into the +Inf line below
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatFloat(b.LESeconds), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum %s\n", pn, formatFloat(h.SumSeconds))
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promName maps a registry name (dotted, free-form) onto the Prometheus
+// identifier charset [a-zA-Z0-9_:].
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+			sb.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

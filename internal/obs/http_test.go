@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight() }()
+
+	GetCounter("test.http.counter").Add(7)
+	GetHistogram("test.http.hist").Observe(3 * time.Millisecond)
+	sp := StartLeafSpan("test.http.done")
+	sp.End()
+	open := StartLeafSpan("test.http.open")
+	defer open.End()
+	ReportProgress(3, 24)
+
+	srv, err := StartServer("127.0.0.1:0", "testtool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", code)
+	}
+	for _, want := range []string{
+		"# TYPE test_http_counter counter",
+		"test_http_counter 7",
+		"# TYPE test_http_hist_seconds histogram",
+		`test_http_hist_seconds_bucket{le="+Inf"} 1`,
+		"test_http_hist_seconds_count 1",
+		"span_test_http_done_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = getBody(t, base+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot status = %d, want 200", code)
+	}
+	var snap LiveSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot is not valid JSON: %v", err)
+	}
+	if snap.Tool != "testtool" {
+		t.Fatalf("/snapshot tool = %q, want testtool", snap.Tool)
+	}
+	if snap.Metrics.Counters["test.http.counter"] != 7 {
+		t.Fatalf("/snapshot counter = %d, want 7", snap.Metrics.Counters["test.http.counter"])
+	}
+	if snap.Progress.Done != 3 || snap.Progress.Total != 24 {
+		t.Fatalf("/snapshot progress = %+v, want 3/24", snap.Progress)
+	}
+	foundOpen := false
+	for _, s := range snap.ActiveSpans {
+		if s.Name == "test.http.open" {
+			foundOpen = true
+		}
+	}
+	if !foundOpen {
+		t.Fatalf("/snapshot missing open span: %+v", snap.ActiveSpans)
+	}
+
+	code, body = getBody(t, base+"/trace?n=5")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d, want 200", code)
+	}
+	var events []FlightEvent
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/trace is not valid JSON: %v", err)
+	}
+	foundDone := false
+	for _, e := range events {
+		if e.Kind != "span" {
+			t.Fatalf("/trace returned non-span event %+v", e)
+		}
+		if e.Name == "test.http.done" {
+			foundDone = true
+		}
+	}
+	if !foundDone {
+		t.Fatalf("/trace missing completed span: %+v", events)
+	}
+
+	if code, _ := getBody(t, base+"/trace?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("/trace?n=bogus status = %d, want 400", code)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"engine.sweep.cells.completed": "engine_sweep_cells_completed",
+		"span.engine.run.fluid":        "span_engine_run_fluid",
+		"already_clean":                "already_clean",
+		"9starts.with.digit":           "_9starts_with_digit",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset() }()
+	h := GetHistogram("test.prom.cum")
+	h.Observe(2 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(500 * time.Millisecond)
+
+	var sb strings.Builder
+	WritePrometheus(&sb, TakeSnapshot())
+	out := sb.String()
+	// Both small observations share the 4µs bucket; the big one only
+	// appears in later (cumulative) buckets and +Inf.
+	if !strings.Contains(out, `test_prom_cum_seconds_bucket{le="4e-06"} 2`) {
+		t.Fatalf("missing cumulative 4µs bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `test_prom_cum_seconds_bucket{le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "test_prom_cum_seconds_count 3") {
+		t.Fatalf("missing count:\n%s", out)
+	}
+}

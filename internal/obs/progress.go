@@ -107,3 +107,27 @@ func SweepProgressFunc() func(done, total int) {
 	}
 	return nil
 }
+
+// progressDone/progressTotal mirror the latest sweep progress report so
+// the /snapshot endpoint can expose it without a callback round-trip.
+var progressDone, progressTotal atomic.Int64
+
+// ReportProgress records the latest done/total sweep-cell counts for the
+// exposition endpoint. The engine calls it on every cell completion while
+// instrumented; whichever grid reported last wins, matching the progress
+// line's behavior for nested sweeps.
+func ReportProgress(done, total int) {
+	progressDone.Store(int64(done))
+	progressTotal.Store(int64(total))
+}
+
+// ProgressSnapshot is the sweep-progress section of /snapshot.
+type ProgressSnapshot struct {
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
+}
+
+// ProgressState returns the latest reported sweep progress.
+func ProgressState() ProgressSnapshot {
+	return ProgressSnapshot{Done: progressDone.Load(), Total: progressTotal.Load()}
+}

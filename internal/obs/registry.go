@@ -105,6 +105,7 @@ func (h *Histogram) quantile(q float64) time.Duration {
 type Bucket struct {
 	LESeconds float64 `json:"le_seconds"` // +Inf rendered as the observed max
 	Count     uint64  `json:"count"`
+	Inf       bool    `json:"inf,omitempty"` // true for the +Inf overflow bucket
 }
 
 // HistogramSnapshot is a histogram's JSON-exportable state. Quantiles
@@ -144,7 +145,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		if i < histBuckets {
 			le = bucketBound(i).Seconds()
 		}
-		s.Buckets = append(s.Buckets, Bucket{LESeconds: le, Count: c})
+		s.Buckets = append(s.Buckets, Bucket{LESeconds: le, Count: c, Inf: i >= histBuckets})
 	}
 	return s
 }

@@ -41,8 +41,65 @@ type RunRecord struct {
 	Scores          map[string]float64 `json:"scores,omitempty"`
 	Metrics         *Snapshot          `json:"metrics,omitempty"`
 
+	// Stats holds auxiliary stat groups (run-store hits/misses/bytes,
+	// run-cache dedup counts) collected from registered sources at
+	// Finish, so cold-vs-warm cache behavior is auditable from the
+	// manifest alone.
+	Stats map[string]map[string]float64 `json:"stats,omitempty"`
+
+	// Flight carries the flight-recorder ring and the spans still open
+	// at the last AttachFlightToRecord (cell retry, deadline, panic) —
+	// the post-mortem evidence of what every worker was doing.
+	Flight          []FlightEvent `json:"flight,omitempty"`
+	FlightOpenSpans []ActiveSpan  `json:"flight_open_spans,omitempty"`
+
 	mu       sync.Mutex
 	finished bool
+}
+
+// auxStats are named callbacks producing stat groups for run records and
+// the /snapshot endpoint. Registered by subsystems that sit below obs in
+// the import graph (the run store, the metrics session cache).
+var auxStats struct {
+	mu      sync.Mutex
+	sources map[string]func() map[string]float64
+}
+
+// RegisterStatsSource installs f as the producer of the named stat group
+// (nil removes it). The source is polled at RunRecord.Finish and on every
+// /snapshot request; it must be safe to call at any time.
+func RegisterStatsSource(name string, f func() map[string]float64) {
+	auxStats.mu.Lock()
+	defer auxStats.mu.Unlock()
+	if f == nil {
+		delete(auxStats.sources, name)
+		return
+	}
+	if auxStats.sources == nil {
+		auxStats.sources = map[string]func() map[string]float64{}
+	}
+	auxStats.sources[name] = f
+}
+
+// collectAuxStats polls every registered stats source, dropping empty
+// groups.
+func collectAuxStats() map[string]map[string]float64 {
+	auxStats.mu.Lock()
+	sources := make(map[string]func() map[string]float64, len(auxStats.sources))
+	for k, f := range auxStats.sources {
+		sources[k] = f
+	}
+	auxStats.mu.Unlock()
+	var out map[string]map[string]float64
+	for name, f := range sources {
+		if m := f(); len(m) > 0 {
+			if out == nil {
+				out = map[string]map[string]float64{}
+			}
+			out[name] = m
+		}
+	}
+	return out
 }
 
 // active is the record library code reports into (phases, scores, cell
@@ -94,6 +151,9 @@ func (r *RunRecord) Finish() {
 	r.DurationSeconds = time.Since(r.Start).Seconds()
 	snap := TakeSnapshot()
 	r.Metrics = &snap
+	if stats := collectAuxStats(); stats != nil {
+		r.Stats = stats
+	}
 }
 
 // WriteFile renders the record as indented JSON at path.

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// installSigquitDump is a no-op where SIGQUIT does not exist.
+func installSigquitDump() {}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package obs
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+)
+
+// installSigquitDump arranges for SIGQUIT to dump the flight recorder to
+// stderr before the usual all-goroutine stack dump and exit. The Go
+// runtime's default SIGQUIT behavior (stacks + exit 2) is replaced by an
+// equivalent handler, so `kill -QUIT <pid>` on a stuck sweep shows what
+// every worker was doing both recently (the ring) and right now (the
+// stacks). Installed once per process by the flag helper when -obs-listen
+// or any other observability flag engages.
+var sigquitOnce sync.Once
+
+func installSigquitDump() {
+	sigquitOnce.Do(func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGQUIT)
+		go func() {
+			<-ch
+			DumpFlight(os.Stderr)
+			AttachFlightToRecord()
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			fmt.Fprintf(os.Stderr, "\n%s\n", buf[:n])
+			os.Exit(2)
+		}()
+	})
+}

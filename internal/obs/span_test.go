@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSpanHierarchyAndActiveTable(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight() }()
+
+	ctx, parent := StartSpan(context.Background(), "test.parent")
+	if parent == nil {
+		t.Fatal("StartSpan returned nil span while enabled")
+	}
+	ctx2, child := StartSpan(ctx, "test.child")
+	if child.parent != parent.id {
+		t.Fatalf("child.parent = %d, want %d", child.parent, parent.id)
+	}
+	_, grand := StartSpan(ctx2, "test.grandchild")
+	if grand.parent != child.id {
+		t.Fatalf("grandchild.parent = %d, want %d", grand.parent, child.id)
+	}
+
+	child.SetDetail("cell 3")
+	open := ActiveSpans()
+	if len(open) < 3 {
+		t.Fatalf("ActiveSpans returned %d spans, want >= 3", len(open))
+	}
+	found := false
+	for _, s := range open {
+		if s.ID == child.id {
+			found = true
+			if s.Detail != "cell 3" {
+				t.Fatalf("active span detail = %q, want %q", s.Detail, "cell 3")
+			}
+			if s.ParentID != parent.id {
+				t.Fatalf("active span parent = %d, want %d", s.ParentID, parent.id)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("child span missing from ActiveSpans")
+	}
+
+	grand.End()
+	child.End()
+	parent.End()
+	for _, s := range ActiveSpans() {
+		if s.ID == parent.id || s.ID == child.id || s.ID == grand.id {
+			t.Fatalf("span %d still active after End", s.ID)
+		}
+	}
+	if got := GetHistogram("span.test.child").Count(); got != 1 {
+		t.Fatalf("span.test.child histogram count = %d, want 1", got)
+	}
+}
+
+func TestSpanDoubleEndObservesOnce(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight() }()
+	sp := StartLeafSpan("test.double")
+	sp.End()
+	sp.End()
+	if got := GetHistogram("span.test.double").Count(); got != 1 {
+		t.Fatalf("double End observed %d times, want 1", got)
+	}
+}
+
+func TestSpanNilSafeWhenDisabled(t *testing.T) {
+	Disable()
+	ctx, sp := StartSpan(context.Background(), "test.disabled")
+	if sp != nil {
+		t.Fatal("StartSpan returned non-nil span while disabled")
+	}
+	if ctx == nil {
+		t.Fatal("StartSpan returned nil ctx")
+	}
+	sp.SetDetail("ignored")
+	if sp.Detail() != "" || sp.Name() != "" {
+		t.Fatal("nil span accessors returned non-empty values")
+	}
+	sp.End()
+	if lf := StartLeafSpan("test.disabled.leaf"); lf != nil {
+		t.Fatal("StartLeafSpan returned non-nil span while disabled")
+	}
+}
+
+// TestStartSpanDisabledAllocFree pins the disabled-path contract: with
+// obs off, span creation in instrumented hot paths must cost one atomic
+// load and zero allocations. CI runs this under -race.
+func TestStartSpanDisabledAllocFree(t *testing.T) {
+	Disable()
+	ctx := context.Background()
+	if avg := testing.AllocsPerRun(1000, func() {
+		c, sp := StartSpan(ctx, "test.alloc")
+		sp.End()
+		_ = c
+	}); avg != 0 {
+		t.Fatalf("StartSpan allocates %.2f times per call while disabled, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		sp := StartLeafSpan("test.alloc.leaf")
+		sp.SetDetail("x")
+		sp.End()
+	}); avg != 0 {
+		t.Fatalf("StartLeafSpan allocates %.2f times per call while disabled, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		NoteEvent("retry", "test.alloc", "noop")
+	}); avg != 0 {
+		t.Fatalf("NoteEvent allocates %.2f times per call while disabled, want 0", avg)
+	}
+}
+
+func TestCurGIDStable(t *testing.T) {
+	a, b := curGID(), curGID()
+	if a <= 0 || a != b {
+		t.Fatalf("curGID returned %d then %d, want equal positive ids", a, b)
+	}
+	done := make(chan int64)
+	go func() { done <- curGID() }()
+	if other := <-done; other == a {
+		t.Fatalf("different goroutines reported the same gid %d", a)
+	}
+}

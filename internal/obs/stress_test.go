@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentStress hammers the registry's whole surface —
+// creation, recording, snapshotting, and Reset — from many goroutines at
+// once. It asserts nothing beyond "no race, no panic, snapshots are
+// well-formed"; the -race build in CI is the real check.
+func TestRegistryConcurrentStress(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight() }()
+
+	const (
+		workers = 8
+		iters   = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := "stress." + strconv.Itoa(w%4) // shared across workers
+			for i := 0; i < iters; i++ {
+				switch i % 5 {
+				case 0:
+					GetCounter(name).Inc()
+				case 1:
+					GetHistogram(name).Observe(time.Duration(i) * time.Microsecond)
+				case 2:
+					GetGauge(name).Set(float64(i))
+				case 3:
+					s := TakeSnapshot()
+					for k, h := range s.Histograms {
+						if h.Count == 0 {
+							t.Errorf("snapshot histogram %s has zero count", k)
+						}
+					}
+				case 4:
+					if i%100 == 4 {
+						Reset()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSpanFlightConcurrentStress drives spans, the flight ring, the
+// active-span table, and their snapshot readers concurrently, including
+// an Enable/Disable flapper — the configuration a live scrape of a
+// running sweep exercises.
+func TestSpanFlightConcurrentStress(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight() }()
+
+	const (
+		workers = 8
+		iters   = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0:
+					sp := StartLeafSpan("stress.span." + strconv.Itoa(w%2))
+					sp.SetDetail(strconv.Itoa(i))
+					sp.End()
+				case 1:
+					NoteEvent("retry", "stress.note", "")
+				case 2:
+					ActiveSpans()
+				case 3:
+					FlightEvents()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	events := FlightEvents()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("flight snapshot out of order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestTimelineExportsTraceEvents(t *testing.T) {
+	Enable()
+	EnableTimeline()
+	defer func() { DisableTimeline(); Disable(); Reset(); ResetFlight() }()
+
+	sp := StartLeafSpan("test.tl.main")
+	sp.SetDetail("4 cells")
+	sp.End()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		StartLeafSpan("test.tl.worker").End()
+	}()
+	wg.Wait()
+	DisableTimeline()
+
+	raw, err := TimelineJSON("testtool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+
+	var procName bool
+	tracks := map[int]bool{}
+	spans := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" && e.Args["name"] == "testtool" {
+				procName = true
+			}
+		case "X":
+			tracks[e.Tid] = true
+			spans[e.Name] = e.Tid
+		}
+	}
+	if !procName {
+		t.Fatal("timeline missing process_name metadata")
+	}
+	if _, ok := spans["test.tl.main"]; !ok {
+		t.Fatalf("timeline missing test.tl.main span: %v", spans)
+	}
+	if _, ok := spans["test.tl.worker"]; !ok {
+		t.Fatalf("timeline missing test.tl.worker span: %v", spans)
+	}
+	// The two spans ran on different goroutines, so they must land on
+	// different tracks — that is what makes sweeps one-track-per-worker.
+	if spans["test.tl.main"] == spans["test.tl.worker"] {
+		t.Fatal("spans from different goroutines share a timeline track")
+	}
+	if len(tracks) < 2 {
+		t.Fatalf("timeline has %d tracks, want >= 2", len(tracks))
+	}
+}
+
+func TestTimelineDisabledCollectsNothing(t *testing.T) {
+	Enable()
+	defer func() { Disable(); Reset(); ResetFlight() }()
+	DisableTimeline()
+	before := func() int {
+		timeline.mu.Lock()
+		defer timeline.mu.Unlock()
+		return len(timeline.spans)
+	}()
+	StartLeafSpan("test.tl.off").End()
+	after := func() int {
+		timeline.mu.Lock()
+		defer timeline.mu.Unlock()
+		return len(timeline.spans)
+	}()
+	if after != before {
+		t.Fatalf("disabled timeline grew from %d to %d spans", before, after)
+	}
+}
+
+func TestWriteTimelineFile(t *testing.T) {
+	Enable()
+	EnableTimeline()
+	defer func() { DisableTimeline(); Disable(); Reset(); ResetFlight() }()
+	StartLeafSpan("test.tl.file").End()
+	DisableTimeline()
+
+	path := filepath.Join(t.TempDir(), "tl.json")
+	if err := WriteTimeline(path, "testtool"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf map[string]any
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("written timeline is not valid JSON: %v", err)
+	}
+	if _, ok := tf["traceEvents"]; !ok {
+		t.Fatal("written timeline missing traceEvents key")
+	}
+}

@@ -174,6 +174,8 @@ func keyHash(canonical string) string {
 // and reads as a miss; a hit refreshes the entry's mtime so eviction
 // stays LRU.
 func (s *Store) Get(key string) ([]byte, bool) {
+	sp := obs.StartLeafSpan("runstore.get")
+	defer sp.End()
 	ck := s.canonical(key)
 	path := s.objectPath(keyHash(ck))
 	data, err := os.ReadFile(path)
@@ -209,6 +211,8 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // budget. Put never fails the caller's computation path for transient
 // disk trouble beyond reporting the error.
 func (s *Store) Put(key string, payload []byte) error {
+	sp := obs.StartLeafSpan("runstore.put")
+	defer sp.End()
 	ck := s.canonical(key)
 	path := s.objectPath(keyHash(ck))
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -311,6 +315,8 @@ func (s *Store) scan() (int64, []entryInfo, error) {
 // under the store-wide gc lock so concurrent processes don't thrash.
 // Returns the number of entries removed.
 func (s *Store) evict(limit int64) int {
+	sp := obs.StartLeafSpan("runstore.gc")
+	defer sp.End()
 	unlock, err := s.lockFile("gc.lock")
 	if err != nil {
 		return 0
@@ -348,6 +354,10 @@ func (s *Store) LockKey(key string) (func(), error) {
 }
 
 func (s *Store) lockFile(name string) (func(), error) {
+	// The span measures how long this process waited for the advisory
+	// lock — cross-process contention on a cell shows up here.
+	sp := obs.StartLeafSpan("runstore.flock.wait")
+	defer sp.End()
 	return flockPath(filepath.Join(s.dir, "locks", name))
 }
 

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -63,6 +64,34 @@ func (f *Flags) Apply(tool string) (report func()) {
 			metrics.SetDefaultStore(st)
 			engine.SetCheckpointStore(st)
 		}
+	}
+	// Register the cache tiers as run-record stat groups. The record's
+	// Finish polls these, so cold-vs-warm behavior lands in
+	// runrecord.json (and /snapshot) without -store-stats.
+	obs.RegisterStatsSource("run_cache", func() map[string]float64 {
+		t := metrics.TotalStats()
+		return map[string]float64{
+			"simulated":       float64(t.Simulated()),
+			"mem_hits":        float64(t.Hits),
+			"disk_hits":       float64(t.DiskHits),
+			"misses":          float64(t.Misses),
+			"uncacheable":     float64(t.Uncacheable),
+			"steps_simulated": float64(t.StepsSimulated),
+			"steps_saved":     float64(t.StepsSaved),
+		}
+	})
+	if st != nil {
+		obs.RegisterStatsSource("run_store", func() map[string]float64 {
+			s := st.Stats()
+			return map[string]float64{
+				"hits":      float64(s.Hits),
+				"misses":    float64(s.Misses),
+				"puts":      float64(s.Puts),
+				"evictions": float64(s.Evictions),
+				"corrupt":   float64(s.Corrupt),
+				"bytes":     float64(s.Bytes),
+			}
+		})
 	}
 	return func() {
 		if f.Stats {

@@ -1,12 +1,14 @@
 package storeflags
 
 import (
+	"encoding/json"
 	"flag"
 	"strings"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -67,5 +69,58 @@ func TestApplyInstallsDefaultStore(t *testing.T) {
 	f.Apply("tool")
 	if metrics.DefaultStore() == nil {
 		t.Skip("store unavailable in this environment (no source tree)")
+	}
+}
+
+// TestApplyRegistersStatsSources: Apply must expose the cache tiers as
+// obs stat groups, so runrecord.json carries hits/misses/bytes without
+// -store-stats.
+func TestApplyRegistersStatsSources(t *testing.T) {
+	metrics.ResetTotalStats()
+	defer func() {
+		metrics.SetDefaultStore(nil)
+		engine.SetCheckpointStore(nil)
+		obs.RegisterStatsSource("run_cache", nil)
+		obs.RegisterStatsSource("run_store", nil)
+	}()
+	f := &Flags{Dir: t.TempDir()}
+	_ = f.Apply("tool")
+
+	st := metrics.DefaultStore()
+	if st == nil {
+		t.Fatal("Apply did not install a default store")
+	}
+	st.Put("k", []byte("v"))
+	st.Get("k")
+
+	r := obs.BeginRecord("tool")
+	defer obs.EndRecord()
+	r.Finish()
+	groups := map[string]map[string]float64{}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Stats map[string]map[string]float64 `json:"stats"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	groups = rec.Stats
+	store, ok := groups["run_store"]
+	if !ok {
+		t.Fatalf("record stats missing run_store group: %v", groups)
+	}
+	if store["puts"] != 1 || store["hits"] != 1 {
+		t.Fatalf("run_store stats = %v, want puts=1 hits=1", store)
+	}
+	if store["bytes"] <= 0 {
+		t.Fatalf("run_store bytes = %v, want > 0", store["bytes"])
+	}
+	// The run-cache group exists even when idle (all-zero counters are
+	// still meaningful: "nothing was simulated").
+	if _, ok := groups["run_cache"]; !ok {
+		t.Fatalf("record stats missing run_cache group: %v", groups)
 	}
 }
