@@ -17,6 +17,7 @@ import (
 
 	axiomcc "repro"
 	"repro/internal/axcheck"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 )
 
@@ -56,6 +57,7 @@ func main() {
 		fatal(err)
 	}
 	obsStop = stop
+	lifecycle.Install("axcheck", stop)
 	defer func() {
 		if err := stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "axcheck:", err)

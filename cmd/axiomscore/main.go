@@ -19,6 +19,7 @@ import (
 
 	axiomcc "repro"
 	"repro/internal/experiment"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		fatal(err)
 	}
 	obsStop = stop
+	lifecycle.Install("axiomscore", stop)
 	defer func() {
 		if err := stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "axiomscore:", err)

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	axiomcc "repro"
+	"repro/internal/lifecycle"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/scenario"
@@ -63,6 +64,7 @@ func main() {
 		fatal(err)
 	}
 	obsStop = stop
+	lifecycle.Install("axiomsim", stop)
 	defer func() {
 		if err := stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "axiomsim:", err)

@@ -21,6 +21,7 @@ import (
 
 	axiomcc "repro"
 	"repro/internal/experiment"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/svgplot"
 )
@@ -57,6 +58,7 @@ func main() {
 		fatal(err)
 	}
 	obsStop = stop
+	lifecycle.Install("paretoexplore", stop)
 	defer func() {
 		if err := stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "paretoexplore:", err)

@@ -28,6 +28,7 @@ import (
 
 	axiomcc "repro"
 	"repro/internal/experiment"
+	"repro/internal/lifecycle"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -61,6 +62,7 @@ func main() {
 		os.Exit(1)
 	}
 	obsStop = stop
+	lifecycle.Install("reproduce", stop)
 	defer func() {
 		if err := stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "reproduce:", err)

@@ -40,6 +40,51 @@ func checkpointStore() CellStore {
 	return cellStore
 }
 
+// Live checkpointers: every in-flight sweep with a checkpoint file
+// registers here so an exit path (signal handler, daemon drain) can
+// force a final snapshot of work the periodic flush hasn't written yet.
+var (
+	liveCksMu sync.Mutex
+	liveCks   = make(map[*checkpointer]struct{})
+)
+
+func registerCheckpointer(ck *checkpointer) {
+	if ck == nil {
+		return
+	}
+	liveCksMu.Lock()
+	liveCks[ck] = struct{}{}
+	liveCksMu.Unlock()
+}
+
+func unregisterCheckpointer(ck *checkpointer) {
+	if ck == nil {
+		return
+	}
+	liveCksMu.Lock()
+	delete(liveCks, ck)
+	liveCksMu.Unlock()
+}
+
+// FlushCheckpoints writes the current snapshot of every in-flight
+// checkpointed sweep to disk immediately. It is safe to call from a
+// signal-handling goroutine while sweep workers are still recording
+// cells: each flush takes the checkpointer's mutex and writes
+// atomically, so the file is always a consistent (if slightly stale)
+// snapshot. Tools call this on SIGTERM/SIGINT so -resume loses at most
+// the cells that were mid-simulation, not a whole flush interval.
+func FlushCheckpoints() {
+	liveCksMu.Lock()
+	cks := make([]*checkpointer, 0, len(liveCks))
+	for ck := range liveCks {
+		cks = append(cks, ck)
+	}
+	liveCksMu.Unlock()
+	for _, ck := range cks {
+		ck.flush()
+	}
+}
+
 // sweepCheckpoint is the on-disk snapshot format: the sweep's identity
 // (BaseSeed + grid size) and one entry per completed cell. Each cell
 // carries its derived seed so a resume against a different derivation —

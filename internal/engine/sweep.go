@@ -14,7 +14,22 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/retry"
 )
+
+// cellRetryPolicy is the backoff schedule between reseeded cell
+// attempts: the historical 5ms→320ms doubling ladder, now with ±50%
+// deterministic jitter (seeded by the cell seed, so grids stay
+// reproducible) to decorrelate the retries of neighboring cells that
+// failed together — e.g. when a shared store briefly stalled every
+// worker at once. The shared helper is the same one axiomd uses for
+// shard respawns.
+var cellRetryPolicy = retry.Policy{
+	Base:       5 * time.Millisecond,
+	Max:        320 * time.Millisecond,
+	Multiplier: 2,
+	Jitter:     0.5,
+}
 
 // SweepConfig controls the grid orchestrator.
 type SweepConfig struct {
@@ -222,6 +237,7 @@ func newHarness[T any](n int, cfg *SweepConfig) *harness[T] {
 		}
 	}
 	h.ck = newCheckpointer(cfg, n)
+	registerCheckpointer(h.ck)
 	return h
 }
 
@@ -229,6 +245,7 @@ func newHarness[T any](n int, cfg *SweepConfig) *harness[T] {
 // fail-fast abort, so a -resume rerun picks up the completed cells.
 func (h *harness[T]) close() {
 	if h.ck != nil {
+		unregisterCheckpointer(h.ck)
 		h.ck.flush()
 	}
 }
@@ -349,13 +366,8 @@ func runCellAttempts[T any](ctx context.Context, cfg *SweepConfig, i int, seed u
 				"cell "+strconv.Itoa(i)+" attempt "+strconv.Itoa(attempt)+": "+err.Error())
 			obs.AttachFlightToRecord()
 		}
-		backoff := time.Duration(5<<uint(min(attempt, 6))) * time.Millisecond
-		timer := time.NewTimer(backoff)
-		select {
-		case <-ctx.Done():
-			timer.Stop()
-			return zero, ctx.Err()
-		case <-timer.C:
+		if serr := retry.Sleep(ctx, cellRetryPolicy.Delay(attempt, seed)); serr != nil {
+			return zero, serr
 		}
 	}
 }

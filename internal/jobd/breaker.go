@@ -1,0 +1,137 @@
+package jobd
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // store healthy, all ops flow
+	breakerOpen                         // store failing, ops skipped
+	breakerHalfOpen                     // cooldown elapsed, one probe allowed
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// breaker guards the persistent run store. The store is an
+// optimization, never a correctness dependency — every cell can be
+// recomputed — so when Put starts failing repeatedly (disk full,
+// directory yanked, NFS wedged) the daemon must not let every cell pay
+// a failing I/O round-trip. After threshold consecutive failures the
+// breaker opens and the server degrades to cache-only serving: cells
+// are still computed and memory-cached, the disk tier is skipped. After
+// cooldown one probe op is allowed through (half-open); success closes
+// the breaker, failure re-opens it for another cooldown.
+//
+// now is injectable so tests drive the cooldown clock directly.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	now       func() time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allowGet reports whether a store read may proceed. Reads cannot fail
+// — the store signals corruption as a miss — so they never consume the
+// half-open probe slot: they flow except while the breaker is hard open
+// inside its cooldown window.
+func (b *breaker) allowGet() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerOpen || b.now().Sub(b.openedAt) >= b.cooldown
+}
+
+// allowPut reports whether a store write may proceed right now. In the
+// open state it returns false until the cooldown has elapsed, then lets
+// exactly one caller through as the half-open probe.
+func (b *breaker) allowPut() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		if obs.Enabled() {
+			breakerProbes.Inc()
+			obs.NoteEvent("breaker", "jobd.breaker", "half-open probe")
+		}
+		return true
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// report feeds an op outcome back. Failures in closed state count
+// toward the trip threshold; any failure in half-open re-opens
+// immediately; success resets everything.
+func (b *breaker) report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		if b.state != breakerClosed && obs.Enabled() {
+			obs.NoteEvent("breaker", "jobd.breaker", "closed after successful probe")
+		}
+		b.state = breakerClosed
+		b.failures = 0
+		return
+	}
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.trip()
+	case breakerOpen:
+		// Late failure from an op admitted before the trip; stays open.
+	}
+}
+
+// trip moves to open. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	if obs.Enabled() {
+		breakerTrips.Inc()
+		obs.NoteEvent("breaker", "jobd.breaker", "opened: store degraded to cache-only")
+	}
+}
+
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,82 @@
+package jobd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, 5*time.Second)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if !b.allowPut() {
+			t.Fatal("closed breaker refused a put")
+		}
+		b.report(false)
+	}
+	if b.currentState() != breakerClosed {
+		t.Fatal("breaker tripped below threshold")
+	}
+	b.report(false) // third consecutive failure
+	if b.currentState() != breakerOpen {
+		t.Fatal("breaker did not trip at threshold")
+	}
+	if b.allowPut() || b.allowGet() {
+		t.Fatal("open breaker allowed ops inside cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsTheCount(t *testing.T) {
+	b := newBreaker(3, 5*time.Second)
+	b.report(false)
+	b.report(false)
+	b.report(true) // success resets
+	b.report(false)
+	b.report(false)
+	if b.currentState() != breakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, 5*time.Second)
+	b.now = func() time.Time { return now }
+	b.report(false)
+	if b.currentState() != breakerOpen {
+		t.Fatal("threshold-1 breaker did not trip")
+	}
+
+	now = now.Add(6 * time.Second)
+	if !b.allowGet() {
+		t.Fatal("gets must flow once the cooldown has elapsed")
+	}
+	if !b.allowPut() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.currentState() != breakerHalfOpen {
+		t.Fatalf("state after probe admission: %v", b.currentState())
+	}
+	if b.allowPut() {
+		t.Fatal("second probe admitted while first in flight")
+	}
+
+	// Failed probe: re-open for another full cooldown.
+	b.report(false)
+	if b.currentState() != breakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	now = now.Add(6 * time.Second)
+	if !b.allowPut() {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.report(true)
+	if b.currentState() != breakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.allowPut() {
+		t.Fatal("closed breaker refused a put")
+	}
+}

@@ -1,0 +1,91 @@
+package jobd
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// ScoreBits is the bit-exact wire form of a metrics.Scores: each of the
+// eight floats as IEEE-754 bits in hex. encoding/json cannot represent
+// NaN or ±Inf at all, and decimal round-trips invite one-ULP drift at
+// every hop (client → store → shard → stream); hex bits make "the
+// resubmitted job returned bit-identical scores" a string comparison.
+type ScoreBits struct {
+	Efficiency       string `json:"eff"`
+	FastUtilization  string `json:"fast"`
+	LossAvoidance    string `json:"loss"`
+	Fairness         string `json:"fair"`
+	Convergence      string `json:"conv"`
+	Robustness       string `json:"robust"`
+	TCPFriendliness  string `json:"tcpf"`
+	LatencyAvoidance string `json:"lat"`
+}
+
+// EncodeScores packs a Scores into its hex-bits wire form.
+func EncodeScores(s metrics.Scores) ScoreBits {
+	return ScoreBits{
+		Efficiency:       hexBits(s.Efficiency),
+		FastUtilization:  hexBits(s.FastUtilization),
+		LossAvoidance:    hexBits(s.LossAvoidance),
+		Fairness:         hexBits(s.Fairness),
+		Convergence:      hexBits(s.Convergence),
+		Robustness:       hexBits(s.Robustness),
+		TCPFriendliness:  hexBits(s.TCPFriendliness),
+		LatencyAvoidance: hexBits(s.LatencyAvoidance),
+	}
+}
+
+// Decode unpacks the hex-bits form back into a Scores, bit-exact.
+func (b ScoreBits) Decode() (metrics.Scores, error) {
+	var s metrics.Scores
+	for _, f := range []struct {
+		hex string
+		dst *float64
+	}{
+		{b.Efficiency, &s.Efficiency},
+		{b.FastUtilization, &s.FastUtilization},
+		{b.LossAvoidance, &s.LossAvoidance},
+		{b.Fairness, &s.Fairness},
+		{b.Convergence, &s.Convergence},
+		{b.Robustness, &s.Robustness},
+		{b.TCPFriendliness, &s.TCPFriendliness},
+		{b.LatencyAvoidance, &s.LatencyAvoidance},
+	} {
+		bits, err := strconv.ParseUint(f.hex, 16, 64)
+		if err != nil {
+			return s, fmt.Errorf("jobd: score bits %q: %w", f.hex, err)
+		}
+		*f.dst = math.Float64frombits(bits)
+	}
+	return s, nil
+}
+
+// Display renders the scores as ordinary JSON numbers for human
+// consumers, with non-finite values (a NaN fairness on a degenerate
+// cell) mapped to null rather than breaking the encoder.
+func (b ScoreBits) Display() (map[string]*float64, error) {
+	s, err := b.Decode()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*float64, 8)
+	put := func(name string, v float64) {
+		if finite(v) {
+			out[name] = &v
+		} else {
+			out[name] = nil
+		}
+	}
+	put("efficiency", s.Efficiency)
+	put("fast_utilization", s.FastUtilization)
+	put("loss_avoidance", s.LossAvoidance)
+	put("fairness", s.Fairness)
+	put("convergence", s.Convergence)
+	put("robustness", s.Robustness)
+	put("tcp_friendliness", s.TCPFriendliness)
+	put("latency_avoidance", s.LatencyAvoidance)
+	return out, nil
+}

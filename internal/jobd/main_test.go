@@ -1,0 +1,22 @@
+package jobd
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain doubles as the worker-shard entry point: the shard pool
+// re-execs the running binary — the test binary, here — with WorkerEnv
+// set, which routes the child into the NDJSON worker loop instead of
+// the test runner. cmd/axiomd does exactly the same in its main.
+func TestMain(m *testing.M) {
+	if os.Getenv(WorkerEnv) != "" {
+		if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "jobd worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}

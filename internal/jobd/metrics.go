@@ -1,0 +1,34 @@
+package jobd
+
+import "repro/internal/obs"
+
+// The daemon's registry surface. Queue depth and active jobs are
+// gauges a dashboard reads point-in-time; everything else is a counter
+// the Prometheus endpoint exposes as monotonic series.
+var (
+	jobsAdmitted  = obs.GetCounter("jobd.jobs.admitted")
+	jobsShed      = obs.GetCounter("jobd.jobs.shed")
+	jobsRejected  = obs.GetCounter("jobd.jobs.rejected")
+	jobsCompleted = obs.GetCounter("jobd.jobs.completed")
+	jobsFailed    = obs.GetCounter("jobd.jobs.failed")
+
+	cellsSimulated = obs.GetCounter("jobd.cells.simulated")
+	cellsCached    = obs.GetCounter("jobd.cells.cached")
+	cellsFailed    = obs.GetCounter("jobd.cells.failed")
+	cellsRetried   = obs.GetCounter("jobd.cells.retried")
+	cellsTimedOut  = obs.GetCounter("jobd.cells.timeout")
+
+	shardsSpawned   = obs.GetCounter("jobd.shards.spawned")
+	shardsCrashed   = obs.GetCounter("jobd.shards.crashed")
+	shardsExhausted = obs.GetCounter("jobd.shards.exhausted")
+
+	breakerTrips  = obs.GetCounter("jobd.breaker.trips")
+	breakerProbes = obs.GetCounter("jobd.breaker.probes")
+
+	queueDepth  = obs.GetGauge("jobd.queue.depth")
+	jobsActive  = obs.GetGauge("jobd.jobs.active")
+	shardsAlive = obs.GetGauge("jobd.shards.alive")
+
+	jobDuration  = obs.GetHistogram("jobd.job.duration")
+	cellDuration = obs.GetHistogram("jobd.cell.duration")
+)

@@ -50,6 +50,17 @@ func StartServer(addr, tool string) (*Server, error) {
 	return s, nil
 }
 
+// AttachExposition mounts the exposition handlers (/metrics, /snapshot,
+// /trace) on an existing mux, for daemons that already run their own
+// HTTP server and want the scrape surface on the same port instead of a
+// second -obs-listen listener.
+func AttachExposition(mux *http.ServeMux, tool string) {
+	s := &Server{tool: tool}
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/trace", s.handleTrace)
+}
+
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 

@@ -1,0 +1,115 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{Base: 5 * time.Millisecond, Max: 320 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		40 * time.Millisecond, 80 * time.Millisecond, 160 * time.Millisecond,
+		320 * time.Millisecond, 320 * time.Millisecond, 320 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i, 0); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDelayJitterDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	for attempt := 0; attempt < 8; attempt++ {
+		for seed := uint64(0); seed < 16; seed++ {
+			a := p.Delay(attempt, seed)
+			b := p.Delay(attempt, seed)
+			if a != b {
+				t.Fatalf("jitter not deterministic: %v vs %v (attempt %d seed %d)", a, b, attempt, seed)
+			}
+			nominal := p.withDefaults().Base
+			for i := 0; i < attempt; i++ {
+				nominal *= 2
+				if nominal > p.Max {
+					nominal = p.Max
+					break
+				}
+			}
+			lo := time.Duration(float64(nominal) * 0.5)
+			hi := time.Duration(float64(nominal) * 1.5)
+			if a < lo || a >= hi {
+				t.Fatalf("Delay(%d, %d) = %v outside [%v, %v)", attempt, seed, a, lo, hi)
+			}
+		}
+	}
+	// Different seeds must not all collapse onto one delay.
+	distinct := map[time.Duration]bool{}
+	for seed := uint64(0); seed < 32; seed++ {
+		distinct[p.Delay(3, seed)] = true
+	}
+	if len(distinct) < 8 {
+		t.Fatalf("only %d distinct jittered delays across 32 seeds", len(distinct))
+	}
+}
+
+func TestBackoffAttemptCap(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Millisecond, Jitter: 0}
+	b := p.Start(7)
+	n := 0
+	for {
+		_, ok := b.Next()
+		if !ok {
+			break
+		}
+		n++
+		if n > 10 {
+			t.Fatal("backoff never exhausted")
+		}
+	}
+	if n != 2 { // 3 attempts = 2 inter-attempt delays
+		t.Fatalf("got %d delays for a 3-attempt policy, want 2", n)
+	}
+}
+
+func TestBackoffBudget(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 10 * time.Millisecond, Jitter: 0, Budget: 25 * time.Millisecond}
+	b := p.Start(0)
+	var total time.Duration
+	n := 0
+	for {
+		d, ok := b.Next()
+		if !ok {
+			break
+		}
+		total += d
+		n++
+		if n > 100 {
+			t.Fatal("budget never exhausted")
+		}
+	}
+	if n != 2 || total != 20*time.Millisecond {
+		t.Fatalf("budget walk gave %d delays totalling %v, want 2 totalling 20ms", n, total)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); err == nil {
+		t.Fatal("Sleep ignored a canceled context")
+	}
+	start := time.Now()
+	if err := Sleep(context.Background(), 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("Sleep returned early")
+	}
+	// Exhausted Backoff.Sleep must not block.
+	b := Policy{Attempts: 1}.Start(0)
+	if ok, _ := b.Sleep(context.Background()); ok {
+		t.Fatal("exhausted backoff claimed to sleep")
+	}
+}

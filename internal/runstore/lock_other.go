@@ -2,17 +2,33 @@
 
 package runstore
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"time"
+)
 
 // Platforms without advisory flock fall back to process-local mutexes:
 // correctness within one process is preserved (the store's atomic
 // rename + checksum protocol keeps concurrent processes safe, they just
-// lose cross-process single-flight and may duplicate work).
-var fallbackLocks sync.Map // path -> *sync.Mutex
+// lose cross-process single-flight and may duplicate work). The timeout
+// contract matches the unix implementation: <= 0 blocks, positive
+// bounds the wait and returns ErrLockTimeout on expiry.
+var fallbackLocks sync.Map // path -> chan struct{} (1-slot semaphore)
 
-func flockPath(path string) (func(), error) {
-	mu, _ := fallbackLocks.LoadOrStore(path, &sync.Mutex{})
-	m := mu.(*sync.Mutex)
-	m.Lock()
-	return m.Unlock, nil
+func flockPath(path string, timeout time.Duration) (func(), error) {
+	sem, _ := fallbackLocks.LoadOrStore(path, make(chan struct{}, 1))
+	ch := sem.(chan struct{})
+	if timeout <= 0 {
+		ch <- struct{}{}
+		return func() { <-ch }, nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case ch <- struct{}{}:
+		return func() { <-ch }, nil
+	case <-t.C:
+		return nil, fmt.Errorf("runstore: lock %s after %v: %w", path, timeout, ErrLockTimeout)
+	}
 }

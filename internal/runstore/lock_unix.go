@@ -6,23 +6,59 @@ import (
 	"fmt"
 	"os"
 	"syscall"
+	"time"
 )
 
 // flockPath takes an exclusive advisory flock on path (creating it if
-// needed), blocking until the lock is free, and returns the release
-// func. The lock file itself is never deleted: unlinking a file another
-// process is about to flock would let two holders lock different inodes.
-func flockPath(path string) (func(), error) {
+// needed) and returns the release func. The lock file itself is never
+// deleted: unlinking a file another process is about to flock would let
+// two holders lock different inodes.
+//
+// timeout <= 0 blocks until the lock is free. A positive timeout bounds
+// the wait: the lock is polled non-blocking with a short sleep ladder,
+// and expiry returns an error wrapping ErrLockTimeout so callers can
+// degrade (the session layer falls back to lock-free idempotent
+// behavior) instead of hanging forever behind a wedged — but alive —
+// holder.
+func flockPath(path string, timeout time.Duration) (func(), error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runstore: lock %s: %w", path, err)
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("runstore: flock %s: %w", path, err)
+	if timeout <= 0 {
+		if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("runstore: flock %s: %w", path, err)
+		}
+		return releaseFunc(f), nil
 	}
+	deadline := time.Now().Add(timeout)
+	sleep := time.Millisecond
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == nil {
+			return releaseFunc(f), nil
+		}
+		if err != syscall.EWOULDBLOCK && err != syscall.EAGAIN {
+			f.Close()
+			return nil, fmt.Errorf("runstore: flock %s: %w", path, err)
+		}
+		if remaining := time.Until(deadline); remaining <= 0 {
+			f.Close()
+			return nil, fmt.Errorf("runstore: flock %s after %v: %w", path, timeout, ErrLockTimeout)
+		} else if sleep > remaining {
+			sleep = remaining
+		}
+		time.Sleep(sleep)
+		if sleep < 50*time.Millisecond {
+			sleep *= 2
+		}
+	}
+}
+
+func releaseFunc(f *os.File) func() {
 	return func() {
 		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
 		f.Close()
-	}, nil
+	}
 }

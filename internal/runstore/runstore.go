@@ -53,43 +53,61 @@ type Options struct {
 	// Empty (the default) computes SourceHash; tests pin it to isolate
 	// store behavior from the live source tree.
 	Version string
+	// LockTimeout bounds every per-key (and gc) advisory-lock wait. A
+	// holder that dies releases its flock automatically, but a wedged
+	// live holder used to block waiters indefinitely; with a timeout the
+	// wait trips with an error wrapping ErrLockTimeout — surfaced as the
+	// runstore.flock.timeouts counter and a flight-recorder event — and
+	// callers degrade to lock-free idempotent behavior. 0 (the default)
+	// waits forever, preserving strict cross-process single-flight;
+	// negative also waits forever.
+	LockTimeout time.Duration
 }
+
+// ErrLockTimeout matches (errors.Is) the error LockKey returns when a
+// configured Options.LockTimeout expires before the per-key advisory
+// lock could be acquired.
+var ErrLockTimeout = errors.New("runstore: lock wait timed out")
 
 // Stats counts what one process observed of the store. Bytes is the
 // (approximate, process-local) current object volume.
 type Stats struct {
-	Hits      int64
-	Misses    int64
-	Puts      int64
-	Evictions int64
-	Corrupt   int64
-	Bytes     int64
+	Hits         int64
+	Misses       int64
+	Puts         int64
+	Evictions    int64
+	Corrupt      int64
+	LockTimeouts int64
+	Bytes        int64
 }
 
 // store telemetry, recorded only while obs is enabled. Cached pointers:
 // the registry preserves metric identity across Reset.
 var (
-	storeHits      = obs.GetCounter("runstore.hits")
-	storeMisses    = obs.GetCounter("runstore.misses")
-	storePuts      = obs.GetCounter("runstore.puts")
-	storeEvictions = obs.GetCounter("runstore.evictions")
-	storeCorrupt   = obs.GetCounter("runstore.corrupt")
+	storeHits         = obs.GetCounter("runstore.hits")
+	storeMisses       = obs.GetCounter("runstore.misses")
+	storePuts         = obs.GetCounter("runstore.puts")
+	storeEvictions    = obs.GetCounter("runstore.evictions")
+	storeCorrupt      = obs.GetCounter("runstore.corrupt")
+	storeLockTimeouts = obs.GetCounter("runstore.flock.timeouts")
 )
 
 // Store is one process's handle on a shared store directory. All methods
 // are safe for concurrent use by multiple goroutines, and the on-disk
 // protocol is safe across processes.
 type Store struct {
-	dir      string
-	prefix   string // canonical key prefix: "v<schema>|<srchash>|"
-	maxBytes int64  // <0 = unlimited
+	dir         string
+	prefix      string // canonical key prefix: "v<schema>|<srchash>|"
+	maxBytes    int64  // <0 = unlimited
+	lockTimeout time.Duration
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	puts      atomic.Int64
-	evictions atomic.Int64
-	corrupt   atomic.Int64
-	bytes     atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	puts         atomic.Int64
+	evictions    atomic.Int64
+	corrupt      atomic.Int64
+	lockTimeouts atomic.Int64
+	bytes        atomic.Int64
 }
 
 // DefaultDir returns the per-user default store location
@@ -125,9 +143,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	s := &Store{
-		dir:      dir,
-		prefix:   fmt.Sprintf("v%d|%s|", SchemaVersion, version),
-		maxBytes: opts.MaxBytes,
+		dir:         dir,
+		prefix:      fmt.Sprintf("v%d|%s|", SchemaVersion, version),
+		maxBytes:    opts.MaxBytes,
+		lockTimeout: opts.LockTimeout,
 	}
 	if s.maxBytes == 0 {
 		s.maxBytes = DefaultMaxBytes
@@ -146,12 +165,13 @@ func (s *Store) Dir() string { return s.dir }
 // Stats returns a snapshot of this handle's counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Puts:      s.puts.Load(),
-		Evictions: s.evictions.Load(),
-		Corrupt:   s.corrupt.Load(),
-		Bytes:     s.bytes.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		Evictions:    s.evictions.Load(),
+		Corrupt:      s.corrupt.Load(),
+		LockTimeouts: s.lockTimeouts.Load(),
+		Bytes:        s.bytes.Load(),
 	}
 }
 
@@ -345,10 +365,13 @@ func (s *Store) evict(limit int64) int {
 	return removed
 }
 
-// LockKey acquires the advisory cross-process lock for key, blocking
-// until it is free, and returns the release func. Claimants simulate
-// while holding the lock; everyone else blocks in LockKey, then finds
-// the finished entry with Get — single-flight across processes.
+// LockKey acquires the advisory cross-process lock for key — blocking
+// until it is free, or at most the store's configured LockTimeout — and
+// returns the release func. Claimants simulate while holding the lock;
+// everyone else blocks in LockKey, then finds the finished entry with
+// Get — single-flight across processes. A timed-out wait returns an
+// error wrapping ErrLockTimeout; callers treat it as "no lock" and fall
+// back to idempotent lock-free behavior.
 func (s *Store) LockKey(key string) (func(), error) {
 	return s.lockFile(keyHash(s.canonical(key)) + ".lock")
 }
@@ -358,7 +381,19 @@ func (s *Store) lockFile(name string) (func(), error) {
 	// lock — cross-process contention on a cell shows up here.
 	sp := obs.StartLeafSpan("runstore.flock.wait")
 	defer sp.End()
-	return flockPath(filepath.Join(s.dir, "locks", name))
+	unlock, err := flockPath(filepath.Join(s.dir, "locks", name), s.lockTimeout)
+	if errors.Is(err, ErrLockTimeout) {
+		// A tripped bound is an operational event worth flying evidence
+		// for: some holder is alive but stuck (or the disk is wedged),
+		// and this process just chose progress over single-flight.
+		s.lockTimeouts.Add(1)
+		if obs.Enabled() {
+			storeLockTimeouts.Inc()
+			obs.NoteEvent("flock-timeout", "runstore.flock.wait",
+				name+" after "+s.lockTimeout.String())
+		}
+	}
+	return unlock, err
 }
 
 // ---- entry encoding ----

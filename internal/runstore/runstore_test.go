@@ -2,6 +2,7 @@ package runstore
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -227,6 +228,39 @@ func TestLockKeyExcludes(t *testing.T) {
 		t.Fatal("second LockKey never acquired after release")
 	}
 	wg.Wait()
+}
+
+func TestLockKeyTimeout(t *testing.T) {
+	dir := t.TempDir()
+	holder, err := Open(dir, Options{Version: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Open(dir, Options{Version: "v", LockTimeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlock, err := holder.LockKey("wedged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unlock()
+	start := time.Now()
+	if _, err := bounded.LockKey("wedged"); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("bounded LockKey behind a live holder: err = %v, want ErrLockTimeout", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("timed-out LockKey waited %v for a 30ms bound", waited)
+	}
+	if got := bounded.Stats().LockTimeouts; got != 1 {
+		t.Fatalf("Stats().LockTimeouts = %d, want 1", got)
+	}
+	// A different key is uncontended and must still lock instantly.
+	u2, err := bounded.LockKey("free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2()
 }
 
 func TestSourceHashStable(t *testing.T) {

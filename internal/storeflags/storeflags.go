@@ -3,10 +3,11 @@
 // its metric sessions and sweep checkpoints, with a greppable stats line
 // for CI.
 //
-//	-store dir          store directory (default: user cache dir)
-//	-nostore            disable the persistent store for this run
-//	-store-max-bytes n  size budget before LRU eviction (0 = default 1 GiB)
-//	-store-stats        print cache-tier counters on stderr at exit
+//	-store dir             store directory (default: user cache dir)
+//	-nostore               disable the persistent store for this run
+//	-store-max-bytes n     size budget before LRU eviction (0 = default 1 GiB)
+//	-store-lock-timeout d  bound per-key flock waits (0 = wait forever)
+//	-store-stats           print cache-tier counters on stderr at exit
 //
 // The store is on by default: simulation runs are deterministic and
 // content-addressed (including a hash of the simulation source), so
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -28,10 +30,11 @@ import (
 // Flags holds the parsed persistent-store flags. Mount with Register
 // before flag.Parse, then call Apply once parsing is done.
 type Flags struct {
-	Dir      string
-	NoStore  bool
-	MaxBytes int64
-	Stats    bool
+	Dir         string
+	NoStore     bool
+	MaxBytes    int64
+	LockTimeout time.Duration
+	Stats       bool
 }
 
 // Register mounts the store flags on fs (typically flag.CommandLine) and
@@ -41,6 +44,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Dir, "store", "", "persistent run store directory (default: OS user cache dir)")
 	fs.BoolVar(&f.NoStore, "nostore", false, "disable the persistent run store for this invocation")
 	fs.Int64Var(&f.MaxBytes, "store-max-bytes", 0, "run store size budget in bytes before LRU eviction (0 = 1 GiB)")
+	fs.DurationVar(&f.LockTimeout, "store-lock-timeout", 0, "max wait for a per-key store lock before degrading to lock-free simulation (0 = wait forever)")
 	fs.BoolVar(&f.Stats, "store-stats", false, "print run-store and session counters on stderr at exit")
 	return f
 }
@@ -57,7 +61,7 @@ func (f *Flags) Apply(tool string) (report func()) {
 	var st *runstore.Store
 	if !f.NoStore {
 		var err error
-		st, err = runstore.Open(f.Dir, runstore.Options{MaxBytes: f.MaxBytes})
+		st, err = runstore.Open(f.Dir, runstore.Options{MaxBytes: f.MaxBytes, LockTimeout: f.LockTimeout})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: persistent run store disabled: %v\n", tool, err)
 		} else {
@@ -84,12 +88,13 @@ func (f *Flags) Apply(tool string) (report func()) {
 		obs.RegisterStatsSource("run_store", func() map[string]float64 {
 			s := st.Stats()
 			return map[string]float64{
-				"hits":      float64(s.Hits),
-				"misses":    float64(s.Misses),
-				"puts":      float64(s.Puts),
-				"evictions": float64(s.Evictions),
-				"corrupt":   float64(s.Corrupt),
-				"bytes":     float64(s.Bytes),
+				"hits":          float64(s.Hits),
+				"misses":        float64(s.Misses),
+				"puts":          float64(s.Puts),
+				"evictions":     float64(s.Evictions),
+				"corrupt":       float64(s.Corrupt),
+				"lock_timeouts": float64(s.LockTimeouts),
+				"bytes":         float64(s.Bytes),
 			}
 		})
 	}
