@@ -485,6 +485,41 @@ var (
 	CharacterizeAll = pareto.CharacterizeAll
 )
 
+// ---- Adaptive frontier exploration ----
+
+type (
+	// ExploreConfig parameterizes the adaptive frontier search: coarse
+	// pass, successive-halving refinement, dominance-pruning bandit.
+	ExploreConfig = pareto.ExploreConfig
+	// ExploreResult is the search outcome: every measured point, the
+	// final frontier, per-round snapshots, aggregate stats.
+	ExploreResult = pareto.ExploreResult
+	// ExploreStats aggregates one Explore call.
+	ExploreStats = pareto.ExploreStats
+	// ExploreRound describes one completed exploration round.
+	ExploreRound = pareto.RoundSnapshot
+	// ExploredPoint is one measured (α, β) cell with its oriented scores.
+	ExploredPoint = pareto.ExploredPoint
+	// ExploreCell is one candidate (α, β) parameter point.
+	ExploreCell = pareto.Cell
+	// ExploreCellResult is an evaluator's measurement of one cell.
+	ExploreCellResult = pareto.CellResult
+	// ExploreEvaluator measures batches of candidate cells.
+	ExploreEvaluator = pareto.CellEvaluator
+)
+
+var (
+	// Explore runs the adaptive frontier search; ExploreDense evaluates
+	// the equivalent finest-resolution lattice as the brute-force
+	// reference. Both are incremental over a shared session/run store.
+	Explore      = pareto.Explore
+	ExploreDense = pareto.ExploreDense
+	// AIMDEvaluator measures AIMD(α, β) cells on a link in the
+	// (efficiency, TCP-friendliness) plane, batching whole rounds
+	// through the engine's structure-of-arrays fast path.
+	AIMDEvaluator = pareto.AIMDEvaluator
+)
+
 // ---- Falsification (internal/axcheck) ----
 
 // Axiom-claim falsification: adversarial search for counterexamples to

@@ -15,7 +15,7 @@ package axiomcc_test
 //	BenchmarkAblation*             design-choice ablations
 //	BenchmarkFluidStep / BenchmarkPacketSimSecond   raw simulator cost
 //
-// Two benchmarks double as CI perf baselines and emit JSON records:
+// Three benchmarks double as CI perf baselines and emit JSON records:
 // BenchmarkSweep (BENCH_sweep.json) compares the per-cell serial code
 // path to the orchestrated engine (engine.Sweep for the packet grid,
 // engine.SweepSpecs' SoA grid-batch path for the fluid grid), with both
@@ -25,8 +25,12 @@ package axiomcc_test
 // content-addressed run cache off and on — the cached pass simulates
 // each unique (config, init) run once (4× fewer steps for Reno, n = 2)
 // and the fluid/stream hot loops are allocation-free, so -benchmem
-// numbers track both wins. BenchmarkGridStep tracks the raw batch
-// stepping rate as the grid grows.
+// numbers track both wins; BenchmarkExplore (BENCH_pareto.json) pins
+// the adaptive frontier explorer's cell economy against the dense grid
+// it replaces — cells_evaluated/cells_simulated are exact-gated and
+// frontier_points/cells_reduction are floor-gated via the record's
+// declared key lists. BenchmarkGridStep tracks the raw batch stepping
+// rate as the grid grows.
 
 import (
 	"context"
@@ -745,6 +749,157 @@ type benchCharacterizeRecord struct {
 	StepsRatio          float64 `json:"steps_ratio"`
 	ObsEnabled          bool    `json:"obs_enabled"`
 	RenoEfficiency      float64 `json:"reno_eff"`
+}
+
+// benchExploreConfig is BenchmarkExplore's fixed workload: the paper's
+// full Figure 1 box refined down to a 65×65 lattice (coarse 9 + three
+// halving rounds), the grid a dense reproduction would simulate
+// outright. Steps 400 keeps one op around a second while exercising the
+// same limit-cycle landscape as the long-horizon experiments.
+func benchExploreConfig() axiomcc.ExploreConfig {
+	return axiomcc.ExploreConfig{Coarse: 9, Rounds: 3, RefineFactor: 2}
+}
+
+// benchExploreFrontierEps is the per-objective relative tolerance the
+// dense-coverage assertion allows. The empirical AIMD landscape has
+// non-monotone ~1–2% efficiency wiggles along its β ≈ 0.9 edge (fluid
+// limit cycles, persistent at longer horizons), which produce isolated
+// dense-frontier points no ring-adjacent refinement can reach; measured
+// worst-case shortfall is 2.5%, everything else under 1.2%.
+const benchExploreFrontierEps = 0.03
+
+// BenchmarkExplore is the perf baseline for adaptive frontier
+// exploration: each timed op runs pareto.Explore cold (fresh in-memory
+// session, no store) over benchExploreConfig, so cells_evaluated and
+// cells_simulated are deterministic machine-independent counters — the
+// cell economy the successive-halving ladder and the dominance bandit
+// buy. An untimed ExploreDense pass over the same finest lattice then
+// verifies the acceptance contract in the bench itself: at least 10×
+// fewer cells evaluated, and every dense frontier point matched,
+// dominated, or within benchExploreFrontierEps per objective. The record
+// declares its own gate keys (exact_keys/floor_keys), so benchcmp pins
+// them across machine shapes without a code change.
+func BenchmarkExplore(b *testing.B) {
+	cfg := experiment.FluidLink(20, 0)
+	var exp *axiomcc.ExploreResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ec := benchExploreConfig()
+		opt := axiomcc.MetricOptions{Steps: 400, Session: axiomcc.NewMetricSession()}
+		ec.Eval = axiomcc.AIMDEvaluator(cfg, opt)
+		var err error
+		exp, err = axiomcc.Explore(context.Background(), ec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	exploreNs := b.Elapsed().Nanoseconds() / int64(b.N)
+
+	// Untimed verification leg: the dense grid the explorer replaces.
+	dc := benchExploreConfig()
+	dc.Eval = axiomcc.AIMDEvaluator(cfg, axiomcc.MetricOptions{Steps: 400, Session: axiomcc.NewMetricSession()})
+	t0 := time.Now()
+	dense, err := axiomcc.ExploreDense(context.Background(), dc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	denseNs := time.Since(t0).Nanoseconds()
+
+	reduction := float64(dense.Stats.CellsEvaluated) / float64(exp.Stats.CellsEvaluated)
+	if reduction < 10 {
+		b.Fatalf("explore evaluated %d cells vs dense %d: %.1f× reduction, want >= 10×",
+			exp.Stats.CellsEvaluated, dense.Stats.CellsEvaluated, reduction)
+	}
+	// Equal-or-finer frontier up to simulation noise: every dense
+	// frontier point must be covered by some explored point to within
+	// the documented per-objective tolerance.
+	worstEps := 0.0
+	for _, dp := range dense.Frontier {
+		best := math.Inf(1)
+		for _, ep := range exp.Points {
+			eps := 0.0
+			for k := range dp.Coords {
+				if ep.Coords[k] < dp.Coords[k] && dp.Coords[k] > 0 {
+					if short := (dp.Coords[k] - ep.Coords[k]) / dp.Coords[k]; short > eps {
+						eps = short
+					}
+				}
+			}
+			if eps < best {
+				best = eps
+			}
+		}
+		if best > benchExploreFrontierEps {
+			b.Fatalf("dense frontier point (α=%g, β=%g) uncovered: nearest explored shortfall %.4f > %.4f",
+				dp.Alpha, dp.Beta, best, benchExploreFrontierEps)
+		}
+		if best > worstEps {
+			worstEps = best
+		}
+	}
+
+	rec := benchParetoRecord{
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		MaxProcs:       runtime.GOMAXPROCS(0),
+		ExactKeys:      []string{"cells_evaluated", "cells_simulated"},
+		FloorKeys:      []string{"frontier_points", "cells_reduction"},
+		ExploreNsPerOp: exploreNs,
+		DenseNs:        denseNs,
+		CellsEvaluated: exp.Stats.CellsEvaluated,
+		CellsSimulated: exp.Stats.CellsSimulated,
+		CacheHits:      exp.Stats.CacheHits,
+		CellsPruned:    exp.Stats.CellsPruned,
+		Rounds:         exp.Stats.Rounds,
+		FrontierPoints: len(exp.Frontier),
+		DenseCells:     dense.Stats.CellsEvaluated,
+		DenseFrontier:  len(dense.Frontier),
+		CellsReduction: reduction,
+		WorstEps:       worstEps,
+		ObsEnabled:     obs.Enabled(),
+	}
+	b.ReportMetric(float64(rec.CellsEvaluated), "cells")
+	b.ReportMetric(rec.CellsReduction, "dense/explore")
+	raw, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pareto.json", append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_pareto.json (%d cells vs %d dense, %.1fx fewer, worst frontier eps %.4f)",
+		rec.CellsEvaluated, rec.DenseCells, rec.CellsReduction, rec.WorstEps)
+}
+
+// benchParetoRecord is the schema of BENCH_pareto.json, the adaptive
+// exploration baseline BenchmarkExplore writes (and CI uploads as an
+// artifact). cells_evaluated/cells_simulated are exact work counters
+// (any growth regresses); frontier_points/cells_reduction are quality
+// floors (any shrink regresses) — both declared in the record itself so
+// benchcmp gates them machine-independently.
+type benchParetoRecord struct {
+	GoVersion      string   `json:"go_version"`
+	GOOS           string   `json:"os"`
+	GOARCH         string   `json:"arch"`
+	MaxProcs       int      `json:"max_procs"`
+	ExactKeys      []string `json:"exact_keys"`
+	FloorKeys      []string `json:"floor_keys"`
+	ExploreNsPerOp int64    `json:"explore_ns_per_op"`
+	DenseNs        int64    `json:"dense_ns"`
+	CellsEvaluated int      `json:"cells_evaluated"`
+	CellsSimulated int      `json:"cells_simulated"`
+	CacheHits      int      `json:"cache_hits"`
+	CellsPruned    int      `json:"cells_pruned"`
+	Rounds         int      `json:"rounds"`
+	FrontierPoints int      `json:"frontier_points"`
+	DenseCells     int      `json:"dense_cells"`
+	DenseFrontier  int      `json:"dense_frontier_points"`
+	CellsReduction float64  `json:"cells_reduction"`
+	WorstEps       float64  `json:"worst_frontier_eps"`
+	ObsEnabled     bool     `json:"obs_enabled"`
 }
 
 // BenchmarkMultilinkStep measures the raw cost of one network step on a

@@ -1,8 +1,10 @@
 // Command paretoexplore navigates the Pareto frontier of Section 5.2:
 // it prints Figure 1's frontier surface (fast-utilization × efficiency ×
 // TCP-friendliness), tests user-supplied points for feasibility against
-// Theorems 2 and 3, and spot-checks that AIMD(α, β) empirically attains
-// frontier points.
+// Theorems 2 and 3, spot-checks that AIMD(α, β) empirically attains
+// frontier points, and runs the adaptive empirical frontier search
+// (coarse pass + successive-halving refinement with dominance pruning)
+// over the (α, β) box.
 //
 // Examples:
 //
@@ -10,9 +12,12 @@
 //	paretoexplore -point 1,0.5,1                          # feasible? on frontier?
 //	paretoexplore -point 1,0.8,0.9                        # infeasible point
 //	paretoexplore -check "1,0.5;2,0.5;1,0.8"              # empirical AIMD spot checks
+//	paretoexplore -explore -rounds 3 -refine-factor 2     # adaptive frontier search
+//	paretoexplore -explore -dense -store runs/            # verify vs the dense lattice
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +50,17 @@ func main() {
 		svgPath = flag.String("svg", "", "with -surface: also write a friendliness heatmap SVG to this file")
 		chaosP  = flag.String("chaos", "", "with -check: fault-injection schedule (JSON file) applied to the spot-check runs")
 		seed    = flag.Uint64("seed", 0, "with -chaos: seed for the schedule's randomized components")
+
+		explore  = flag.Bool("explore", false, "run the adaptive empirical frontier search over the (α, β) box")
+		dense    = flag.Bool("dense", false, "evaluate the full finest-resolution lattice (verification reference; combine with -explore to compare)")
+		coarse   = flag.Int("coarse", 7, "with -explore/-dense: coarse-pass grid points per axis")
+		rounds   = flag.Int("rounds", 3, "with -explore/-dense: successive-halving refinement rounds (-1 = coarse pass only)")
+		refine   = flag.Int("refine-factor", 2, "with -explore/-dense: lattice subdivision factor per round")
+		budget   = flag.Int("budget-cells", 0, "with -explore: cap on total cells evaluated (0 = unlimited)")
+		slack    = flag.Float64("prune-slack", 0, "with -explore: dominance-bandit optimism margin as a fraction of each objective's spread (0 = default)")
+		box      = flag.String("box", "", "with -explore/-dense: αLo,αHi,βLo,βHi bounds (default 0.25,3,0.1,0.9)")
+		linkMbps = flag.Float64("mbps", 20, "with -explore/-dense: link bandwidth in Mbps")
+		linkBuf  = flag.Float64("buf", 0, "with -explore/-dense: buffer in MSS beyond the bandwidth-delay product")
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
 	sfl := axiomcc.RegisterSweepFlags(flag.CommandLine)
@@ -132,11 +148,135 @@ func main() {
 		}
 		fmt.Print(experiment.RenderFigure1Checks(checks))
 	}
+	if *explore || *dense {
+		did = true
+		cfg := experiment.FluidLink(*linkMbps, *linkBuf)
+		// One session across both modes: when -explore and -dense run
+		// together, the dense pass resolves every cell the adaptive pass
+		// already measured from memory (the lattices are bit-identical).
+		opt := axiomcc.MetricOptions{Steps: *steps, Workers: *workers, Session: axiomcc.NewMetricSession()}
+		if *chaosP != "" {
+			sched, err := axiomcc.LoadChaosSchedule(*chaosP)
+			if err != nil {
+				fatal(err)
+			}
+			opt.Chaos = sched
+			opt.ChaosSeed = *seed
+		}
+		ec := axiomcc.ExploreConfig{
+			Coarse:       *coarse,
+			Rounds:       *rounds,
+			RefineFactor: *refine,
+			BudgetCells:  *budget,
+			PruneSlack:   *slack,
+			Eval:         axiomcc.AIMDEvaluator(cfg, opt),
+		}
+		if *box != "" {
+			b, err := parseBox(*box)
+			if err != nil {
+				fatal(err)
+			}
+			ec.AlphaRange = [2]float64{b[0], b[1]}
+			ec.BetaRange = [2]float64{b[2], b[3]}
+		}
+		var expRes, denseRes *axiomcc.ExploreResult
+		if *explore {
+			ec.OnRound = func(r axiomcc.ExploreRound) {
+				fmt.Fprintf(os.Stderr, "explore round %d: spacing α=%.4g β=%.4g evaluated=%d simulated=%d cache-hits=%d pruned=%d deferred=%d frontier=%d\n",
+					r.Round, r.SpacingAlpha, r.SpacingBeta, r.Evaluated, r.Simulated, r.CacheHits, r.Pruned, r.Deferred, len(r.Frontier))
+			}
+			res, err := axiomcc.Explore(context.Background(), ec)
+			if err != nil {
+				fatal(err)
+			}
+			expRes = res
+			printFrontier(res)
+			fmt.Fprintf(os.Stderr, "explore: evaluated=%d simulated=%d cache-hits=%d pruned=%d rounds=%d frontier=%d\n",
+				res.Stats.CellsEvaluated, res.Stats.CellsSimulated, res.Stats.CacheHits, res.Stats.CellsPruned, res.Stats.Rounds, len(res.Frontier))
+		}
+		if *dense {
+			dc := ec
+			dc.OnRound = nil
+			res, err := axiomcc.ExploreDense(context.Background(), dc)
+			if err != nil {
+				fatal(err)
+			}
+			denseRes = res
+			if !*explore {
+				printFrontier(res)
+			}
+			fmt.Fprintf(os.Stderr, "dense: evaluated=%d simulated=%d cache-hits=%d frontier=%d\n",
+				res.Stats.CellsEvaluated, res.Stats.CellsSimulated, res.Stats.CacheHits, len(res.Frontier))
+		}
+		if expRes != nil && denseRes != nil {
+			missed := denseFrontierMisses(expRes, denseRes)
+			ratio := float64(denseRes.Stats.CellsEvaluated) / float64(expRes.Stats.CellsEvaluated)
+			fmt.Fprintf(os.Stderr, "compare: explore evaluated %d cells vs dense %d (%.1f× fewer); dense frontier points unmatched by explore: %d\n",
+				expRes.Stats.CellsEvaluated, denseRes.Stats.CellsEvaluated, ratio, missed)
+		}
+	}
 	if !did {
 		flag.Usage()
 		stop()
 		os.Exit(2)
 	}
+}
+
+// printFrontier emits the explored frontier as TSV, sorted as evaluated.
+func printFrontier(res *axiomcc.ExploreResult) {
+	fmt.Println("alpha\tbeta\tefficiency\ttcp_friendliness")
+	for _, p := range res.Frontier {
+		fmt.Printf("%g\t%g\t%.6f\t%.6f\n", p.Alpha, p.Beta, p.Coords[0], p.Coords[1])
+	}
+}
+
+// denseFrontierMisses counts dense frontier points that no explored
+// point matches or dominates — 0 means the adaptive search reached the
+// dense frontier at full resolution.
+func denseFrontierMisses(exp, dense *axiomcc.ExploreResult) int {
+	missed := 0
+	for _, dp := range dense.Frontier {
+		ok := false
+		for _, ep := range exp.Points {
+			if coordsEqual(ep.Coords, dp.Coords) || axiomcc.Dominates(ep.Coords, dp.Coords) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			missed++
+		}
+	}
+	return missed
+}
+
+func coordsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseBox parses αLo,αHi,βLo,βHi.
+func parseBox(s string) ([4]float64, error) {
+	var out [4]float64
+	fs := strings.Split(s, ",")
+	if len(fs) != 4 {
+		return out, fmt.Errorf("want αLo,αHi,βLo,βHi — got %q", s)
+	}
+	for i, f := range fs {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return out, fmt.Errorf("bad box bound %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // writeSurfaceSVG renders Figure 1's frontier as a heatmap: friendliness

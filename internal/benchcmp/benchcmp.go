@@ -17,6 +17,14 @@
 //     whole point of the caching layers is that the same grid costs the
 //     same number of simulated runs everywhere, so any increase is a
 //     real regression even on a different machine.
+//
+// Records can additionally declare their own machine-independent keys
+// instead of relying on the built-in counter list: an "exact_keys"
+// array names keys that regress on any increase (work counters), and a
+// "floor_keys" array names keys that regress on any decrease (quality
+// floors such as frontier_points). Declared keys from both records are
+// unioned with the built-ins and compared regardless of machine shape,
+// so a new benchmark file gates itself without a benchcmp change.
 package benchcmp
 
 import (
@@ -73,6 +81,16 @@ func Compare(oldRaw, newRaw []byte, limit float64) (Report, error) {
 		return rep, fmt.Errorf("benchcmp: new record: %w", err)
 	}
 
+	// Keys the records declare for themselves, unioned across both so a
+	// key dropped from the candidate still shows up (as absent → zero
+	// value → regression for floors, missing for exacts).
+	exact := keySet(exactKeys)
+	addDeclared(exact, oldRec, "exact_keys")
+	addDeclared(exact, newRec, "exact_keys")
+	floor := map[string]bool{}
+	addDeclared(floor, oldRec, "floor_keys")
+	addDeclared(floor, newRec, "floor_keys")
+
 	for _, k := range machineKeys {
 		if fmt.Sprint(oldRec[k]) != fmt.Sprint(newRec[k]) {
 			rep.TimingSkipped = true
@@ -97,7 +115,7 @@ func Compare(oldRaw, newRaw []byte, limit float64) (Report, error) {
 			// Key absent from the committed baseline: a gated key that
 			// just landed degrades to a warning instead of blocking its
 			// own first merge.
-			if isTimingKey(k) || isRateKey(k) || isExactKey(k) {
+			if isTimingKey(k) || isRateKey(k) || exact[k] || floor[k] {
 				rep.MissingOld = append(rep.MissingOld, k)
 			}
 			continue
@@ -129,8 +147,17 @@ func Compare(oldRaw, newRaw []byte, limit float64) (Report, error) {
 				rep.Regressions++
 			}
 			rep.Results = append(rep.Results, r)
-		case isExactKey(k):
+		case exact[k]:
 			r := Result{Key: k, Old: ov, New: nv, Regressed: nv > ov}
+			if ov > 0 {
+				r.Ratio = nv / ov
+			}
+			if r.Regressed {
+				rep.Regressions++
+			}
+			rep.Results = append(rep.Results, r)
+		case floor[k]:
+			r := Result{Key: k, Old: ov, New: nv, Regressed: nv < ov}
 			if ov > 0 {
 				r.Ratio = nv / ov
 			}
@@ -153,13 +180,28 @@ func isRateKey(k string) bool {
 	return strings.HasSuffix(k, "_per_sec")
 }
 
-func isExactKey(k string) bool {
-	for _, e := range exactKeys {
-		if k == e {
-			return true
+func keySet(keys []string) map[string]bool {
+	m := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
+}
+
+// addDeclared folds a record's self-declared key list (a JSON string
+// array under field) into set. Non-array or non-string entries are
+// ignored: a malformed declaration degrades to "not gated", never to a
+// parse failure of the whole comparison.
+func addDeclared(set map[string]bool, rec map[string]any, field string) {
+	arr, ok := rec[field].([]any)
+	if !ok {
+		return
+	}
+	for _, v := range arr {
+		if s, ok := v.(string); ok && s != "" {
+			set[s] = true
 		}
 	}
-	return false
 }
 
 func parse(raw []byte) (map[string]any, error) {

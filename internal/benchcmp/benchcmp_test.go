@@ -171,6 +171,114 @@ func TestCompareGridCountersBite(t *testing.T) {
 	}
 }
 
+const declRec = `{
+  "os": "linux", "arch": "amd64", "max_procs": 8,
+  "exact_keys": ["cells_evaluated", "cells_simulated"],
+  "floor_keys": ["frontier_points", "cells_reduction"],
+  "cells_evaluated": 339,
+  "cells_simulated": 338,
+  "frontier_points": 45,
+  "cells_reduction": 12.4,
+  "explore_ns_per_op": 500000000
+}`
+
+func TestCompareDeclaredExactKeysBite(t *testing.T) {
+	// A record-declared exact key regresses on increase even across
+	// machine shapes, exactly like the built-in counters.
+	newRec := strings.NewReplacer(
+		`"max_procs": 8`, `"max_procs": 2`,
+		`"cells_simulated": 338`, `"cells_simulated": 400`,
+	).Replace(declRec)
+	rep, err := Compare([]byte(declRec), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimingSkipped {
+		t.Fatal("different max_procs did not skip timing keys")
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("declared exact key growth not flagged exactly once:\n%s", Format(rep))
+	}
+}
+
+func TestCompareDeclaredFloorKeysBite(t *testing.T) {
+	// Floor keys are quality counters: shrinking them regresses, growing
+	// them is fine.
+	shrink := strings.Replace(declRec, `"frontier_points": 45`, `"frontier_points": 30`, 1)
+	rep, err := Compare([]byte(declRec), []byte(shrink), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("frontier shrink not flagged exactly once:\n%s", Format(rep))
+	}
+	grow := strings.NewReplacer(
+		`"frontier_points": 45`, `"frontier_points": 60`,
+		`"cells_reduction": 12.4`, `"cells_reduction": 15.0`,
+	).Replace(declRec)
+	rep, err = Compare([]byte(declRec), []byte(grow), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("quality improvement flagged as regression:\n%s", Format(rep))
+	}
+}
+
+func TestCompareDeclaredKeysUnionedFromBothRecords(t *testing.T) {
+	// A baseline that predates the declaration still gates: the candidate
+	// declares the keys, and the baseline happens to carry values.
+	oldNoDecl := strings.Replace(declRec,
+		`  "exact_keys": ["cells_evaluated", "cells_simulated"],
+  "floor_keys": ["frontier_points", "cells_reduction"],
+`, "", 1)
+	if oldNoDecl == declRec {
+		t.Fatal("test fixture edit failed")
+	}
+	newRec := strings.Replace(declRec, `"cells_evaluated": 339`, `"cells_evaluated": 500`, 1)
+	rep, err := Compare([]byte(oldNoDecl), []byte(newRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("candidate-declared exact key not gated against undeclared baseline:\n%s", Format(rep))
+	}
+}
+
+func TestCompareDeclaredKeyMissingFromBaselineWarns(t *testing.T) {
+	oldNoKey := strings.Replace(declRec, `  "cells_reduction": 12.4,`+"\n", "", 1)
+	if oldNoKey == declRec {
+		t.Fatal("test fixture edit failed")
+	}
+	rep, err := Compare([]byte(oldNoKey), []byte(declRec), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("baseline-missing declared key counted as regression:\n%s", Format(rep))
+	}
+	if len(rep.MissingOld) != 1 || rep.MissingOld[0] != "cells_reduction" {
+		t.Fatalf("MissingOld = %v, want [cells_reduction]", rep.MissingOld)
+	}
+}
+
+func TestCompareMalformedDeclarationIgnored(t *testing.T) {
+	// A non-array declaration degrades to "not gated" rather than erroring.
+	bad := strings.Replace(declRec,
+		`"exact_keys": ["cells_evaluated", "cells_simulated"]`,
+		`"exact_keys": "cells_evaluated"`, 1)
+	worse := strings.Replace(bad, `"cells_evaluated": 339`, `"cells_evaluated": 500`, 1)
+	rep, err := Compare([]byte(bad), []byte(worse), 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Key == "cells_evaluated" {
+			t.Fatalf("malformed declaration still gated cells_evaluated:\n%s", Format(rep))
+		}
+	}
+}
+
 func TestCompareRejectsBadInput(t *testing.T) {
 	if _, err := Compare([]byte("not json"), []byte(oldRec), 1.25); err == nil {
 		t.Fatal("malformed old record accepted")

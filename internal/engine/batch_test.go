@@ -211,10 +211,10 @@ func TestSweepSpecsCheckpointResume(t *testing.T) {
 }
 
 // TestSweepSpecsFallbackCoverage is the fallback column: non-batchable
-// families (PCC, BBRish, Func, Vegas, Cubic) and unsynchronized senders
-// silently take the per-cell path inside a mixed grid, with results
-// bit-identical to -nobatch, and the telemetry splits the grid into
-// batched + fallback exactly.
+// families (PCC, BBRish, Func, Vegas), stateful instances with live state
+// (a primed Cubic), and unsynchronized senders silently take the per-cell
+// path inside a mixed grid, with results bit-identical to -nobatch, and
+// the telemetry splits the grid into batched + fallback exactly.
 func TestSweepSpecsFallbackCoverage(t *testing.T) {
 	nonBatchable := []func() fluid.Sender{
 		func() fluid.Sender { return fluid.Sender{Proto: protocol.DefaultPCC(), Init: 10} },
@@ -228,7 +228,13 @@ func TestSweepSpecsFallbackCoverage(t *testing.T) {
 			}}, Init: 10}
 		},
 		func() fluid.Sender { return fluid.Sender{Proto: protocol.DefaultVegas(), Init: 10} },
-		func() fluid.Sender { return fluid.Sender{Proto: protocol.CubicLinux(), Init: 10} },
+		func() fluid.Sender {
+			// Primed Cubic: the family is kernelized, but live state
+			// declines the kernel and routes per-cell.
+			p := protocol.CubicLinux()
+			p.Next(protocol.Feedback{Window: 50})
+			return fluid.Sender{Proto: p, Init: 10}
+		},
 		// Kernelized family, but unsynchronized feedback.
 		func() fluid.Sender { return fluid.Sender{Proto: protocol.Reno(), Init: 10, Period: 3, Phase: 1} },
 	}

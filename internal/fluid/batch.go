@@ -19,11 +19,16 @@ import (
 // The contract is bit-identity with the scalar path: for any cell,
 // Batch.Step must produce the exact float64 sequence Link.Step would.
 // That is why Batchable restricts cells to the conditions under which the
-// scalar path's extra machinery is provably inert: kernelized (stateless,
-// loss-based) protocols only, and Period ≤ 1 so every epoch is a single
-// step and the epoch accumulators always hold their reset values when
-// read. The congestion computation itself is shared code (congestionAt),
-// identical by construction.
+// scalar path's extra machinery is provably inert: kernelized (loss-based,
+// with any protocol state reduced to the kernel's scalar slots) protocols
+// only, and Period ≤ 1 so every epoch is a single step and the epoch
+// accumulators always hold their reset values when read. Per-sender kernel
+// state lives in the kern array — Kernel.Step mutates its receiver, so a
+// stateful family like Cubic evolves exactly as its scalar Next would,
+// including across churn (departed flows are never stepped, and re-arrival
+// resets the window but not the protocol state, on both paths). The
+// congestion computation itself is shared code (congestionAt), identical
+// by construction.
 
 // BatchCell is one link in a Batch: the same (Config, Senders) pair that
 // would be passed to New for scalar stepping.
@@ -101,8 +106,9 @@ type Batch struct {
 
 // NewBatch returns a batch over the given cells, or an error naming the
 // first cell that is invalid or not batchable. Kernels are extracted once
-// here; the sender protocols themselves are never called again, so cells
-// may share protocol instances freely.
+// here — each sender gets its own Kernel copy, which is where stateful
+// kernels keep per-sender state — and the sender protocols themselves are
+// never called again, so cells may share protocol instances freely.
 func NewBatch(cells []BatchCell) (*Batch, error) {
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("fluid: batch needs at least one cell")

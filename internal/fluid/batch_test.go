@@ -29,9 +29,10 @@ func batchScenarios() []batchScenario {
 			protocol.SQRT(),
 			protocol.NewRobustAIMD(1, 0.5, 0.05),
 			protocol.NewHighSpeed(),
+			protocol.CubicLinux(),
 		}
 	}
-	mixed := func() []Sender { return MixedSenders(protos(), []float64{1, 30, 5, 12, 2, 80}) }
+	mixed := func() []Sender { return MixedSenders(protos(), []float64{1, 30, 5, 12, 2, 80, 50}) }
 	pair := func(p protocol.Protocol) func() []Sender {
 		return func() []Sender {
 			s, err := HomogeneousSenders(p, 2, []float64{1, 25})
@@ -101,8 +102,11 @@ func batchScenarios() []batchScenario {
 					return 0
 				},
 				active: func(step, flow int) bool {
-					// Flow 1 departs for a while and re-arrives.
-					return flow != 1 || step < 120 || step >= 300
+					// Flows 1 (stateless) and 6 (Cubic, stateful kernel)
+					// depart for a while and re-arrive, pinning that kernel
+					// state survives churn exactly as scalar protocol state
+					// does.
+					return (flow != 1 && flow != 6) || step < 120 || step >= 300
 				},
 			}
 			return c
@@ -213,9 +217,19 @@ func TestBatchDivergenceFreezesCell(t *testing.T) {
 	}
 }
 
+// primedCubic returns a Cubic instance with live state: it declines a
+// kernel (the zeroed state slots would restart its curve), so it must be
+// routed per-cell.
+func primedCubic() *protocol.Cubic {
+	p := protocol.CubicLinux()
+	p.Next(protocol.Feedback{Window: 50})
+	return p
+}
+
 // TestBatchableRejections pins the fallback triggers: non-kernel
-// protocols, unsynchronized feedback, and invalid configurations must all
-// be reported, so the engine can route those cells per-cell.
+// protocols, stateful instances with live state, unsynchronized feedback,
+// and invalid configurations must all be reported, so the engine can
+// route those cells per-cell.
 func TestBatchableRejections(t *testing.T) {
 	ok := link20()
 	cases := []struct {
@@ -225,7 +239,7 @@ func TestBatchableRejections(t *testing.T) {
 	}{
 		{"pcc", ok, []Sender{{Proto: protocol.DefaultPCC(), Init: 1}}},
 		{"bbrish", ok, []Sender{{Proto: protocol.NewBBRish(), Init: 1}}},
-		{"cubic", ok, []Sender{{Proto: protocol.CubicLinux(), Init: 1}}},
+		{"primed-cubic", ok, []Sender{{Proto: primedCubic(), Init: 1}}},
 		{"func", ok, []Sender{{Proto: &protocol.Func{Fn: func(fb protocol.Feedback) float64 { return fb.Window }}, Init: 1}}},
 		{"mixed-one-bad", ok, []Sender{{Proto: protocol.Reno(), Init: 1}, {Proto: protocol.DefaultVegas(), Init: 1}}},
 		{"period", ok, []Sender{{Proto: protocol.Reno(), Init: 1, Period: 4}}},

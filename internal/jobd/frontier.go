@@ -1,0 +1,296 @@
+package jobd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/fluid"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pareto"
+)
+
+// POST /frontier runs the adaptive Pareto-frontier search of
+// internal/pareto over an AIMD (α, β) box and streams one NDJSON row
+// per exploration round — the live view of the frontier sharpening —
+// followed by a done trailer. Unlike /jobs cells, frontier rounds are
+// not dispatched to worker shards: each round is already one
+// structure-of-arrays engine batch, and the evaluator's session
+// inherits the process-wide run store, so a resubmitted spec (or one
+// overlapping a previous dense sweep) resolves its cells from the
+// store and reports them as cache hits rather than simulations.
+
+// FrontierSpec is the wire format of one exploration job. Zero values
+// defer to the pareto package defaults (the paper's Figure 1 box,
+// 7-point coarse grid, 3 halving rounds).
+type FrontierSpec struct {
+	// AlphaRange and BetaRange bound the box as [lo, hi] pairs.
+	AlphaRange []float64 `json:"alpha_range,omitempty"`
+	BetaRange  []float64 `json:"beta_range,omitempty"`
+	// Coarse, Rounds, RefineFactor, BudgetCells, PruneSlack mirror
+	// pareto.ExploreConfig (rounds < 0 = coarse pass only).
+	Coarse       int     `json:"coarse,omitempty"`
+	Rounds       int     `json:"rounds,omitempty"`
+	RefineFactor int     `json:"refine_factor,omitempty"`
+	BudgetCells  int     `json:"budget_cells,omitempty"`
+	PruneSlack   float64 `json:"prune_slack,omitempty"`
+	// Link parameters (defaults: 20 Mbps, 42 ms RTT, 0 MSS buffer —
+	// the paper's reference dumbbell).
+	Mbps      float64 `json:"mbps,omitempty"`
+	RTTms     float64 `json:"rtt_ms,omitempty"`
+	BufferMSS float64 `json:"buffer_mss,omitempty"`
+	// Steps is the simulation horizon (0 = metrics default); TailFrac
+	// the tail fraction for score statistics.
+	Steps    int     `json:"steps,omitempty"`
+	TailFrac float64 `json:"tail_frac,omitempty"`
+	// TimeoutMS bounds the whole job (0 = server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ParseFrontierSpec decodes and validates one exploration spec.
+// Unknown fields are rejected, like ParseSpec.
+func ParseFrontierSpec(data []byte) (*FrontierSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp FrontierSpec
+	if err := dec.Decode(&sp); err != nil {
+		return nil, fmt.Errorf("jobd: frontier spec: %w", err)
+	}
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+func (sp *FrontierSpec) validate() error {
+	for name, r := range map[string][]float64{"alpha_range": sp.AlphaRange, "beta_range": sp.BetaRange} {
+		if len(r) == 0 {
+			continue
+		}
+		if len(r) != 2 {
+			return fmt.Errorf("jobd: frontier spec: %s wants [lo, hi], got %d values", name, len(r))
+		}
+		if !finite(r[0]) || !finite(r[1]) || !(r[0] < r[1]) {
+			return fmt.Errorf("jobd: frontier spec: %s [%v, %v] must be finite with lo < hi", name, r[0], r[1])
+		}
+	}
+	if sp.Mbps < 0 || !finite(sp.Mbps) {
+		return fmt.Errorf("jobd: frontier spec: mbps %v must be finite and non-negative", sp.Mbps)
+	}
+	if sp.RTTms < 0 || !finite(sp.RTTms) {
+		return fmt.Errorf("jobd: frontier spec: rtt_ms %v must be finite and non-negative", sp.RTTms)
+	}
+	if sp.BufferMSS < 0 || !finite(sp.BufferMSS) {
+		return fmt.Errorf("jobd: frontier spec: buffer_mss %v must be finite and non-negative", sp.BufferMSS)
+	}
+	if sp.Steps < 0 || sp.Steps > maxSteps {
+		return fmt.Errorf("jobd: frontier spec: steps %d outside [0, %d]", sp.Steps, maxSteps)
+	}
+	if sp.TailFrac < 0 || sp.TailFrac >= 1 || !finite(sp.TailFrac) {
+		return fmt.Errorf("jobd: frontier spec: tail_frac %v outside [0, 1)", sp.TailFrac)
+	}
+	if !finite(sp.PruneSlack) {
+		return fmt.Errorf("jobd: frontier spec: prune_slack %v must be finite", sp.PruneSlack)
+	}
+	if sp.BudgetCells < 0 || sp.BudgetCells > maxCellsPerJob {
+		return fmt.Errorf("jobd: frontier spec: budget_cells %d outside [0, %d]", sp.BudgetCells, maxCellsPerJob)
+	}
+	// The finest lattice bounds everything Explore can evaluate; cap its
+	// dense size by the same per-job cell limit as /jobs grids. This
+	// also rejects nonsensical coarse/rounds/refine_factor values via
+	// the pareto package's own validation.
+	side, err := sp.exploreConfig(nil).FinestGridSide()
+	if err != nil {
+		return fmt.Errorf("jobd: frontier spec: %w", err)
+	}
+	if side*side > maxCellsPerJob {
+		return fmt.Errorf("jobd: frontier spec: finest lattice %d×%d exceeds the %d-cell limit", side, side, maxCellsPerJob)
+	}
+	return nil
+}
+
+// exploreConfig maps the wire spec onto a pareto.ExploreConfig.
+func (sp *FrontierSpec) exploreConfig(eval pareto.CellEvaluator) pareto.ExploreConfig {
+	c := pareto.ExploreConfig{
+		Coarse:       sp.Coarse,
+		Rounds:       sp.Rounds,
+		RefineFactor: sp.RefineFactor,
+		BudgetCells:  sp.BudgetCells,
+		PruneSlack:   sp.PruneSlack,
+		Eval:         eval,
+	}
+	if len(sp.AlphaRange) == 2 {
+		c.AlphaRange = [2]float64{sp.AlphaRange[0], sp.AlphaRange[1]}
+	}
+	if len(sp.BetaRange) == 2 {
+		c.BetaRange = [2]float64{sp.BetaRange[0], sp.BetaRange[1]}
+	}
+	return c
+}
+
+// link returns the fluid configuration of the spec's dumbbell,
+// defaulting to the paper's 20 Mbps / 42 ms reference link.
+func (sp *FrontierSpec) link() fluid.Config {
+	mbps, rtt := sp.Mbps, sp.RTTms
+	if mbps == 0 {
+		mbps = 20
+	}
+	if rtt == 0 {
+		rtt = 42
+	}
+	return fluid.Config{
+		Bandwidth: fluid.MbpsToMSSps(mbps),
+		PropDelay: rtt / 2000, // one-way Θ from a round-trip in ms
+		Buffer:    sp.BufferMSS,
+	}
+}
+
+// Timeout returns the whole-job deadline, falling back to def.
+func (sp *FrontierSpec) Timeout(def time.Duration) time.Duration {
+	if sp.TimeoutMS > 0 {
+		return time.Duration(sp.TimeoutMS) * time.Millisecond
+	}
+	return def
+}
+
+// FrontierPoint is one frontier cell on the wire: parameters and scores
+// bit-exact as IEEE-754 hex (the same codec as /jobs score rows), plus
+// display values with non-finite scores mapped to null.
+type FrontierPoint struct {
+	Alpha            float64  `json:"alpha"`
+	Beta             float64  `json:"beta"`
+	AlphaBits        string   `json:"alpha_bits"`
+	BetaBits         string   `json:"beta_bits"`
+	EfficiencyBits   string   `json:"eff"`
+	FriendlinessBits string   `json:"tcpf"`
+	Efficiency       *float64 `json:"efficiency"`
+	Friendliness     *float64 `json:"tcp_friendliness"`
+}
+
+func frontierPoints(pts []pareto.ExploredPoint) []FrontierPoint {
+	out := make([]FrontierPoint, len(pts))
+	for i, p := range pts {
+		fp := FrontierPoint{
+			Alpha:            p.Alpha,
+			Beta:             p.Beta,
+			AlphaBits:        hexBits(p.Alpha),
+			BetaBits:         hexBits(p.Beta),
+			EfficiencyBits:   hexBits(p.Coords[0]),
+			FriendlinessBits: hexBits(p.Coords[1]),
+		}
+		if eff := p.Coords[0]; finite(eff) {
+			fp.Efficiency = &eff
+		}
+		if fr := p.Coords[1]; finite(fr) {
+			fp.Friendliness = &fr
+		}
+		out[i] = fp
+	}
+	return out
+}
+
+// FrontierRound is one streamed NDJSON line: the round's lattice
+// spacing, its cell accounting, and the frontier as of that round.
+type FrontierRound struct {
+	Round        int             `json:"round"`
+	SpacingAlpha float64         `json:"spacing_alpha"`
+	SpacingBeta  float64         `json:"spacing_beta"`
+	Evaluated    int             `json:"evaluated"`
+	Simulated    int             `json:"simulated"`
+	CacheHits    int             `json:"cache_hits"`
+	Pruned       int             `json:"pruned"`
+	Deferred     int             `json:"deferred"`
+	Frontier     []FrontierPoint `json:"frontier"`
+}
+
+// FrontierSummary is the job's trailer line. A resubmitted spec against
+// a persistent store reports CellsSimulated == 0 — the externally
+// checkable form of "exploration is incremental over the run store".
+type FrontierSummary struct {
+	Done           bool   `json:"done"`
+	CellsEvaluated int    `json:"cells_evaluated"`
+	CellsSimulated int    `json:"cells_simulated"`
+	CacheHits      int    `json:"cache_hits"`
+	CellsPruned    int    `json:"cells_pruned"`
+	FrontierPoints int    `json:"frontier_points"`
+	Rounds         int    `json:"rounds"`
+	Err            string `json:"error,omitempty"`
+	ElapsedMS      int64  `json:"elapsed_ms"`
+}
+
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST a frontier spec")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sp, err := ParseFrontierSpec(body)
+	if err != nil {
+		jobsRejected.Inc()
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), sp.Timeout(s.cfg.JobTimeout))
+	defer cancel()
+	ctx, span := obs.StartSpan(ctx, "jobd.frontier")
+	defer span.End()
+
+	emit := ndjsonEmitter(w)
+	start := time.Now()
+
+	// A fresh session per job inherits the process default store
+	// (metrics.SetDefaultStore, wired by the -store flag in axiomd), so
+	// warm cells dedupe across jobs and across daemon restarts.
+	opt := metrics.Options{Steps: sp.Steps, TailFrac: sp.TailFrac, Workers: s.cfg.Workers, Session: metrics.NewSession()}
+	cfg := sp.exploreConfig(pareto.AIMDEvaluator(sp.link(), opt))
+	cfg.OnRound = func(snap pareto.RoundSnapshot) {
+		emit(FrontierRound{
+			Round:        snap.Round,
+			SpacingAlpha: snap.SpacingAlpha,
+			SpacingBeta:  snap.SpacingBeta,
+			Evaluated:    snap.Evaluated,
+			Simulated:    snap.Simulated,
+			CacheHits:    snap.CacheHits,
+			Pruned:       snap.Pruned,
+			Deferred:     snap.Deferred,
+			Frontier:     frontierPoints(snap.Frontier),
+		})
+	}
+
+	res, err := pareto.Explore(ctx, cfg)
+	sum := FrontierSummary{ElapsedMS: time.Since(start).Milliseconds()}
+	if err != nil {
+		sum.Err = err.Error()
+		jobsFailed.Inc()
+	} else {
+		sum.Done = true
+		sum.CellsEvaluated = res.Stats.CellsEvaluated
+		sum.CellsSimulated = res.Stats.CellsSimulated
+		sum.CacheHits = res.Stats.CacheHits
+		sum.CellsPruned = res.Stats.CellsPruned
+		sum.FrontierPoints = len(res.Frontier)
+		sum.Rounds = res.Stats.Rounds
+		jobsCompleted.Inc()
+		span.SetDetail(fmt.Sprintf("%d cells, %d simulated, %d frontier points",
+			sum.CellsEvaluated, sum.CellsSimulated, sum.FrontierPoints))
+	}
+	emit(sum)
+	jobDuration.Observe(time.Since(start))
+}

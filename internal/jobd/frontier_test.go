@@ -1,0 +1,188 @@
+package jobd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/runstore"
+)
+
+// testFrontierSpec is a small box on a short horizon: a 3×3 coarse pass
+// plus one halving round on a 5×5 finest lattice.
+const testFrontierSpec = `{"alpha_range":[0.5,2],"beta_range":[0.3,0.8],` +
+	`"coarse":3,"rounds":1,"steps":120}`
+
+type frontierOut struct {
+	status int
+	rounds []FrontierRound
+	sum    FrontierSummary
+}
+
+func submitFrontier(t *testing.T, url, spec string) frontierOut {
+	t.Helper()
+	resp, err := http.Post(url+"/frontier", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := frontierOut{status: resp.StatusCode}
+	if resp.StatusCode != http.StatusOK {
+		return out
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if bytes.Contains(line, []byte(`"done"`)) {
+			if err := json.Unmarshal(line, &out.sum); err != nil {
+				t.Fatalf("trailer: %v in %s", err, line)
+			}
+			continue
+		}
+		var round FrontierRound
+		if err := json.Unmarshal(line, &round); err != nil {
+			t.Fatalf("round: %v in %s", err, line)
+		}
+		out.rounds = append(out.rounds, round)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func requireFrontierComplete(t *testing.T, out frontierOut) {
+	t.Helper()
+	if out.status != http.StatusOK {
+		t.Fatalf("frontier status %d", out.status)
+	}
+	if !out.sum.Done || out.sum.Err != "" {
+		t.Fatalf("bad trailer: %+v", out.sum)
+	}
+	if len(out.rounds) != out.sum.Rounds {
+		t.Fatalf("streamed %d rounds, trailer says %d", len(out.rounds), out.sum.Rounds)
+	}
+	evaluated := 0
+	for _, r := range out.rounds {
+		evaluated += r.Evaluated
+	}
+	if evaluated != out.sum.CellsEvaluated {
+		t.Fatalf("rounds evaluated %d cells, trailer says %d", evaluated, out.sum.CellsEvaluated)
+	}
+	if out.sum.FrontierPoints == 0 {
+		t.Fatal("empty frontier")
+	}
+	last := out.rounds[len(out.rounds)-1]
+	if len(last.Frontier) != out.sum.FrontierPoints {
+		t.Fatalf("last round frontier has %d points, trailer says %d", len(last.Frontier), out.sum.FrontierPoints)
+	}
+	for _, p := range last.Frontier {
+		if p.AlphaBits == "" || p.EfficiencyBits == "" || p.FriendlinessBits == "" {
+			t.Fatalf("frontier point missing hex bits: %+v", p)
+		}
+		if p.Efficiency == nil || p.Friendliness == nil {
+			t.Fatalf("frontier point missing display values: %+v", p)
+		}
+	}
+}
+
+func TestFrontierStreamsRoundsAndSummary(t *testing.T) {
+	_, url := startServer(t, Config{})
+	out := submitFrontier(t, url, testFrontierSpec)
+	requireFrontierComplete(t, out)
+	// Cold, storeless: every evaluated cell ran a simulation, and the
+	// stream carries one row per round (coarse + 1 refinement).
+	if out.sum.CellsSimulated != out.sum.CellsEvaluated {
+		t.Fatalf("cold run: %+v", out.sum)
+	}
+	if out.rounds[0].Evaluated != 9 {
+		t.Fatalf("coarse pass evaluated %d cells, want 9", out.rounds[0].Evaluated)
+	}
+	if len(out.rounds) < 2 {
+		t.Fatalf("streamed %d rounds, want at least 2", len(out.rounds))
+	}
+}
+
+func TestFrontierWarmStoreSimulatesZeroCells(t *testing.T) {
+	st, err := runstore.Open(t.TempDir(), runstore.Options{Version: "testver"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics.SetDefaultStore(st)
+	t.Cleanup(func() { metrics.SetDefaultStore(nil) })
+
+	_, url := startServer(t, Config{})
+	cold := submitFrontier(t, url, testFrontierSpec)
+	requireFrontierComplete(t, cold)
+	if cold.sum.CellsSimulated == 0 {
+		t.Fatalf("cold run simulated nothing: %+v", cold.sum)
+	}
+
+	// A fresh daemon sharing the store explores without simulating: the
+	// lattice is bit-reproducible, so every cell's runs resolve from disk.
+	_, url2 := startServer(t, Config{})
+	warm := submitFrontier(t, url2, testFrontierSpec)
+	requireFrontierComplete(t, warm)
+	if warm.sum.CellsSimulated != 0 || warm.sum.CacheHits != warm.sum.CellsEvaluated {
+		t.Fatalf("warm run: %+v", warm.sum)
+	}
+	if warm.sum.CellsEvaluated != cold.sum.CellsEvaluated {
+		t.Fatalf("warm evaluated %d cells, cold %d", warm.sum.CellsEvaluated, cold.sum.CellsEvaluated)
+	}
+	a, b := cold.rounds[len(cold.rounds)-1].Frontier, warm.rounds[len(warm.rounds)-1].Frontier
+	if len(a) != len(b) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		// The display fields are pointers; bit-identity is what the hex
+		// fields carry.
+		if a[i].AlphaBits != b[i].AlphaBits || a[i].BetaBits != b[i].BetaBits ||
+			a[i].EfficiencyBits != b[i].EfficiencyBits || a[i].FriendlinessBits != b[i].FriendlinessBits {
+			t.Fatalf("frontier point %d differs:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFrontierBadSpecsRejected(t *testing.T) {
+	_, url := startServer(t, Config{})
+	for _, spec := range []string{
+		`{"alpha_range":[0.5]}`,                   // not a [lo, hi] pair
+		`{"alpha_range":[2,0.5]}`,                 // lo >= hi
+		`{"coarse":1}`,                            // pareto validation
+		`{"rounds":9,"coarse":9}`,                 // finest lattice over the cell limit
+		`{"steps":` + "2097152" + `}`,             // steps over limit
+		`{"budget_cells":-1}`,                     // negative budget
+		`{"protocols":["reno"]}`,                  // unknown field (that's a /jobs spec)
+		`not json`,                                //nolint:misspell // malformed body
+		`{"alpha_range":[0.5,2],"tail_frac":1.5}`, // tail_frac out of range
+		`{"mbps":-1}`,                             // negative bandwidth
+	} {
+		resp, err := http.Post(url+"/frontier", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %s got %d, want 400", spec, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(url + "/frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /frontier got %d, want 405", resp.StatusCode)
+	}
+}

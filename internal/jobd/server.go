@@ -113,6 +113,7 @@ func New(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/frontier", s.handleFrontier)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	obs.AttachExposition(mux, cfg.Tool)
@@ -169,6 +170,75 @@ func writeJSONError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck // client went away
 }
 
+// admit runs the admission dance shared by every job-shaped endpoint:
+// refuse while draining, shed with 429 + Retry-After past the queue
+// bound, then wait for an execution slot (the client may hang up while
+// queued). On success the caller must invoke release when the job
+// finishes streaming; on failure the response has been written.
+//
+// The queue bound counts jobs accepted but not yet streaming; past it
+// the honest answer is "try later", not an ever-growing pile of
+// goroutines all holding client connections.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	s.admitMu.Lock()
+	if s.draining.Load() {
+		s.admitMu.Unlock()
+		writeJSONError(w, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.admitMu.Unlock()
+		jobsShed.Inc()
+		if obs.Enabled() {
+			obs.NoteEvent("shed", "jobd.admission", "queue full")
+		}
+		w.Header().Set("Retry-After", "1")
+		writeJSONError(w, http.StatusTooManyRequests, "queue full")
+		return nil, false
+	}
+	s.jobs.Add(1)
+	s.admitMu.Unlock()
+	queueDepth.Set(float64(s.queued.Load()))
+
+	select {
+	case s.slots <- struct{}{}:
+	case <-r.Context().Done():
+		s.queued.Add(-1)
+		queueDepth.Set(float64(s.queued.Load()))
+		s.jobs.Done()
+		return nil, false
+	}
+	s.queued.Add(-1)
+	queueDepth.Set(float64(s.queued.Load()))
+	jobsAdmitted.Inc()
+	jobsActive.Set(float64(s.active.Add(1)))
+	return func() {
+		<-s.slots
+		jobsActive.Set(float64(s.active.Add(-1)))
+		s.jobs.Done()
+	}, true
+}
+
+// ndjsonEmitter switches the response into streaming NDJSON mode and
+// returns a concurrency-safe emit function that flushes each row.
+func ndjsonEmitter(w http.ResponseWriter) func(any) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var emitMu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(v any) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		enc.Encode(v) //nolint:errcheck // stream errors surface as the client hanging up
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -187,47 +257,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission. The queue bound counts jobs accepted but not yet
-	// streaming; past it the honest answer is "try later", not an
-	// ever-growing pile of goroutines all holding client connections.
-	s.admitMu.Lock()
-	if s.draining.Load() {
-		s.admitMu.Unlock()
-		writeJSONError(w, http.StatusServiceUnavailable, "draining")
+	release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
-		s.queued.Add(-1)
-		s.admitMu.Unlock()
-		jobsShed.Inc()
-		if obs.Enabled() {
-			obs.NoteEvent("shed", "jobd.admission", "queue full")
-		}
-		w.Header().Set("Retry-After", "1")
-		writeJSONError(w, http.StatusTooManyRequests, "queue full")
-		return
-	}
-	s.jobs.Add(1)
-	s.admitMu.Unlock()
-	defer s.jobs.Done()
-	queueDepth.Set(float64(s.queued.Load()))
-
-	// Wait for an execution slot; the client may hang up while queued.
-	select {
-	case s.slots <- struct{}{}:
-	case <-r.Context().Done():
-		s.queued.Add(-1)
-		queueDepth.Set(float64(s.queued.Load()))
-		return
-	}
-	s.queued.Add(-1)
-	queueDepth.Set(float64(s.queued.Load()))
-	jobsAdmitted.Inc()
-	jobsActive.Set(float64(s.active.Add(1)))
-	defer func() {
-		<-s.slots
-		jobsActive.Set(float64(s.active.Add(-1)))
-	}()
+	defer release()
 
 	ctx, cancel := context.WithTimeout(r.Context(), sp.Timeout(s.cfg.JobTimeout))
 	defer cancel()
@@ -235,20 +269,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	span.SetDetail(fmt.Sprintf("%d protocols × link grid", len(sp.Protocols)))
 	defer span.End()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Accel-Buffering", "no")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	var emitMu sync.Mutex
-	enc := json.NewEncoder(w)
-	emit := func(v any) {
-		emitMu.Lock()
-		defer emitMu.Unlock()
-		enc.Encode(v) //nolint:errcheck // stream errors surface as the client hanging up
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	emit := ndjsonEmitter(w)
 
 	start := time.Now()
 	sum := s.runJob(ctx, sp, emit)

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/fluid"
+	"repro/internal/protocol"
+)
+
+// RunSet describes the streamed runs one estimator call performs: one
+// sender per protocol in Protos on Cfg, over the default (or configured)
+// initial-window vectors. Efficiency(cfg, p, n, opt) is {Cfg: cfg,
+// Protos: n copies of p}; Friendliness(cfg, p, q, nP, nQ, opt) is
+// {Cfg: cfg, Protos: nP ps followed by nQ qs}. The keys Prefetch derives
+// are identical to the ones those estimators derive, because both go
+// through the same runKey on the same inputs.
+type RunSet struct {
+	Cfg    fluid.Config
+	Protos []protocol.Protocol
+}
+
+// Prefetch resolves every streamed run of the given run-sets through
+// opt.Session in one batch: all cache misses across all sets reach
+// engine.SweepSpecs together, so lockstep-compatible cells (kernelized
+// protocols, synchronized feedback) advance as one structure-of-arrays
+// block regardless of which estimator call they belong to. Estimator
+// calls made afterwards with the same Options and Session are pure
+// memory hits.
+//
+// The returned slice is parallel to sets: simulated[i] is true when at
+// least one of set i's runs was actually executed by this call (a cache
+// miss or an uncacheable run), false when every run came from the
+// session's memory, the persistent store, or a concurrent claimant.
+// Explore's cells-simulated accounting — and its warm-store "zero cells"
+// property — is measured through these flags.
+func Prefetch(sets []RunSet, opt Options) (simulated []bool, err error) {
+	o := opt.withDefaults()
+	if o.Session == nil {
+		return nil, errors.New("metrics: Prefetch requires Options.Session")
+	}
+	var (
+		subs      []*engine.FluidSpec
+		keys      []string
+		cacheable []bool
+		owner     []int
+	)
+	for si, set := range sets {
+		if len(set.Protos) == 0 {
+			return nil, fmt.Errorf("metrics: run-set %d has no protocols", si)
+		}
+		inits := o.initConfigs(set.Cfg, len(set.Protos))
+		for _, init := range inits {
+			// Sender slices are built serially up front, like streamRuns:
+			// protocol cloning is not required to be goroutine-safe.
+			subs = append(subs, &engine.FluidSpec{Cfg: set.Cfg, Senders: fluid.MixedSenders(set.Protos, init), Steps: o.Steps})
+			k, c := runKey(set.Cfg, set.Protos, init, o, false)
+			keys = append(keys, k)
+			cacheable = append(cacheable, c)
+			owner = append(owner, si)
+		}
+	}
+	exec := func(miss []int) ([]*Stream, error) {
+		specs := make([]engine.Spec, len(miss))
+		streams := make([]*Stream, len(miss))
+		for j, i := range miss {
+			streams[j] = NewStream(subs[i].Meta(), o.TailFrac)
+			specs[j] = engine.Spec{
+				Substrate: subs[i],
+				Observers: []engine.Observer{streams[j]},
+				Chaos:     o.Chaos,
+				ChaosSeed: o.ChaosSeed,
+			}
+		}
+		if _, err := engine.SweepSpecs(context.Background(), specs, engine.SweepConfig{Workers: o.Workers}); err != nil {
+			return nil, err
+		}
+		return streams, nil
+	}
+	_, flags, err := o.Session.doBatch(keys, cacheable, o.Steps, exec)
+	if err != nil {
+		return nil, err
+	}
+	simulated = make([]bool, len(sets))
+	for i, f := range flags {
+		if f {
+			simulated[owner[i]] = true
+		}
+	}
+	return simulated, nil
+}

@@ -156,7 +156,8 @@ func streamRuns(cfg fluid.Config, protos []protocol.Protocol, o Options, inits [
 		}
 		return exec(all)
 	}
-	return o.Session.doBatch(keys, cacheable, o.Steps, exec)
+	streams, _, err := o.Session.doBatch(keys, cacheable, o.Steps, exec)
+	return streams, err
 }
 
 // runStreams is streamRuns for n homogeneous p-senders over the default

@@ -281,9 +281,16 @@ func (s *Session) do(key string, steps int, exec func() (*Stream, *trace.Trace, 
 // and runOrFetch only ever holds one of these at a time — and held
 // across the store check and the simulation, so another process either
 // finds each cell on disk or blocks until this batch writes it.
-func (s *Session) doBatch(keys []string, cacheable []bool, steps int, exec func(miss []int) ([]*Stream, error)) ([]*Stream, error) {
+//
+// The second return is parallel to keys and reports which runs this call
+// actually executed: true for cache misses and uncacheable runs, false
+// for memory/disk hits and for waiters served by another claimant.
+// Explore's incremental accounting is built on it — a warm store makes
+// every flag false.
+func (s *Session) doBatch(keys []string, cacheable []bool, steps int, exec func(miss []int) ([]*Stream, error)) ([]*Stream, []bool, error) {
 	n := len(keys)
 	out := make([]*Stream, n)
+	sim := make([]bool, n)
 	entries := make([]*sessionEntry, n)
 	var claimed, waiters, miss []int
 	s.mu.Lock()
@@ -392,11 +399,12 @@ func (s *Session) doBatch(keys []string, cacheable []bool, steps int, exec func(
 		if err != nil {
 			finished = true
 			evict(err)
-			return nil, err
+			return nil, nil, err
 		}
 		simulated, uncached := 0, 0
 		for j, i := range miss {
 			out[i] = streams[j]
+			sim[i] = true
 			if entries[i] == nil {
 				uncached++
 				continue
@@ -447,11 +455,11 @@ func (s *Session) doBatch(keys []string, cacheable []bool, steps int, exec func(
 			return sts[0], nil, nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out[i] = st
 	}
-	return out, nil
+	return out, sim, nil
 }
 
 // runOrFetch resolves a claimed key through the persistent tier: try the

@@ -219,7 +219,7 @@ func TestSessionDoBatchClassification(t *testing.T) {
 		}
 		return out, nil
 	}
-	out, err := s.doBatch([]string{"a", "a", "b", "c"}, []bool{true, true, true, false}, 100, exec)
+	out, sim, err := s.doBatch([]string{"a", "a", "b", "c"}, []bool{true, true, true, false}, 100, exec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,6 +228,11 @@ func TestSessionDoBatchClassification(t *testing.T) {
 	}
 	if out[0] != streams[0] || out[1] != streams[0] || out[2] != streams[2] || out[3] != streams[3] {
 		t.Fatal("batch results routed to wrong cells")
+	}
+	// Simulated flags: claimed misses and the uncacheable cell ran; the
+	// waiter on the duplicate key did not.
+	if !sim[0] || sim[1] || !sim[2] || !sim[3] {
+		t.Fatalf("simulated flags = %v, want [true false true true]", sim)
 	}
 	st := s.Stats()
 	if st.Misses != 2 || st.Hits != 1 || st.Uncacheable != 1 {
@@ -238,7 +243,7 @@ func TestSessionDoBatchClassification(t *testing.T) {
 	}
 
 	// A second batch over the same cacheable keys is all hits.
-	out2, err := s.doBatch([]string{"a", "b"}, []bool{true, true}, 100, func(miss []int) ([]*Stream, error) {
+	out2, sim2, err := s.doBatch([]string{"a", "b"}, []bool{true, true}, 100, func(miss []int) ([]*Stream, error) {
 		t.Fatalf("warm batch simulated %v", miss)
 		return nil, nil
 	})
@@ -247,6 +252,9 @@ func TestSessionDoBatchClassification(t *testing.T) {
 	}
 	if out2[0] != streams[0] || out2[1] != streams[2] {
 		t.Fatal("warm batch returned wrong streams")
+	}
+	if sim2[0] || sim2[1] {
+		t.Fatalf("warm batch simulated flags = %v, want all false", sim2)
 	}
 	if st := s.Stats(); st.Hits != 3 {
 		t.Fatalf("warm batch should add 2 hits, got %+v", st)
@@ -258,13 +266,13 @@ func TestSessionDoBatchErrorEvicts(t *testing.T) {
 	// so a retry re-simulates and succeeds.
 	s := NewSession()
 	boom := errors.New("boom")
-	if _, err := s.doBatch([]string{"k"}, []bool{true}, 10, func([]int) ([]*Stream, error) {
+	if _, _, err := s.doBatch([]string{"k"}, []bool{true}, 10, func([]int) ([]*Stream, error) {
 		return nil, boom
 	}); err != boom {
 		t.Fatalf("got %v, want the exec error", err)
 	}
 	want := &Stream{}
-	out, err := s.doBatch([]string{"k"}, []bool{true}, 10, func(miss []int) ([]*Stream, error) {
+	out, _, err := s.doBatch([]string{"k"}, []bool{true}, 10, func(miss []int) ([]*Stream, error) {
 		return []*Stream{want}, nil
 	})
 	if err != nil || out[0] != want {

@@ -14,6 +14,7 @@ package pareto
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/axioms"
 	"repro/internal/metrics"
@@ -50,8 +51,29 @@ func Dominates(a, b []float64) bool {
 
 // Frontier returns the subset of points not dominated by any other point,
 // preserving input order. Duplicate coordinate vectors are all retained
-// (none dominates the other).
+// (none dominates the other). The 2-objective case — the shape Explore's
+// refinement loop calls in a tight loop — takes an O(n log n) sort-based
+// skyline sweep; other dimensionalities take the general O(n²) scan.
 func Frontier(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	two := true
+	for _, p := range points {
+		if len(p.Coords) != 2 {
+			two = false
+			break
+		}
+	}
+	if two {
+		return frontier2(points)
+	}
+	return frontierGeneral(points)
+}
+
+// frontierGeneral is the all-pairs dominance scan, kept as the reference
+// path for ≥3 objectives (and for the skyline equivalence test).
+func frontierGeneral(points []Point) []Point {
 	var out []Point
 	for i, p := range points {
 		dominated := false
@@ -65,6 +87,60 @@ func Frontier(points []Point) []Point {
 			}
 		}
 		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// frontier2 is the 2-objective skyline: sort indices by (x desc, y desc),
+// then one sweep marks a point dominated iff a strictly-greater-x point
+// has y ≥ its own (tracked by bestPrev) or a same-x point has strictly
+// greater y (tracked per equal-x group). Points with a NaN coordinate
+// never dominate and are never dominated (Dominates' contract), so they
+// sit out the sweep and always survive. Output preserves input order and
+// retains duplicates, exactly like the general scan.
+func frontier2(points []Point) []Point {
+	n := len(points)
+	idx := make([]int, 0, n)
+	dominated := make([]bool, n)
+	for i, p := range points {
+		if math.IsNaN(p.Coords[0]) || math.IsNaN(p.Coords[1]) {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]].Coords, points[idx[b]].Coords
+		if pa[0] != pb[0] {
+			return pa[0] > pb[0]
+		}
+		return pa[1] > pb[1]
+	})
+	bestPrev := math.Inf(-1) // max y among points with strictly greater x
+	for k := 0; k < len(idx); {
+		x := points[idx[k]].Coords[0]
+		j := k
+		groupMax := math.Inf(-1)
+		for ; j < len(idx) && points[idx[j]].Coords[0] == x; j++ {
+			if y := points[idx[j]].Coords[1]; y > groupMax {
+				groupMax = y
+			}
+		}
+		for m := k; m < j; m++ {
+			y := points[idx[m]].Coords[1]
+			if y <= bestPrev || y < groupMax {
+				dominated[idx[m]] = true
+			}
+		}
+		if groupMax > bestPrev {
+			bestPrev = groupMax
+		}
+		k = j
+	}
+	var out []Point
+	for i, p := range points {
+		if !dominated[i] {
 			out = append(out, p)
 		}
 	}

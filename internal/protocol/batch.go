@@ -21,34 +21,49 @@ const (
 	// low-window threshold (stored in A), the interpolated response
 	// table above it.
 	OpHighSpeed
+	// OpCubic is CUBIC(c,b): the cubic window curve anchored at the
+	// last-loss window. The only stateful op — X, T, and Primed carry
+	// Cubic's per-sender state (xmax, steps, primed).
+	OpCubic
 )
 
 // Kernel is a protocol's window-update rule reduced to closed form, so a
 // batched stepper can advance many senders without interface dispatch or
-// Feedback construction. A kernel exists only for the loss-based,
-// stateless families: their Next depends on nothing but the current
-// window and observed loss rate, which is what makes lockstep
-// structure-of-arrays stepping possible.
+// Feedback construction. A kernel exists only for the loss-based
+// families: their Next depends on nothing but the current window, the
+// observed loss rate, and (for stateful ops like OpCubic) a fixed set of
+// scalar state slots the kernel itself carries — which is what makes
+// lockstep structure-of-arrays stepping possible. Batched steppers hold
+// one Kernel value per sender, so per-sender state lives in the copy.
 //
 // The contract is bit-identity: for every protocol P exposing a kernel K,
-// and every (w, loss), K.Step(w, loss) must return the exact float64 that
-// P.Next(Feedback{Window: w, Loss: loss}) would — same operations in the
-// same order, so batched and per-cell simulations produce identical
-// traces. Feedback.Step and Feedback.RTT are not parameters because no
-// kernelized family reads them (they are all LossBased).
+// and every (w, loss) sequence, K.Step(w, loss) must return the exact
+// float64s that P.Next(Feedback{Window: w, Loss: loss}) would — same
+// operations in the same order, so batched and per-cell simulations
+// produce identical traces. Feedback.Step and Feedback.RTT are not
+// parameters because no kernelized family reads them (they are all
+// LossBased).
 type Kernel struct {
 	Op KernelOp
 	// A, B, K, L hold the family's parameters, reusing the slots per op:
 	// AIMD/MIMD use A and B; Binomial uses all four; RobustAIMD stores
-	// ε in L; HighSpeed stores LowWindow in A.
+	// ε in L; HighSpeed stores LowWindow in A; Cubic stores c in A and
+	// b in B.
 	A, B, K, L float64
+	// X, T, and Primed are the mutable per-sender state slots, used only
+	// by stateful ops. OpCubic keeps its last-loss window in X, the step
+	// count since that loss in T, and the primed flag in Primed.
+	X, T   float64
+	Primed bool
 }
 
 // Step returns the next window for a sender whose current window is w and
-// whose observed loss rate for the step is loss. A zero (invalid) Op
+// whose observed loss rate for the step is loss. Stateful ops mutate the
+// receiver's state slots, so callers must invoke Step on the per-sender
+// Kernel they persist (a slice element, not a copy). A zero (invalid) Op
 // returns w unchanged; NewBatch-style constructors must reject such
 // kernels up front.
-func (k Kernel) Step(w, loss float64) float64 {
+func (k *Kernel) Step(w, loss float64) float64 {
 	switch k.Op {
 	case OpAIMD:
 		if loss > 0 {
@@ -86,12 +101,30 @@ func (k Kernel) Step(w, loss float64) float64 {
 			return w * (1 - b)
 		}
 		return w + a
+	case OpCubic:
+		// Transcribes Cubic.Next exactly: prime on first observation,
+		// re-anchor on loss, otherwise follow the cubic curve. The
+		// inflection K = cbrt(X(1−B)/A) is recomputed from state like
+		// Cubic.inflection does, preserving operation order.
+		if !k.Primed {
+			k.X = math.Max(w, MinWindow)
+			k.T = math.Cbrt(k.X * (1 - k.B) / k.A)
+			k.Primed = true
+		}
+		if loss > 0 {
+			k.X = math.Max(w, MinWindow)
+			k.T = 0
+			return k.X * k.B
+		}
+		k.T++
+		d := k.T - math.Cbrt(k.X*(1-k.B)/k.A)
+		return k.X + k.A*d*d*d
 	}
 	return w
 }
 
 // Valid reports whether the kernel names a known op.
-func (k Kernel) Valid() bool { return k.Op >= OpAIMD && k.Op <= OpHighSpeed }
+func (k Kernel) Valid() bool { return k.Op >= OpAIMD && k.Op <= OpCubic }
 
 // BatchStepper is the optional interface a Protocol implements to opt
 // into batched structure-of-arrays stepping (internal/fluid's Batch).
@@ -99,10 +132,12 @@ func (k Kernel) Valid() bool { return k.Op >= OpAIMD && k.Op <= OpHighSpeed }
 // expressible as one; implementations whose parameters or state preclude
 // a closed form return ok = false and fall back to per-cell stepping.
 //
-// Only stateless, loss-based protocols may implement this: a kernel has
-// no per-sender state and never sees RTT, so anything with history
-// (Cubic's last-loss window, PCC's monitor intervals, BBRish's phases)
-// or RTT sensitivity must not claim a kernel.
+// Only loss-based protocols whose state fits the Kernel's scalar slots
+// may implement this: a kernel never sees RTT, so anything RTT-sensitive
+// or with open-ended history (PCC's monitor intervals, BBRish's phases)
+// must not claim a kernel. Stateful-but-scalar families (Cubic) may; a
+// primed instance whose live state is not captured in the returned
+// kernel must decline with ok = false.
 type BatchStepper interface {
 	Kernel() (Kernel, bool)
 }
@@ -130,4 +165,17 @@ func (p *RobustAIMD) Kernel() (Kernel, bool) {
 // Kernel implements BatchStepper. LowWindow travels in the A slot.
 func (p *HighSpeed) Kernel() (Kernel, bool) {
 	return Kernel{Op: OpHighSpeed, A: p.LowWindow}, true
+}
+
+// Kernel implements BatchStepper. c travels in A, b in B; the state slots
+// start zeroed because only fresh instances claim a kernel — a primed
+// Cubic mid-run has live (xmax, steps) the caller would lose, so it
+// declines and falls back to per-cell stepping. Sender builders Clone
+// protocols per sender, and Cubic.Clone resets state, so batch
+// construction always sees fresh instances in practice.
+func (p *Cubic) Kernel() (Kernel, bool) {
+	if p.primed {
+		return Kernel{}, false
+	}
+	return Kernel{Op: OpCubic, A: p.C, B: p.B}, true
 }

@@ -21,6 +21,8 @@ func kernelCases() []Protocol {
 		NewRobustAIMD(0.7, 0.8, 0.01),
 		NewHighSpeed(),
 		&HighSpeed{LowWindow: 100},
+		CubicLinux(),
+		NewCubic(1.2, 0.5),
 	}
 }
 
@@ -45,6 +47,9 @@ func TestKernelBitIdentity(t *testing.T) {
 		if !k.Valid() {
 			t.Fatalf("%s: kernel op %d invalid", p.Name(), k.Op)
 		}
+		// Stateful kernels (Cubic) mutate k and p in tandem, so the grid
+		// doubles as a state-trajectory identity check: every (w, loss)
+		// visits both sides in the same order.
 		for _, w := range windows {
 			for _, loss := range losses {
 				want := p.Next(Feedback{Window: w, Loss: loss})
@@ -54,6 +59,25 @@ func TestKernelBitIdentity(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestPrimedCubicDeclinesKernel pins that a Cubic instance with live state
+// refuses to hand out a kernel: the zeroed state slots would silently
+// restart the window curve.
+func TestPrimedCubicDeclinesKernel(t *testing.T) {
+	p := CubicLinux()
+	if _, ok := p.Kernel(); !ok {
+		t.Fatal("fresh Cubic must claim a kernel")
+	}
+	p.Next(Feedback{Window: 50, Loss: 0})
+	if _, ok := p.Kernel(); ok {
+		t.Fatal("primed Cubic must decline a kernel")
+	}
+	if clone, ok := p.Clone().(*Cubic); !ok {
+		t.Fatal("Cubic.Clone did not return *Cubic")
+	} else if _, ok := clone.Kernel(); !ok {
+		t.Fatal("cloned (reset) Cubic must claim a kernel")
 	}
 }
 
@@ -77,7 +101,6 @@ func TestKernelIgnoresRTTAndStep(t *testing.T) {
 // do not claim kernels.
 func TestNonBatchableFamilies(t *testing.T) {
 	for _, p := range []Protocol{
-		CubicLinux(),
 		DefaultPCC(),
 		DefaultVegas(),
 		NewBBRish(),
