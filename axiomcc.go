@@ -50,6 +50,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/metrics"
 	"repro/internal/multilink"
+	"repro/internal/nettopo"
 	"repro/internal/packetsim"
 	"repro/internal/pareto"
 	"repro/internal/protocol"
@@ -243,6 +244,44 @@ var (
 	WithNetMaxWindow = multilink.WithMaxWindow
 )
 
+// ---- Arbitrary DAG topologies (§6 generalized) ----
+
+// Nettopo types: the multilink model generalized to arbitrary DAG
+// topologies with named endpoints and per-flow extra RTT. A linear
+// chain is bit-identical to the multilink parking lot.
+type (
+	// TopoLinkSpec describes one directed link (optional src/dst names).
+	TopoLinkSpec = nettopo.LinkSpec
+	// TopoFlowSpec is one flow: protocol, path over links, extra RTT.
+	TopoFlowSpec = nettopo.FlowSpec
+	// Topology is a DAG network of links and flows.
+	Topology = nettopo.Network
+	// TopologyResult is a recorded nettopo run.
+	TopologyResult = nettopo.Result
+	// TopologyOption tweaks topology construction.
+	TopologyOption = nettopo.Option
+)
+
+var (
+	// NewTopology builds a DAG topology, validating acyclicity and path
+	// contiguity.
+	NewTopology = nettopo.New
+	// NewTopologyFromRouting builds a topology from a routing matrix.
+	NewTopologyFromRouting = nettopo.NewFromRouting
+	// TopoLinearChain builds the k-hop chain shared by every flow.
+	TopoLinearChain = nettopo.LinearChain
+	// TopoParkingLot builds the parking-lot scenario on the DAG model.
+	TopoParkingLot = nettopo.ParkingLot
+	// TopoIncast builds n senders converging on one core link.
+	TopoIncast = nettopo.Incast
+	// TopoFatTreeFanIn builds a leaf/agg/core fan-in tree.
+	TopoFatTreeFanIn = nettopo.FatTreeFanIn
+	// WithTopoStochasticLoss samples per-flow loss observation.
+	WithTopoStochasticLoss = nettopo.WithStochasticLoss
+	// WithTopoMaxWindow caps windows in a topology.
+	WithTopoMaxWindow = nettopo.WithMaxWindow
+)
+
 // ---- Engine (unified simulator layer) ----
 
 // The engine runs any of the three simulators behind one interface:
@@ -278,6 +317,8 @@ type (
 	EnginePacketSpec = engine.PacketSpec
 	// EngineNetSpec adapts the §6 multilink network.
 	EngineNetSpec = engine.NetSpec
+	// EngineTopoSpec adapts the DAG topology substrate.
+	EngineTopoSpec = engine.TopoSpec
 	// SweepConfig tunes EngineSweep (workers, base seed, progress).
 	SweepConfig = engine.SweepConfig
 	// MetricStream is the streaming observer computing the axiom
@@ -425,6 +466,27 @@ var (
 
 // ExtMetricScores bundles the extension metrics.
 type ExtMetricScores = metrics.ExtScores
+
+// Multi-bottleneck metrics: the eight estimators re-stated over DAG
+// topologies (per-flow bottleneck attribution, per-shared-link fairness).
+type (
+	// TopoMetricStream streams a topology run into tail rings for the
+	// multi-bottleneck estimators.
+	TopoMetricStream = metrics.TopoStream
+	// TopoRunSpec is one cacheable topology run.
+	TopoRunSpec = metrics.TopoRunSpec
+	// TopoMetricScores bundles the eight multi-bottleneck scores.
+	TopoMetricScores = metrics.TopoScores
+)
+
+var (
+	// NewTopoMetricStream sizes a TopoMetricStream for a topology run.
+	NewTopoMetricStream = metrics.NewTopoStream
+	// RunTopo executes (or replays from cache) one topology run.
+	RunTopo = metrics.RunTopo
+	// CharacterizeTopo measures all eight metrics on a topology.
+	CharacterizeTopo = metrics.CharacterizeTopo
+)
 
 // ---- Theory (§4, Table 1) ----
 

@@ -8,6 +8,13 @@
 //	axcheck -protocol reno -claim efficient -alpha 0.55         # survives
 //	axcheck -protocol scalable -claim fair -alpha 0.5 -n 2      # dies: MIMD is 0-fair
 //	axcheck -protocol raimd:1,0.8,0.01 -claim friendly -alpha 0.3
+//
+// With -lint, axcheck instead validates JSON artifacts (scenario specs
+// and chaos schedules) without simulating — the CI gate that keeps every
+// file under scenarios/ loadable:
+//
+//	axcheck -lint scenarios                  # walk a tree of *.json
+//	axcheck -lint scenarios/topo/incast.json # lint specific files
 package main
 
 import (
@@ -46,11 +53,39 @@ func main() {
 		trials = flag.Int("trials", 24, "random configurations beyond the corners")
 		seed   = flag.Uint64("seed", 0, "search seed")
 		slack  = flag.Float64("slack", 0.02, "violation tolerance")
+		lint   = flag.Bool("lint", false, "lint the JSON artifacts (files or directories) given as arguments and exit")
 	)
 	ofl := obs.RegisterFlags(flag.CommandLine)
 	stfl := axiomcc.RegisterStoreFlags(flag.CommandLine)
 	flag.Parse()
 	defer stfl.Apply("axcheck")()
+
+	if *lint {
+		paths := flag.Args()
+		if len(paths) == 0 {
+			fmt.Fprintln(os.Stderr, "axcheck: -lint needs files or directories as arguments")
+			os.Exit(2)
+		}
+		results, err := axcheck.LintPaths(paths)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axcheck:", err)
+			os.Exit(2)
+		}
+		failed := 0
+		for _, r := range results {
+			if r.Err != nil {
+				failed++
+				fmt.Printf("%s: FAIL: %v\n", r.Path, r.Err)
+				continue
+			}
+			fmt.Printf("%s: ok (%s)\n", r.Path, r.Kind)
+		}
+		fmt.Printf("linted %d artifacts, %d failed\n", len(results), failed)
+		if failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	stop, err := ofl.Start("axcheck")
 	if err != nil {

@@ -12,6 +12,7 @@
 //	reproduce -exp robustness    Metric VI sweep (Table 1's robustness column)
 //	reproduce -exp robustness-chaos  Metric VI extended with bursty-loss and flappy-link columns
 //	reproduce -exp parkinglot    §6 network-wide extension (multilink parking lot)
+//	reproduce -exp topo-axioms   the eight metrics measured on multi-bottleneck DAG topologies
 //	reproduce -exp all           everything above
 //
 // -quick shrinks grids and horizons for a fast smoke pass. -chaos applies
@@ -254,6 +255,15 @@ func main() {
 			return err
 		}
 		fmt.Print(experiment.RenderChaosRobustness(entries))
+		return nil
+	})
+
+	run("topo-axioms", func() error {
+		rows, err := experiment.TopoAxioms(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiment.RenderTopoAxioms(rows))
 		return nil
 	})
 

@@ -1,0 +1,104 @@
+package axcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+)
+
+// LintResult is one linted artifact.
+type LintResult struct {
+	Path string
+	Kind string // "scenario" | "chaos"
+	Err  error
+}
+
+// LintJSON classifies a JSON artifact by its top-level key and validates
+// it: scenario specs (a "model" key) load through scenario.Load, which
+// also dry-builds nettopo topologies, and additionally have every
+// protocol spec parsed; chaos schedules (an "events" key) parse through
+// chaos.Parse. Anything else is an error — a malformed artifact must not
+// pass because it fits neither schema.
+func LintJSON(data []byte) (string, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("not a JSON object: %w", err)
+	}
+	_, isScenario := probe["model"]
+	_, isChaos := probe["events"]
+	switch {
+	case isScenario && isChaos:
+		return "", fmt.Errorf("has both \"model\" and \"events\": scenario or chaos schedule, not both")
+	case isScenario:
+		spec, err := scenario.Load(bytes.NewReader(data))
+		if err != nil {
+			return "scenario", err
+		}
+		// Validate defers protocol parsing to run time; a lint pass must
+		// catch spec typos without simulating.
+		for i, f := range spec.Flows {
+			if _, err := protocol.Parse(f.Protocol); err != nil {
+				return "scenario", fmt.Errorf("flow %d: %w", i, err)
+			}
+		}
+		return "scenario", nil
+	case isChaos:
+		_, err := chaos.Parse(data)
+		return "chaos", err
+	default:
+		return "", fmt.Errorf("neither a scenario (\"model\") nor a chaos schedule (\"events\")")
+	}
+}
+
+// LintPath lints one JSON file.
+func LintPath(path string) LintResult {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return LintResult{Path: path, Err: err}
+	}
+	kind, err := LintJSON(data)
+	return LintResult{Path: path, Kind: kind, Err: err}
+}
+
+// LintPaths expands the given files and directories (walked recursively
+// for *.json) and lints each artifact, returning results in path order.
+func LintPaths(paths []string) ([]LintResult, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".json") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	out := make([]LintResult, len(files))
+	for i, f := range files {
+		out[i] = LintPath(f)
+	}
+	return out, nil
+}

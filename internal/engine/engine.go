@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/multilink"
+	"repro/internal/nettopo"
 	"repro/internal/obs"
 	"repro/internal/packetsim"
 	"repro/internal/trace"
@@ -43,6 +44,7 @@ type Step struct {
 	RTT     float64               // link RTT in seconds (single-link substrates)
 	Loss    float64               // link loss rate (single-link substrates)
 	Net     *multilink.StepResult // non-nil for the multilink substrate
+	Topo    *nettopo.StepResult   // non-nil for the nettopo substrate
 }
 
 // Observer consumes streamed steps during a run.
@@ -97,14 +99,15 @@ type Spec struct {
 	ChaosSeed uint64
 }
 
-// Result is the outcome of a run. Exactly one of Trace/Packet/Net is
-// populated per substrate kind when Record is set (Packet is populated
+// Result is the outcome of a run. Exactly one of Trace/Packet/Net/Topo
+// is populated per substrate kind when Record is set (Packet is populated
 // even without Record — delivery counters are always kept — but its Trace
 // field is then nil).
 type Result struct {
 	Trace  *trace.Trace      // fluid (Record); also aliases Packet.Trace
 	Packet *packetsim.Result // packet substrate
 	Net    *multilink.Result // multilink substrate (Record)
+	Topo   *nettopo.Result   // nettopo substrate (Record)
 	Steps  int               // samples produced
 }
 
@@ -113,6 +116,7 @@ const (
 	kFluid = iota
 	kPacket
 	kNet
+	kTopo
 	kOther
 	numKinds
 )
@@ -129,7 +133,7 @@ type runTel struct {
 
 var runTelByKind = func() [numKinds]runTel {
 	var t [numKinds]runTel
-	for k, name := range [numKinds]string{kFluid: "fluid", kPacket: "packet", kNet: "net", kOther: "other"} {
+	for k, name := range [numKinds]string{kFluid: "fluid", kPacket: "packet", kNet: "net", kTopo: "topo", kOther: "other"} {
 		t[k] = runTel{
 			runs:   obs.GetCounter("engine.runs." + name),
 			failed: obs.GetCounter("engine.runs.failed." + name),
@@ -178,6 +182,8 @@ func substrateKind(s Substrate) int {
 		return kPacket
 	case *NetSpec:
 		return kNet
+	case *TopoSpec:
+		return kTopo
 	default:
 		return kOther
 	}

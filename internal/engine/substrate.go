@@ -6,6 +6,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/fluid"
 	"repro/internal/multilink"
+	"repro/internal/nettopo"
 	"repro/internal/packetsim"
 	"repro/internal/trace"
 )
@@ -180,4 +181,53 @@ func (s *NetSpec) run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Net: res, Steps: s.Steps}, nil
+}
+
+// TopoSpec runs a conservation-law network over an arbitrary DAG
+// topology (internal/nettopo) for Steps synchronized steps. With Record
+// set, Result.Topo is identical to nettopo.New(Links, Flows,
+// Opts...).Run(Steps). Observers receive the full *nettopo.StepResult
+// via Step.Topo.
+type TopoSpec struct {
+	Links []nettopo.LinkSpec
+	Flows []nettopo.FlowSpec
+	Opts  []nettopo.Option
+	Steps int
+}
+
+// Meta implements Substrate. Capacity and BaseRTT are zero: a network
+// has no single bottleneck; observers needing them consult Step.Topo per
+// link (metrics.TopoStream attributes each flow to its own bottleneck).
+func (s *TopoSpec) Meta() Meta {
+	return Meta{Flows: len(s.Flows), Horizon: s.Steps}
+}
+
+func (s *TopoSpec) run(ctx context.Context, spec Spec) (*Result, error) {
+	opts := s.Opts
+	inj, err := compileChaos(&spec, len(s.Flows), len(s.Links))
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		opts = append(append([]nettopo.Option(nil), s.Opts...), nettopo.WithPerturber(inj))
+	}
+	n, err := nettopo.New(s.Links, s.Flows, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var obs func(*nettopo.StepResult)
+	if len(spec.Observers) > 0 {
+		obs = func(res *nettopo.StepResult) {
+			total := 0.0
+			for _, w := range res.Windows {
+				total += w
+			}
+			emit(&spec, Step{Index: res.Step, Windows: res.Windows, Total: total, Topo: res})
+		}
+	}
+	res, err := n.RunObserved(ctx, s.Steps, spec.Record, obs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Topo: res, Steps: s.Steps}, nil
 }

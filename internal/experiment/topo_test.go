@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestTopoShapes(t *testing.T) {
+	shapes, err := TopoShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shapes) != 2 {
+		t.Fatalf("got %d shapes, want 2", len(shapes))
+	}
+	for _, s := range shapes {
+		if len(s.Links) == 0 || len(s.Flows) == 0 {
+			t.Errorf("%s: empty topology", s.Name)
+		}
+		for f, flow := range s.Flows {
+			if len(flow.Path) == 0 {
+				t.Errorf("%s: flow %d has no path", s.Name, f)
+			}
+		}
+	}
+	// The fat-tree fan-in must route every flow through the shared core.
+	ft := shapes[1]
+	core := len(ft.Links) - 1
+	for f, flow := range ft.Flows {
+		found := false
+		for _, l := range flow.Path {
+			if l == core {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("fat-tree flow %d avoids the core link", f)
+		}
+	}
+}
+
+func TestTopoAxiomsQuick(t *testing.T) {
+	rows, err := TopoAxioms(metrics.Options{Steps: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 { // 5 protocols × 2 topologies
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.Scores.Efficiency <= 0 {
+			t.Errorf("%s on %s: efficiency %v, want positive", r.Protocol, r.Topology, r.Scores.Efficiency)
+		}
+		if math.IsNaN(r.Scores.Fairness) {
+			t.Errorf("%s on %s: fairness NaN on shared-link topologies", r.Protocol, r.Topology)
+		}
+		if r.Scores.Convergence < 0 || r.Scores.Convergence > 1 {
+			t.Errorf("%s on %s: convergence %v out of [0,1]", r.Protocol, r.Topology, r.Scores.Convergence)
+		}
+	}
+	if out := RenderTopoAxioms(rows); len(out) == 0 {
+		t.Error("empty render")
+	}
+}

@@ -19,6 +19,7 @@ import (
 const (
 	codecKindStream byte = 1
 	codecKindTrace  byte = 2
+	codecKindTopo   byte = 3
 )
 
 func putU32(b []byte, v int) []byte {
@@ -144,6 +145,95 @@ func encodeRun(stream *Stream, tr *trace.Trace) []byte {
 	b = putF64s(b, tr.Loss())
 	b = putF64s(b, tr.Total())
 	return b
+}
+
+// encodeTopoRun serializes a TopoStream into a store payload. Alongside
+// the rings it carries the scoring geometry — link capacities, per-flow
+// paths, and base RTTs — so a decoded stream answers every estimator
+// without re-deriving the topology.
+func encodeTopoRun(s *TopoStream) []byte {
+	b := make([]byte, 0, 128)
+	b = append(b, codecKindTopo)
+	b = putF64(b, s.tailFrac)
+	b = putF64s(b, s.linkCap)
+	b = putU32(b, len(s.paths))
+	for f := range s.paths {
+		b = putF64(b, s.baseRTT[f])
+		b = putU32(b, len(s.paths[f]))
+		for _, l := range s.paths[f] {
+			b = putU32(b, l)
+		}
+	}
+	for f := range s.windows {
+		b = encodeRing(b, s.windows[f])
+		b = encodeRing(b, s.goodput[f])
+		b = encodeRing(b, s.flowRTT[f])
+	}
+	for l := range s.linkLoad {
+		b = encodeRing(b, s.linkLoad[l])
+		b = encodeRing(b, s.linkLoss[l])
+	}
+	return b
+}
+
+// decodeTopoRun reverses encodeTopoRun.
+func decodeTopoRun(payload []byte) (*TopoStream, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("metrics: empty store payload")
+	}
+	if payload[0] != codecKindTopo {
+		return nil, fmt.Errorf("metrics: store payload kind mismatch")
+	}
+	d := &decoder{b: payload, off: 1}
+	s := &TopoStream{
+		tailFrac: d.f64(),
+		linkCap:  d.f64s(),
+	}
+	flows := d.u32()
+	if d.err != nil || flows < 0 || flows > 1<<20 {
+		d.fail()
+		return nil, d.err
+	}
+	s.paths = make([][]int, flows)
+	s.baseRTT = make([]float64, flows)
+	for f := 0; f < flows; f++ {
+		s.baseRTT[f] = d.f64()
+		hops := d.u32()
+		if d.err != nil || hops < 0 || hops > 1<<20 {
+			d.fail()
+			return nil, d.err
+		}
+		s.paths[f] = make([]int, hops)
+		for i := range s.paths[f] {
+			l := d.u32()
+			if l < 0 || l >= len(s.linkCap) {
+				d.fail()
+				return nil, d.err
+			}
+			s.paths[f][i] = l
+		}
+	}
+	s.windows = make([]*stats.Ring, flows)
+	s.goodput = make([]*stats.Ring, flows)
+	s.flowRTT = make([]*stats.Ring, flows)
+	for f := 0; f < flows; f++ {
+		s.windows[f] = d.ring()
+		s.goodput[f] = d.ring()
+		s.flowRTT[f] = d.ring()
+	}
+	s.linkLoad = make([]*stats.Ring, len(s.linkCap))
+	s.linkLoss = make([]*stats.Ring, len(s.linkCap))
+	for l := range s.linkCap {
+		s.linkLoad[l] = d.ring()
+		s.linkLoss[l] = d.ring()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("metrics: %d trailing bytes in store payload", len(payload)-d.off)
+	}
+	return s, nil
 }
 
 // decodeRun reverses encodeRun. wantRecorded guards against a key-scheme

@@ -1,0 +1,592 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/engine"
+	"repro/internal/nettopo"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// TopoStream is the engine.Observer that re-states the tail-window axiom
+// estimators over multi-bottleneck paths. Where Stream scores against
+// the one link every sender shares, a nettopo run has no single C or
+// base RTT, so the estimators decompose:
+//
+//   - Efficiency and Convergence attribute each flow to its own
+//     bottleneck — the most-utilized link on its path — and score there.
+//   - Fairness and Friendliness are computed per shared link, over
+//     exactly the flows that meet on it, and the worst link governs.
+//   - LossAvoidance is the worst instantaneous tail loss on any link.
+//   - LatencyAvoidance scores each flow's RTT inflation against its own
+//     heterogeneous base RTT (path propagation plus ExtraRTT).
+//
+// State is O(tail): per-flow window/goodput/RTT rings and per-link
+// load/loss rings. Like Stream, a TopoStream restored from the
+// persistent store is bit-identical to the one the simulation filled.
+type TopoStream struct {
+	tailFrac float64
+	linkCap  []float64 // C_l per link
+	paths    [][]int   // link indices per flow
+	baseRTT  []float64 // unloaded RTT per flow (path 2Θ sum + ExtraRTT)
+	windows  []*stats.Ring
+	goodput  []*stats.Ring
+	flowRTT  []*stats.Ring
+	linkLoad []*stats.Ring
+	linkLoss []*stats.Ring
+}
+
+// NewTopoStream sizes a streaming observer for a nettopo run: links and
+// flows exactly as handed to engine.TopoSpec, the spec's Steps as
+// horizon. tailFrac 0 selects DefaultTailFrac.
+func NewTopoStream(links []nettopo.LinkSpec, flows []nettopo.FlowSpec, horizon int, tailFrac float64) *TopoStream {
+	if tailFrac == 0 {
+		tailFrac = DefaultTailFrac
+	}
+	capGoal := stats.TailLen(horizon, tailFrac) + horizonSlack
+	s := &TopoStream{
+		tailFrac: tailFrac,
+		linkCap:  make([]float64, len(links)),
+		paths:    make([][]int, len(flows)),
+		baseRTT:  make([]float64, len(flows)),
+		windows:  make([]*stats.Ring, len(flows)),
+		goodput:  make([]*stats.Ring, len(flows)),
+		flowRTT:  make([]*stats.Ring, len(flows)),
+		linkLoad: make([]*stats.Ring, len(links)),
+		linkLoss: make([]*stats.Ring, len(links)),
+	}
+	for l, spec := range links {
+		s.linkCap[l] = spec.Capacity()
+		s.linkLoad[l] = stats.NewRing(capGoal)
+		s.linkLoss[l] = stats.NewRing(capGoal)
+	}
+	for f, spec := range flows {
+		s.paths[f] = append([]int(nil), spec.Path...)
+		rtt := spec.ExtraRTT
+		for _, l := range spec.Path {
+			rtt += 2 * links[l].PropDelay
+		}
+		s.baseRTT[f] = rtt
+		s.windows[f] = stats.NewRing(capGoal)
+		s.goodput[f] = stats.NewRing(capGoal)
+		s.flowRTT[f] = stats.NewRing(capGoal)
+	}
+	return s
+}
+
+// Observe implements engine.Observer; it consumes Step.Topo.
+func (s *TopoStream) Observe(st engine.Step) {
+	t := st.Topo
+	if t == nil {
+		return
+	}
+	for f := range s.windows {
+		w := t.Windows[f]
+		s.windows[f].Push(w)
+		g := 0.0
+		if t.FlowRTT[f] > 0 {
+			g = w * (1 - t.FlowLoss[f]) / t.FlowRTT[f]
+		}
+		s.goodput[f].Push(g)
+		s.flowRTT[f].Push(t.FlowRTT[f])
+	}
+	for l := range s.linkLoad {
+		s.linkLoad[l].Push(t.LinkLoad[l])
+		s.linkLoss[l].Push(t.LinkLoss[l])
+	}
+}
+
+// Steps returns the number of samples observed.
+func (s *TopoStream) Steps() int {
+	if len(s.linkLoad) == 0 {
+		return 0
+	}
+	return s.linkLoad[0].Count()
+}
+
+// TailFrac returns the tail fraction the stream scores over.
+func (s *TopoStream) TailFrac() float64 { return s.tailFrac }
+
+// Flows returns the number of flows observed.
+func (s *TopoStream) Flows() int { return len(s.windows) }
+
+// Links returns the number of links observed.
+func (s *TopoStream) Links() int { return len(s.linkLoad) }
+
+// TailWindow returns flow f's retained tail-window series.
+func (s *TopoStream) TailWindow(f int) []float64 { return s.windows[f].LastTail(s.tailFrac) }
+
+// TailLinkLoss returns link l's retained tail loss-rate series.
+func (s *TopoStream) TailLinkLoss(l int) []float64 { return s.linkLoss[l].LastTail(s.tailFrac) }
+
+// AvgWindow returns flow f's mean tail window.
+func (s *TopoStream) AvgWindow(f int) float64 {
+	return stats.Mean(s.windows[f].LastTail(s.tailFrac))
+}
+
+// AvgGoodput returns flow f's mean tail goodput (MSS/s), computed with
+// the same guarded w·(1−loss)/RTT samples as multilink.Result.AvgGoodput.
+func (s *TopoStream) AvgGoodput(f int) float64 {
+	return stats.Mean(s.goodput[f].LastTail(s.tailFrac))
+}
+
+// BaseRTT returns flow f's unloaded round-trip time.
+func (s *TopoStream) BaseRTT(f int) float64 { return s.baseRTT[f] }
+
+// LinkUtilization returns link l's mean tail load over its capacity.
+func (s *TopoStream) LinkUtilization(l int) float64 {
+	return stats.Mean(s.linkLoad[l].LastTail(s.tailFrac)) / s.linkCap[l]
+}
+
+// BottleneckOf returns flow f's bottleneck: the link on its path with
+// the highest mean tail utilization (ties resolve to the earliest hop).
+func (s *TopoStream) BottleneckOf(f int) int {
+	best, bestUtil := s.paths[f][0], math.Inf(-1)
+	for _, l := range s.paths[f] {
+		if u := s.LinkUtilization(l); u > bestUtil {
+			best, bestUtil = l, u
+		}
+	}
+	return best
+}
+
+// Efficiency re-states Metric I per flow: each flow is scored at its
+// bottleneck link as the tail minimum of that link's aggregate load over
+// capacity (the multi-bottleneck analogue of min X(t)/C), and the worst
+// flow governs.
+func (s *TopoStream) Efficiency() float64 {
+	worst := math.Inf(1)
+	for f := range s.paths {
+		l := s.BottleneckOf(f)
+		if e := stats.Min(s.linkLoad[l].LastTail(s.tailFrac)) / s.linkCap[l]; e < worst {
+			worst = e
+		}
+	}
+	if math.IsInf(worst, 1) {
+		return 0
+	}
+	return worst
+}
+
+// LossAvoidance re-states Metric III: the maximum instantaneous tail
+// loss rate on any link of the topology. Lower is better.
+func (s *TopoStream) LossAvoidance() float64 {
+	worst := 0.0
+	for l := range s.linkLoss {
+		if m := stats.Max(s.linkLoss[l].LastTail(s.tailFrac)); m > worst {
+			worst = m
+		}
+	}
+	return worst
+}
+
+// sharedLinks returns the links traversed by at least two flows,
+// together with the flows on each.
+func (s *TopoStream) sharedLinks() map[int][]int {
+	on := make(map[int][]int)
+	for f, path := range s.paths {
+		for _, l := range path {
+			on[l] = append(on[l], f)
+		}
+	}
+	for l, flows := range on {
+		if len(flows) < 2 {
+			delete(on, l)
+		}
+	}
+	return on
+}
+
+// Fairness re-states Metric IV per shared link: on every link carrying
+// two or more flows, the min-over-max ratio of the mean tail windows of
+// exactly those flows; the worst shared link governs. NaN when no link
+// is shared (fairness is then undefined, as with one sender).
+func (s *TopoStream) Fairness() float64 {
+	shared := s.sharedLinks()
+	if len(shared) == 0 {
+		return math.NaN()
+	}
+	worst := math.Inf(1)
+	for _, flows := range shared {
+		avgs := make([]float64, len(flows))
+		for i, f := range flows {
+			avgs[i] = s.AvgWindow(f)
+		}
+		if r := stats.MinOverMax(avgs); r < worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Convergence re-states Metric V per flow (each flow's tail containment
+// around its own fixed point, exactly as on a single link); the worst
+// flow governs.
+func (s *TopoStream) Convergence() float64 {
+	alpha := 1.0
+	for f := range s.windows {
+		tail := s.TailWindow(f)
+		star := stats.Mean(tail)
+		if star <= 0 {
+			return 0
+		}
+		for _, x := range tail {
+			r := x / star
+			a := math.Min(r, 2-r)
+			if a < alpha {
+				alpha = a
+			}
+		}
+	}
+	return math.Max(alpha, 0)
+}
+
+// LatencyAvoidance re-states Metric VIII per flow: each flow's maximum
+// tail RTT inflation over its own base RTT (heterogeneous paths score
+// against heterogeneous baselines); the worst flow governs. Lower is
+// better.
+func (s *TopoStream) LatencyAvoidance() float64 {
+	worst := 0.0
+	for f := range s.flowRTT {
+		if s.baseRTT[f] <= 0 {
+			return math.NaN()
+		}
+		infl := math.Max(0, stats.Max(s.flowRTT[f].LastTail(s.tailFrac))/s.baseRTT[f]-1)
+		if infl > worst {
+			worst = infl
+		}
+	}
+	return worst
+}
+
+// Friendliness re-states Metric VII per shared link: on every link where
+// at least one P-flow meets at least one Q-flow, the weakest Q's mean
+// tail window relative to the strongest P's there; the worst such link
+// governs. NaN when P and Q never share a link.
+func (s *TopoStream) Friendliness(pIdx, qIdx []int) float64 {
+	inP := make(map[int]bool, len(pIdx))
+	for _, f := range pIdx {
+		inP[f] = true
+	}
+	inQ := make(map[int]bool, len(qIdx))
+	for _, f := range qIdx {
+		inQ[f] = true
+	}
+	worst := math.Inf(1)
+	found := false
+	for _, flows := range s.sharedLinks() {
+		worstP, worstQ := math.Inf(-1), math.Inf(1)
+		hasP, hasQ := false, false
+		for _, f := range flows {
+			a := s.AvgWindow(f)
+			if inP[f] {
+				hasP = true
+				if a > worstP {
+					worstP = a
+				}
+			}
+			if inQ[f] {
+				hasQ = true
+				if a < worstQ {
+					worstQ = a
+				}
+			}
+		}
+		if !hasP || !hasQ {
+			continue
+		}
+		found = true
+		r := 1.0
+		if worstP > 0 {
+			r = worstQ / worstP
+		}
+		if r < worst {
+			worst = r
+		}
+	}
+	if !found {
+		return math.NaN()
+	}
+	return worst
+}
+
+// TopoRunSpec is one complete nettopo simulation request: the topology,
+// the horizon, and the knobs that participate in its canonical
+// fingerprint. Flows carry their protocols; for the run to be cacheable
+// every protocol must implement protocol.Fingerprinter.
+type TopoRunSpec struct {
+	Links    []nettopo.LinkSpec
+	Flows    []nettopo.FlowSpec
+	Steps    int     // horizon (default 4000)
+	TailFrac float64 // tail fraction baked into the stream (default DefaultTailFrac)
+
+	// Stochastic enables per-flow loss sampling seeded by Seed.
+	Stochastic bool
+	Seed       uint64
+
+	// Chaos, when non-nil, applies the fault-injection schedule.
+	Chaos     *chaos.Schedule
+	ChaosSeed uint64
+
+	// Session, when non-nil, deduplicates the run against the in-memory
+	// and persistent tiers; nettopo runs honor the same content-addressed
+	// contract as every other substrate.
+	Session *Session
+}
+
+func (t *TopoRunSpec) withDefaults() {
+	if t.Steps == 0 {
+		t.Steps = 4000
+	}
+	if t.TailFrac == 0 {
+		t.TailFrac = DefaultTailFrac
+	}
+}
+
+// topoKey builds the canonical content address of a nettopo run. Node
+// names are excluded: they constrain validation, never dynamics, so two
+// topologies that differ only in labels share their runs. ok is false
+// when a protocol lacks a canonical fingerprint.
+func topoKey(t *TopoRunSpec) (string, bool) {
+	var sb strings.Builder
+	sb.WriteString("v1|topo|tf=")
+	hexBits(&sb, t.TailFrac)
+	sb.WriteString("|steps=")
+	sb.WriteString(strconv.Itoa(t.Steps))
+	sb.WriteString("|links=")
+	for _, l := range t.Links {
+		for _, v := range []float64{l.Bandwidth, l.PropDelay, l.Buffer, l.TimeoutRTT} {
+			hexBits(&sb, v)
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(';')
+	}
+	if t.Stochastic {
+		sb.WriteString("|sl=")
+		sb.WriteString(strconv.FormatUint(t.Seed, 16))
+	}
+	if t.Chaos != nil {
+		raw, err := json.Marshal(t.Chaos)
+		if err != nil {
+			return "", false
+		}
+		sb.WriteString("|chaos=")
+		sb.Write(raw)
+		sb.WriteString(";cs=")
+		sb.WriteString(strconv.FormatUint(t.ChaosSeed, 16))
+	}
+	sb.WriteString("|flows=")
+	for _, f := range t.Flows {
+		fp, ok := f.Proto.(protocol.Fingerprinter)
+		if !ok {
+			return "", false
+		}
+		sb.WriteString(fp.Fingerprint())
+		sb.WriteByte('@')
+		hexBits(&sb, f.Init)
+		sb.WriteByte('@')
+		hexBits(&sb, f.ExtraRTT)
+		sb.WriteByte('@')
+		for _, l := range f.Path {
+			sb.WriteString(strconv.Itoa(l))
+			sb.WriteByte('-')
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String(), true
+}
+
+// RunTopo executes (or resolves from cache) one streaming-observed
+// nettopo run and returns its TopoStream. With a Session set, runs with
+// identical canonical fingerprints are single-flighted in memory and
+// persisted to the run store, exactly like the fluid substrate's
+// streamed runs: a warm store serves the stream without simulating.
+func RunTopo(ctx context.Context, t TopoRunSpec) (*TopoStream, error) {
+	t.withDefaults()
+	exec := func() (*TopoStream, error) {
+		var opts []nettopo.Option
+		if t.Stochastic {
+			opts = append(opts, nettopo.WithStochasticLoss(t.Seed))
+		}
+		st := NewTopoStream(t.Links, t.Flows, t.Steps, t.TailFrac)
+		_, err := engine.Run(ctx, engine.Spec{
+			Substrate: &engine.TopoSpec{Links: t.Links, Flows: t.Flows, Opts: opts, Steps: t.Steps},
+			Observers: []engine.Observer{st},
+			Chaos:     t.Chaos,
+			ChaosSeed: t.ChaosSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	if t.Session == nil {
+		return exec()
+	}
+	key, cacheable := topoKey(&t)
+	if !cacheable {
+		st, err := exec()
+		if err == nil {
+			t.Session.noteUncacheable(t.Steps)
+		}
+		return st, err
+	}
+	return t.Session.doTopo(key, t.Steps, exec)
+}
+
+// TopoScores is a protocol's empirical position in the metric space,
+// measured on a multi-bottleneck topology. Efficiency, LossAvoidance,
+// Fairness, Convergence, TCPFriendliness, and LatencyAvoidance are the
+// per-link/per-bottleneck re-statements computed by TopoStream;
+// FastUtilization and Robustness are single-sender probes on the
+// metric-specific infinite link (Metrics II and VI isolate the protocol
+// from any topology, so their values are inherited unchanged).
+type TopoScores struct {
+	Efficiency       float64
+	FastUtilization  float64
+	LossAvoidance    float64
+	Fairness         float64
+	Convergence      float64
+	Robustness       float64
+	TCPFriendliness  float64
+	LatencyAvoidance float64
+}
+
+// String renders the 8-tuple compactly.
+func (s TopoScores) String() string {
+	return fmt.Sprintf("eff=%.3f fast=%.3f loss=%.4f fair=%.3f conv=%.3f robust=%.3f tcpf=%.3f lat=%.3f",
+		s.Efficiency, s.FastUtilization, s.LossAvoidance, s.Fairness,
+		s.Convergence, s.Robustness, s.TCPFriendliness, s.LatencyAvoidance)
+}
+
+// topoInitConfigs mirrors DefaultInitConfigs on a topology: everyone at
+// the floor, everyone at an equal share of the largest link, and a skewed
+// start with flow 0 holding that whole capacity.
+func topoInitConfigs(links []nettopo.LinkSpec, n int) [][]float64 {
+	c := 0.0
+	for _, l := range links {
+		if lc := l.Capacity(); lc > c {
+			c = lc
+		}
+	}
+	fair := math.Max(c/float64(n), protocol.MinWindow)
+	skew := make([]float64, n)
+	for i := range skew {
+		skew[i] = protocol.MinWindow
+	}
+	skew[0] = c
+	return [][]float64{
+		allOf(n, protocol.MinWindow),
+		allOf(n, fair),
+		skew,
+	}
+}
+
+// CharacterizeTopo measures all eight metrics for a homogeneous
+// population of p-flows over the given topology — one multi-bottleneck
+// row of the paper's Table 1. Worst cases are taken over the same three
+// initial configurations the single-link estimators use (floor, fair
+// share, maximally skewed). TCP-friendliness re-runs the topology with
+// every flow but the first replaced by Reno and scores flow 0 against
+// them per shared link.
+func CharacterizeTopo(links []nettopo.LinkSpec, flows []nettopo.FlowSpec, p protocol.Protocol, opt Options) (TopoScores, error) {
+	o := opt.withDefaults()
+	if opt.Session == nil && !opt.NoCache {
+		o.Session = NewSession()
+	}
+	var s TopoScores
+	run := func(fl []nettopo.FlowSpec, init []float64) (*TopoStream, error) {
+		withInit := make([]nettopo.FlowSpec, len(fl))
+		for i := range fl {
+			withInit[i] = fl[i]
+			withInit[i].Init = init[i%len(init)]
+		}
+		return RunTopo(context.Background(), TopoRunSpec{
+			Links:     links,
+			Flows:     withInit,
+			Steps:     o.Steps,
+			TailFrac:  o.TailFrac,
+			Chaos:     o.Chaos,
+			ChaosSeed: o.ChaosSeed,
+			Session:   o.Session,
+		})
+	}
+	homogeneous := make([]nettopo.FlowSpec, len(flows))
+	for i := range flows {
+		homogeneous[i] = flows[i]
+		homogeneous[i].Proto = p
+	}
+	inits := topoInitConfigs(links, len(flows))
+	s.Efficiency = math.Inf(1)
+	s.Fairness = math.Inf(1)
+	s.Convergence = math.Inf(1)
+	for _, init := range inits {
+		st, err := run(homogeneous, init)
+		if err != nil {
+			return s, err
+		}
+		if e := st.Efficiency(); e < s.Efficiency {
+			s.Efficiency = e
+		}
+		if l := st.LossAvoidance(); l > s.LossAvoidance {
+			s.LossAvoidance = l
+		}
+		if f := st.Fairness(); !math.IsNaN(f) && f < s.Fairness {
+			s.Fairness = f
+		}
+		if c := st.Convergence(); c < s.Convergence {
+			s.Convergence = c
+		}
+		if l := st.LatencyAvoidance(); l > s.LatencyAvoidance {
+			s.LatencyAvoidance = l
+		}
+	}
+	if math.IsInf(s.Fairness, 1) {
+		s.Fairness = math.NaN()
+	}
+
+	// Friendliness: flow 0 keeps p, the cross traffic becomes Reno.
+	mixed := make([]nettopo.FlowSpec, len(flows))
+	pIdx, qIdx := []int{0}, make([]int, 0, len(flows)-1)
+	reno := protocol.Reno()
+	for i := range flows {
+		mixed[i] = flows[i]
+		if i == 0 {
+			mixed[i].Proto = p
+		} else {
+			mixed[i].Proto = reno
+			qIdx = append(qIdx, i)
+		}
+	}
+	s.TCPFriendliness = math.Inf(1)
+	for _, init := range inits {
+		st, err := run(mixed, init)
+		if err != nil {
+			return s, err
+		}
+		if f := st.Friendliness(pIdx, qIdx); !math.IsNaN(f) && f < s.TCPFriendliness {
+			s.TCPFriendliness = f
+		}
+	}
+	if math.IsInf(s.TCPFriendliness, 1) {
+		s.TCPFriendliness = math.NaN()
+	}
+
+	// Metrics II and VI isolate a single sender on an infinite link; the
+	// topology cannot influence them, so the fluid probes apply verbatim.
+	var err error
+	if s.FastUtilization, err = FastUtilization(p, o); err != nil {
+		return s, err
+	}
+	if s.Robustness, err = Robustness(p, 0.5, 1e-3, o); err != nil {
+		return s, err
+	}
+	return s, nil
+}

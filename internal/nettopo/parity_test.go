@@ -1,0 +1,73 @@
+package nettopo_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestParkingLotParityGolden is the parity anchor the tentpole promises:
+// the shipped parking-lot scenario, run through the multilink substrate
+// (recorded, uncached) and re-run through nettopo (streamed through the
+// session cache) must agree bit-for-bit on every per-flow summary and on
+// every summary key the two models share. Any drift in nettopo's step
+// arithmetic, the scenario wiring, or the TopoStream ring accounting
+// breaks this test.
+func TestParkingLotParityGolden(t *testing.T) {
+	raw, err := os.Open("../../scenarios/parking-lot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	spec, err := scenario.Load(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Model != "multilink" {
+		t.Fatalf("parking-lot model = %q, want multilink", spec.Model)
+	}
+	ml, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	topo := *spec
+	topo.Model = "nettopo"
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("parking-lot is not a valid nettopo scenario: %v", err)
+	}
+	nt, err := topo.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(ml.Flows) != len(nt.Flows) {
+		t.Fatalf("flow count: multilink %d, nettopo %d", len(ml.Flows), len(nt.Flows))
+	}
+	for i := range ml.Flows {
+		m, n := ml.Flows[i], nt.Flows[i]
+		if m.AvgWindow != n.AvgWindow {
+			t.Errorf("flow %d avg window: multilink %v, nettopo %v", i, m.AvgWindow, n.AvgWindow)
+		}
+		if m.Goodput != n.Goodput {
+			t.Errorf("flow %d goodput: multilink %v, nettopo %v", i, m.Goodput, n.Goodput)
+		}
+		if m.Share != n.Share {
+			t.Errorf("flow %d share: multilink %v, nettopo %v", i, m.Share, n.Share)
+		}
+	}
+	for _, k := range []string{"efficiency", "jain_goodput", "tail_loss"} {
+		mv, ok := ml.Summary[k]
+		if !ok {
+			t.Fatalf("multilink summary missing %q", k)
+		}
+		nv, ok := nt.Summary[k]
+		if !ok {
+			t.Fatalf("nettopo summary missing %q", k)
+		}
+		if mv != nv {
+			t.Errorf("summary %q: multilink %v, nettopo %v", k, mv, nv)
+		}
+	}
+}

@@ -25,6 +25,7 @@ var SimulationPackages = []string{
 	"internal/fluid",
 	"internal/metrics",
 	"internal/multilink",
+	"internal/nettopo",
 	"internal/packetsim",
 	"internal/protocol",
 	"internal/rand64",

@@ -1,10 +1,11 @@
 // Package scenario loads and runs experiment descriptions from JSON, so
 // that scenarios are shareable artifacts rather than code: a spec selects
-// one of the three simulators (the §2 fluid model, the packet-level
-// testbed, or the §6 multilink network), describes the link(s) and flows
-// in the paper's units (Mbps, ms, MSS), and produces a uniform outcome
-// with per-flow shares and link-level metrics. The repository ships a
-// library of canonical specs under scenarios/.
+// one of the four simulators (the §2 fluid model, the packet-level
+// testbed, the §6 multilink chain, or the nettopo DAG substrate),
+// describes the link(s) and flows in the paper's units (Mbps, ms, MSS),
+// and produces a uniform outcome with per-flow shares and link-level
+// metrics. The repository ships a library of canonical specs under
+// scenarios/.
 package scenario
 
 import (
@@ -20,6 +21,7 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/metrics"
 	"repro/internal/multilink"
+	"repro/internal/nettopo"
 	"repro/internal/packetsim"
 	"repro/internal/protocol"
 	"repro/internal/stats"
@@ -32,6 +34,12 @@ type Link struct {
 	BufferMSS  float64 `json:"buffer_mss"`            // τ
 	RandomLoss float64 `json:"random_loss,omitempty"` // non-congestion loss rate
 	Infinite   bool    `json:"infinite,omitempty"`    // fluid only
+
+	// Src and Dst name the link's endpoints in a nettopo topology; given
+	// for every link, they let the loader reject cyclic or discontiguous
+	// wiring before the simulator runs.
+	Src string `json:"src,omitempty"` // nettopo only
+	Dst string `json:"dst,omitempty"` // nettopo only
 
 	// RED, when present, replaces droptail at a packet-level bottleneck.
 	RED *REDSpec `json:"red,omitempty"`
@@ -50,7 +58,8 @@ type Flow struct {
 	Init         float64 `json:"init,omitempty"`           // initial window (MSS)
 	Start        float64 `json:"start,omitempty"`          // packet: start time (s)
 	ExtraDelayMs float64 `json:"extra_delay_ms,omitempty"` // packet: one-way extra delay
-	Path         []int   `json:"path,omitempty"`           // multilink: link indices
+	Path         []int   `json:"path,omitempty"`           // multilink/nettopo: link indices
+	ExtraRTTms   float64 `json:"extra_rtt_ms,omitempty"`   // nettopo: fixed extra round-trip delay
 	Period       int     `json:"period,omitempty"`         // fluid: update period (unsync)
 	Phase        int     `json:"phase,omitempty"`          // fluid: update phase
 }
@@ -58,17 +67,18 @@ type Flow struct {
 // Spec is a complete scenario.
 type Spec struct {
 	Name     string  `json:"name"`
-	Model    string  `json:"model"`              // "fluid" | "packet" | "multilink"
-	Steps    int     `json:"steps,omitempty"`    // fluid/multilink horizon (default 4000)
+	Model    string  `json:"model"`              // "fluid" | "packet" | "multilink" | "nettopo"
+	Steps    int     `json:"steps,omitempty"`    // fluid/multilink/nettopo horizon (default 4000)
 	Duration float64 `json:"duration,omitempty"` // packet horizon in seconds (default 60)
 	Seed     uint64  `json:"seed,omitempty"`
 	TailFrac float64 `json:"tail_frac,omitempty"` // summary window (default 0.75)
 
 	Link  *Link  `json:"link,omitempty"`  // fluid/packet
-	Links []Link `json:"links,omitempty"` // multilink
+	Links []Link `json:"links,omitempty"` // multilink/nettopo
 	Flows []Flow `json:"flows"`
 
-	// StochasticLoss enables per-flow loss sampling in multilink runs.
+	// StochasticLoss enables per-flow loss sampling in multilink and
+	// nettopo runs.
 	StochasticLoss bool `json:"stochastic_loss,omitempty"`
 }
 
@@ -97,15 +107,23 @@ func (s *Spec) Validate() error {
 		if len(s.Links) > 0 {
 			return fmt.Errorf("scenario %q: \"links\" is for the multilink model", s.Name)
 		}
-	case "multilink":
+	case "multilink", "nettopo":
 		if len(s.Links) == 0 {
-			return fmt.Errorf("scenario %q: multilink needs \"links\"", s.Name)
+			return fmt.Errorf("scenario %q: %s needs \"links\"", s.Name, s.Model)
 		}
 		if s.Link != nil {
-			return fmt.Errorf("scenario %q: use \"links\" (not \"link\") for multilink", s.Name)
+			return fmt.Errorf("scenario %q: use \"links\" (not \"link\") for %s", s.Name, s.Model)
 		}
 	default:
 		return fmt.Errorf("scenario %q: unknown model %q", s.Name, s.Model)
+	}
+	multi := s.Model == "multilink" || s.Model == "nettopo"
+	if s.Model != "nettopo" {
+		for i, l := range s.Links {
+			if l.Src != "" || l.Dst != "" {
+				return fmt.Errorf("scenario %q: link %d: \"src\"/\"dst\" are for nettopo", s.Name, i)
+			}
+		}
 	}
 	if len(s.Flows) == 0 {
 		return fmt.Errorf("scenario %q: at least one flow required", s.Name)
@@ -114,14 +132,51 @@ func (s *Spec) Validate() error {
 		if f.Protocol == "" {
 			return fmt.Errorf("scenario %q: flow %d has no protocol", s.Name, i)
 		}
-		if s.Model == "multilink" && len(f.Path) == 0 {
+		if multi && len(f.Path) == 0 {
 			return fmt.Errorf("scenario %q: flow %d needs a path", s.Name, i)
 		}
-		if s.Model != "multilink" && len(f.Path) > 0 {
-			return fmt.Errorf("scenario %q: flow %d: \"path\" is for multilink", s.Name, i)
+		if !multi && len(f.Path) > 0 {
+			return fmt.Errorf("scenario %q: flow %d: \"path\" is for multilink/nettopo", s.Name, i)
+		}
+		if s.Model != "nettopo" && f.ExtraRTTms != 0 {
+			return fmt.Errorf("scenario %q: flow %d: \"extra_rtt_ms\" is for nettopo", s.Name, i)
+		}
+	}
+	if s.Model == "nettopo" {
+		// Dry-build the network with placeholder protocols so topology
+		// errors — cycles, discontiguous or duplicate-hop paths, half-named
+		// links — surface at load/lint time rather than mid-run.
+		links := s.topoLinks()
+		flows := make([]nettopo.FlowSpec, len(s.Flows))
+		placeholder := protocol.Reno()
+		for i, f := range s.Flows {
+			flows[i] = nettopo.FlowSpec{
+				Proto:    placeholder,
+				Init:     1,
+				Path:     f.Path,
+				ExtraRTT: f.ExtraRTTms / 1000,
+			}
+		}
+		if _, err := nettopo.New(links, flows); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 	}
 	return nil
+}
+
+// topoLinks converts the spec's links to nettopo units.
+func (s *Spec) topoLinks() []nettopo.LinkSpec {
+	links := make([]nettopo.LinkSpec, len(s.Links))
+	for i, l := range s.Links {
+		links[i] = nettopo.LinkSpec{
+			Bandwidth: fluid.MbpsToMSSps(l.Mbps),
+			PropDelay: l.RTTms / 1000 / 2,
+			Buffer:    l.BufferMSS,
+			Src:       l.Src,
+			Dst:       l.Dst,
+		}
+	}
+	return links
 }
 
 func (s *Spec) steps() int {
@@ -180,6 +235,8 @@ func (s *Spec) RunContext(ctx context.Context) (*Outcome, error) {
 		return s.runFluid(ctx)
 	case "packet":
 		return s.runPacket(ctx)
+	case "nettopo":
+		return s.runTopo(ctx)
 	default:
 		return s.runMultilink(ctx)
 	}
@@ -376,6 +433,74 @@ func (s *Spec) runMultilink(ctx context.Context) (*Outcome, error) {
 	return out, nil
 }
 
+func (s *Spec) runTopo(ctx context.Context) (*Outcome, error) {
+	protos, err := s.parseProtocols()
+	if err != nil {
+		return nil, err
+	}
+	links := s.topoLinks()
+	flows := make([]nettopo.FlowSpec, len(s.Flows))
+	for i, f := range s.Flows {
+		init := f.Init
+		if init == 0 {
+			init = 1
+		}
+		flows[i] = nettopo.FlowSpec{
+			Proto:    protos[i],
+			Init:     init,
+			Path:     f.Path,
+			ExtraRTT: f.ExtraRTTms / 1000,
+		}
+	}
+	// Unlike runMultilink, all summaries come from tail rings, so the run
+	// streams through a TopoStream and resolves through the session cache:
+	// a warm persistent store serves the whole scenario without simulating.
+	tail := s.tail()
+	st, err := metrics.RunTopo(ctx, metrics.TopoRunSpec{
+		Links:      links,
+		Flows:      flows,
+		Steps:      s.steps(),
+		TailFrac:   tail,
+		Stochastic: s.StochasticLoss,
+		Seed:       s.Seed,
+		Session:    metrics.NewSession(),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{Name: s.Name, Model: s.Model, Summary: map[string]float64{}}
+	var goodputs []float64
+	for i := range s.Flows {
+		g := st.AvgGoodput(i)
+		goodputs = append(goodputs, g)
+		out.Flows = append(out.Flows, FlowOutcome{
+			Protocol:  protos[i].Name(),
+			AvgWindow: st.AvgWindow(i),
+			Goodput:   g,
+		})
+	}
+	fillShares(out.Flows, goodputs)
+	util := 0.0
+	for l := range links {
+		util += st.LinkUtilization(l)
+	}
+	out.Summary["efficiency"] = util / float64(len(links))
+	out.Summary["jain_goodput"] = stats.JainIndex(goodputs)
+	worstLoss := 0.0
+	for l := range links {
+		if m := stats.Mean(st.TailLinkLoss(l)); m > worstLoss {
+			worstLoss = m
+		}
+	}
+	out.Summary["tail_loss"] = worstLoss
+	out.Summary["latency_inflation"] = st.LatencyAvoidance()
+	if f := st.Fairness(); !math.IsNaN(f) {
+		out.Summary["fairness"] = f
+	}
+	return out, nil
+}
+
 func fillShares(flows []FlowOutcome, goodputs []float64) {
 	total := stats.Sum(goodputs)
 	if total <= 0 {
@@ -396,7 +521,7 @@ func (o *Outcome) Render() string {
 		fmt.Fprintf(w, "%d\t%s\t%.2f\t%.1f\t%.1f%%\n", i, f.Protocol, f.AvgWindow, f.Goodput, 100*f.Share)
 	}
 	w.Flush()
-	keys := []string{"efficiency", "tail_loss", "jain_goodput", "latency_inflation"}
+	keys := []string{"efficiency", "tail_loss", "jain_goodput", "fairness", "latency_inflation"}
 	for _, k := range keys {
 		if v, ok := o.Summary[k]; ok {
 			fmt.Fprintf(&sb, "%s=%.4f ", k, v)

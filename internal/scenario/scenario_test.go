@@ -105,6 +105,47 @@ func TestRunMultilinkParkingLot(t *testing.T) {
 	}
 }
 
+func TestRunNettopoIncast(t *testing.T) {
+	spec := `{
+	  "name": "mini-incast",
+	  "model": "nettopo",
+	  "steps": 1500,
+	  "links": [
+	    {"mbps": 40, "rtt_ms": 10, "buffer_mss": 20, "src": "s0", "dst": "sw"},
+	    {"mbps": 40, "rtt_ms": 10, "buffer_mss": 20, "src": "s1", "dst": "sw"},
+	    {"mbps": 20, "rtt_ms": 20, "buffer_mss": 40, "src": "sw", "dst": "sink"}
+	  ],
+	  "flows": [
+	    {"protocol": "reno", "path": [0, 2], "extra_rtt_ms": 5},
+	    {"protocol": "reno", "path": [1, 2]}
+	  ]
+	}`
+	s, err := Load(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Flows) != 2 {
+		t.Fatalf("got %d flow outcomes", len(out.Flows))
+	}
+	for i, f := range out.Flows {
+		if f.Goodput <= 0 || f.AvgWindow <= 0 {
+			t.Errorf("flow %d: goodput %v window %v", i, f.Goodput, f.AvgWindow)
+		}
+	}
+	// Both flows share the core link, so fairness is defined.
+	fair, ok := out.Summary["fairness"]
+	if !ok || fair <= 0 || fair > 1 {
+		t.Errorf("fairness = %v (present=%v)", fair, ok)
+	}
+	if eff, ok := out.Summary["efficiency"]; !ok || eff <= 0 {
+		t.Errorf("efficiency = %v (present=%v)", eff, ok)
+	}
+}
+
 func TestValidationErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -120,6 +161,10 @@ func TestValidationErrors(t *testing.T) {
 		{"multilink flow without path", `{"name":"x","model":"multilink","links":[{"mbps":20,"rtt_ms":42,"buffer_mss":10}],"flows":[{"protocol":"reno"}]}`, "needs a path"},
 		{"unknown field", `{"name":"x","model":"fluid","bogus":1,"link":{"mbps":20,"rtt_ms":42,"buffer_mss":10},"flows":[{"protocol":"reno"}]}`, "bogus"},
 		{"links on fluid", `{"name":"x","model":"fluid","link":{"mbps":20,"rtt_ms":42,"buffer_mss":10},"links":[{"mbps":20,"rtt_ms":42,"buffer_mss":10}],"flows":[{"protocol":"reno"}]}`, "multilink"},
+		{"src/dst on multilink", `{"name":"x","model":"multilink","links":[{"mbps":20,"rtt_ms":42,"buffer_mss":10,"src":"a","dst":"b"}],"flows":[{"protocol":"reno","path":[0]}]}`, "nettopo"},
+		{"extra_rtt_ms on multilink", `{"name":"x","model":"multilink","links":[{"mbps":20,"rtt_ms":42,"buffer_mss":10}],"flows":[{"protocol":"reno","path":[0],"extra_rtt_ms":5}]}`, "nettopo"},
+		{"cyclic nettopo", `{"name":"x","model":"nettopo","links":[{"mbps":20,"rtt_ms":42,"buffer_mss":10,"src":"a","dst":"b"},{"mbps":20,"rtt_ms":42,"buffer_mss":10,"src":"b","dst":"a"}],"flows":[{"protocol":"reno","path":[0]}]}`, "cycle"},
+		{"discontiguous nettopo path", `{"name":"x","model":"nettopo","links":[{"mbps":20,"rtt_ms":42,"buffer_mss":10,"src":"a","dst":"b"},{"mbps":20,"rtt_ms":42,"buffer_mss":10,"src":"c","dst":"d"}],"flows":[{"protocol":"reno","path":[0,1]}]}`, "contiguous"},
 	}
 	for _, c := range cases {
 		_, err := Load(strings.NewReader(c.spec))
